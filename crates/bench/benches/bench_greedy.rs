@@ -1,0 +1,73 @@
+//! Experiment E7 — running time of the Fig. 1 approximation algorithm.
+//!
+//! Theorem 4.8: the strategy is found in `O(c(m + dc))` time. These
+//! benches sweep each parameter with the others fixed; expect linear
+//! growth in `m` and `d` and quadratic growth in `c`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pager_core::{fig1, greedy_strategy_planned, Delay};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use workloads::{DistributionFamily, InstanceGenerator};
+
+fn bench_scaling_c(crit: &mut Criterion) {
+    let mut group = crit.benchmark_group("greedy_scaling_c");
+    let gen = InstanceGenerator::new(DistributionFamily::Dirichlet);
+    for c in [64usize, 128, 256, 512, 1024] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let inst = gen.generate(3, c, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(c), &inst, |b, inst| {
+            b.iter(|| greedy_strategy_planned(inst, Delay::new(4).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_scaling_d(crit: &mut Criterion) {
+    let mut group = crit.benchmark_group("greedy_scaling_d");
+    let gen = InstanceGenerator::new(DistributionFamily::Dirichlet);
+    let mut rng = StdRng::seed_from_u64(8);
+    let inst = gen.generate(3, 256, &mut rng);
+    for d in [2usize, 4, 8, 16, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, &d| {
+            b.iter(|| greedy_strategy_planned(&inst, Delay::new(d).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_scaling_m(crit: &mut Criterion) {
+    let mut group = crit.benchmark_group("greedy_scaling_m");
+    let gen = InstanceGenerator::new(DistributionFamily::Dirichlet);
+    for m in [1usize, 2, 4, 8, 16, 32] {
+        let mut rng = StdRng::seed_from_u64(9);
+        let inst = gen.generate(m, 256, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &inst, |b, inst| {
+            b.iter(|| greedy_strategy_planned(inst, Delay::new(4).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig1_vs_prefix_dp(crit: &mut Criterion) {
+    let mut group = crit.benchmark_group("fig1_vs_prefix_dp");
+    let gen = InstanceGenerator::new(DistributionFamily::Zipf);
+    let mut rng = StdRng::seed_from_u64(10);
+    let inst = gen.generate(2, 256, &mut rng);
+    group.bench_function("fig1_literal", |b| {
+        b.iter(|| fig1::approximation(&inst, Delay::new(4).unwrap()));
+    });
+    group.bench_function("prefix_dp", |b| {
+        b.iter(|| greedy_strategy_planned(&inst, Delay::new(4).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scaling_c,
+    bench_scaling_d,
+    bench_scaling_m,
+    bench_fig1_vs_prefix_dp
+);
+criterion_main!(benches);

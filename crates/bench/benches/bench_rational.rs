@@ -1,0 +1,72 @@
+//! Micro-benchmarks for the exact-arithmetic substrate: the hardness
+//! pipeline's cost is dominated by `Ratio` normalisation (gcd) and
+//! `BigInt` multiplication/division.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rational::{BigInt, Ratio};
+
+fn big(digits: usize) -> BigInt {
+    let s: String = std::iter::once('7')
+        .chain(std::iter::repeat('3').take(digits - 1))
+        .collect();
+    s.parse().expect("digits parse")
+}
+
+fn bench_bigint_mul(crit: &mut Criterion) {
+    let mut group = crit.benchmark_group("bigint_mul");
+    for digits in [50usize, 200, 1000, 4000] {
+        let a = big(digits);
+        let b = &a + &BigInt::one();
+        group.bench_with_input(BenchmarkId::from_parameter(digits), &digits, |bench, _| {
+            bench.iter(|| &a * &b);
+        });
+    }
+    group.finish();
+}
+
+fn bench_bigint_divrem(crit: &mut Criterion) {
+    let mut group = crit.benchmark_group("bigint_divrem");
+    for digits in [100usize, 400, 1600] {
+        let a = big(2 * digits);
+        let b = big(digits);
+        group.bench_with_input(BenchmarkId::from_parameter(digits), &digits, |bench, _| {
+            bench.iter(|| a.div_rem(&b));
+        });
+    }
+    group.finish();
+}
+
+fn bench_ratio_sum(crit: &mut Criterion) {
+    let mut group = crit.benchmark_group("ratio_harmonic_sum");
+    for n in [32i64, 128, 512] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, &n| {
+            bench.iter(|| {
+                let mut acc = Ratio::zero();
+                for k in 1..=n {
+                    acc = &acc + &Ratio::from_fraction(1, k);
+                }
+                acc
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_ep(crit: &mut Criterion) {
+    let mut group = crit.benchmark_group("exact_expected_paging");
+    let exact = pager_core::lower_bound_instance::instance_exact();
+    let strategy = pager_core::lower_bound_instance::optimal_strategy();
+    group.bench_function("section_4_3_instance", |b| {
+        b.iter(|| exact.expected_paging(&strategy).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bigint_mul,
+    bench_bigint_divrem,
+    bench_ratio_sum,
+    bench_exact_ep
+);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Solver comparison: the polynomial heuristic against the exponential
+//! exact engines — the practical face of the NP-hardness result.
+//! The exhaustive `d^c` enumeration, the `3^c` subset-chain DP, and
+//! the `O(c(m + dc))` heuristic on the same instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pager_core::{greedy_strategy_planned, optimal, Delay};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use workloads::{DistributionFamily, InstanceGenerator};
+
+fn bench_exact_vs_heuristic(crit: &mut Criterion) {
+    let mut group = crit.benchmark_group("exact_vs_heuristic");
+    let gen = InstanceGenerator::new(DistributionFamily::Dirichlet);
+    for c in [8usize, 10, 12] {
+        let mut rng = StdRng::seed_from_u64(11);
+        let inst = gen.generate(2, c, &mut rng);
+        let delay = Delay::new(3).unwrap();
+        group.bench_with_input(BenchmarkId::new("exhaustive", c), &inst, |b, inst| {
+            b.iter(|| optimal::optimal_exhaustive(inst, delay).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("subset_dp", c), &inst, |b, inst| {
+            b.iter(|| optimal::optimal_subset_dp(inst, delay).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", c), &inst, |b, inst| {
+            b.iter(|| greedy_strategy_planned(inst, delay));
+        });
+    }
+    group.finish();
+}
+
+fn bench_subset_dp_reach(crit: &mut Criterion) {
+    let mut group = crit.benchmark_group("subset_dp_reach");
+    group.sample_size(10);
+    let gen = InstanceGenerator::new(DistributionFamily::Zipf);
+    for c in [12usize, 14, 16] {
+        let mut rng = StdRng::seed_from_u64(12);
+        let inst = gen.generate(3, c, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(c), &inst, |b, inst| {
+            b.iter(|| optimal::optimal_subset_dp(inst, Delay::new(3).unwrap()).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact_vs_heuristic, bench_subset_dp_reach);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Experiment E6 — the NP-hardness reduction, verified end to end.
+//!
+//! For batches of random Quasipartition1 instances: builds the
+//! Lemma 3.2 Conference Call instance, computes the exact two-round
+//! optimum, and confirms `optimum == LB` exactly iff the
+//! Quasipartition1 answer is YES. Also reports the Lemma 3.4 chain
+//! parameters (`α_k`, `b_k`) and lower bounds for several `(m, d)`,
+//! and chains Partition → Quasipartition2 → Multipartition (Lemmas
+//! 3.6/3.7) on planted instances.
+
+use bench::SEED;
+use pager_core::bounds::{lemma34_alphas, lemma34_boundaries, lemma34_lb};
+use pager_hardness::multipartition::{reduce_qp2, MultipartitionParams};
+use pager_hardness::partition::{planted_no, planted_yes};
+use pager_hardness::quasipartition::{reduce_partition, Qp1Instance};
+use pager_hardness::reduction::verify_reduction;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    println!("E6a: Lemma 3.2 equivalence on random Quasipartition1 instances");
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let mut yes = 0usize;
+    let mut no = 0usize;
+    let batches = 60usize;
+    for _ in 0..batches {
+        let sizes: Vec<u64> = (0..6).map(|_| rng.gen_range(1..=9)).collect();
+        let qp1 = Qp1Instance::new(sizes);
+        let Ok(verdict) = verify_reduction(&qp1) else {
+            continue;
+        };
+        assert!(verdict.equivalence_holds(), "equivalence must hold: {verdict:?}");
+        if verdict.qp1_yes {
+            yes += 1;
+        } else {
+            no += 1;
+        }
+    }
+    println!("  {batches} instances: {yes} YES (optimum == LB exactly), {no} NO (optimum > LB)");
+    println!("  equivalence violations: 0");
+
+    println!();
+    println!("E6b: Lemma 3.4 chain parameters and lower bounds");
+    println!("{:>4} {:>4} {:>30} {:>14}", "m", "d", "b_1..b_d (c = 12)", "LB(m,d,c=12)");
+    for (m, d) in [(2u32, 2usize), (2, 3), (3, 2), (3, 3), (4, 4)] {
+        let b = lemma34_boundaries(m, d, 12);
+        let chain: Vec<String> = b[1..].iter().map(|x| format!("{:.2}", x.to_f64())).collect();
+        let lb = lemma34_lb(m, d, 12);
+        println!(
+            "{m:>4} {d:>4} {:>30} {:>14.4}",
+            chain.join(" "),
+            lb.to_f64()
+        );
+        let alphas = lemma34_alphas(m, d);
+        for w in alphas.windows(2) {
+            assert!(w[0] < w[1], "alphas must increase");
+        }
+    }
+
+    println!();
+    println!("E6c: Partition -> Quasipartition2 -> Multipartition chain (m = 2, d = 2)");
+    let params = MultipartitionParams::derive(2, 2);
+    let mut chain_yes = 0usize;
+    let mut chain_no = 0usize;
+    for i in 0..10 {
+        let part = if i % 2 == 0 {
+            planted_yes(&mut rng, 4, 9)
+        } else {
+            planted_no(&mut rng, 4, 9)
+        };
+        let expected = part.decide_dp();
+        let qp2 = reduce_partition(&part, &params.qp2_params());
+        let qp2_answer = qp2.solve_brute().is_some();
+        assert_eq!(expected, qp2_answer, "Lemma 3.7 must preserve the answer");
+        let multi = reduce_qp2(&qp2, &params);
+        let multi_answer = multi.solve_brute().is_some();
+        assert_eq!(qp2_answer, multi_answer, "Lemma 3.6 must preserve the answer");
+        if expected {
+            chain_yes += 1;
+        } else {
+            chain_no += 1;
+        }
+    }
+    println!("  10 planted Partition instances: {chain_yes} YES, {chain_no} NO");
+    println!("  both reductions preserved every answer exactly.");
+}

@@ -1,0 +1,124 @@
+//! Experiment E13 — lossy paging and response collisions (the final
+//! Section 5 extension).
+//!
+//! Measures the cost of imperfect detection: expected cells paged as
+//! the per-device response probability falls (independent-miss model)
+//! and as the collision factor tightens (collision model), for
+//! dispersed and co-located device populations. Validates the
+//! simulator against the geometric closed form `EP = c/p` for a
+//! single-device blanket page.
+
+use bench::{fmt, row, SEED};
+use pager_core::lossy::{
+    expected_paging_lossy_single_round, simulate_lossy, DetectionModel,
+};
+use pager_core::{greedy_strategy, Delay, Instance, Strategy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use workloads::correlated::shared_hotspot;
+use workloads::{DistributionFamily, InstanceGenerator};
+
+fn main() {
+    let trials = 60_000usize;
+    println!("E13a: closed-form check — single device, blanket page, misses");
+    row(10, &["p".into(), "c/p".into(), "simulated".into()]);
+    let c = 8usize;
+    let inst = Instance::uniform(1, c).expect("valid");
+    for p in [1.0f64, 0.8, 0.6, 0.4] {
+        let report = simulate_lossy(
+            &inst,
+            &Strategy::blanket(c),
+            DetectionModel::Independent { p },
+            trials,
+            SEED,
+        )
+        .expect("valid");
+        row(
+            10,
+            &[
+                format!("{p:.1}"),
+                fmt(expected_paging_lossy_single_round(c, p)),
+                fmt(report.mean_cells_paged),
+            ],
+        );
+        assert!(
+            (report.mean_cells_paged - expected_paging_lossy_single_round(c, p)).abs() < 0.15
+        );
+    }
+
+    println!();
+    println!("E13b: greedy strategy (m = 3, c = 12, d = 3) under independent misses");
+    row(
+        12,
+        &[
+            "p".into(),
+            "mean EP".into(),
+            "retry frac".into(),
+            "sweeps".into(),
+        ],
+    );
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let inst = InstanceGenerator::new(DistributionFamily::Dirichlet).generate(3, 12, &mut rng);
+    let strategy = greedy_strategy(&inst, Delay::new(3).expect("d"));
+    for p in [1.0f64, 0.9, 0.75, 0.5] {
+        let report = simulate_lossy(
+            &inst,
+            &strategy,
+            DetectionModel::Independent { p },
+            trials,
+            SEED,
+        )
+        .expect("valid");
+        row(
+            12,
+            &[
+                format!("{p:.2}"),
+                fmt(report.mean_cells_paged),
+                fmt(report.retry_fraction),
+                fmt(report.mean_extra_sweeps),
+            ],
+        );
+    }
+
+    println!();
+    println!("E13c: collision model — dispersed vs co-located populations");
+    println!("      (detect prob = base^(n-1), n = undetected devices in cell)");
+    row(
+        12,
+        &[
+            "population".into(),
+            "base".into(),
+            "mean EP".into(),
+            "retry frac".into(),
+        ],
+    );
+    let dispersed =
+        workloads::correlated::disjoint_hotspots(4, 12, &mut rng);
+    let colocated = shared_hotspot(4, 12, 0.95, &mut rng);
+    for (name, inst) in [("dispersed", &dispersed), ("co-located", &colocated)] {
+        let strategy = greedy_strategy(inst, Delay::new(3).expect("d"));
+        for base in [1.0f64, 0.7, 0.4] {
+            let report = simulate_lossy(
+                inst,
+                &strategy,
+                DetectionModel::Collision { base },
+                trials,
+                SEED,
+            )
+            .expect("valid");
+            row(
+                12,
+                &[
+                    name.into(),
+                    format!("{base:.1}"),
+                    fmt(report.mean_cells_paged),
+                    fmt(report.retry_fraction),
+                ],
+            );
+        }
+        println!();
+    }
+    println!("Collisions barely touch dispersed populations (devices rarely");
+    println!("share a cell) but sharply penalise co-located conference callers");
+    println!("— the exact situation the paper's collision remark targets.");
+}

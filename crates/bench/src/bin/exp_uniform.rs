@@ -1,0 +1,65 @@
+//! Experiment E1 — the uniform-distribution example of Section 1.1.
+//!
+//! A single device uniform over `c` cells with `d = 2` rounds: the
+//! optimal strategy halves the cells and achieves `EP = 3c/4`, a `c/4`
+//! saving over the GSM MAP / IS-41 blanket baseline. The experiment
+//! sweeps `c` and `d`, and also reports the optimal group sizes for
+//! multi-device uniform instances (which follow the Lemma 3.4 chain
+//! shape: later groups shrink).
+
+use bench::{fmt, row};
+use pager_core::single_user::uniform_optimal_ep;
+use pager_core::{greedy_strategy_planned, single_user_optimal, Delay, Instance};
+
+fn main() {
+    println!("E1a: single uniform device, d = 2 -> EP = 3c/4 (paper Section 1.1)");
+    row(12, &["c".into(), "EP(dp)".into(), "3c/4".into(), "blanket".into()]);
+    for c in [8usize, 16, 32, 64, 128, 256, 512] {
+        let inst = Instance::uniform(1, c).expect("valid");
+        let plan = single_user_optimal(&inst, Delay::new(2).expect("d")).expect("m = 1");
+        row(
+            12,
+            &[
+                c.to_string(),
+                fmt(plan.expected_paging),
+                fmt(0.75 * c as f64),
+                fmt(c as f64),
+            ],
+        );
+        assert!((plan.expected_paging - 0.75 * c as f64).abs() < 1e-6);
+    }
+
+    println!();
+    println!("E1b: single uniform device, c = 60: EP versus delay d");
+    row(12, &["d".into(), "EP(dp)".into(), "EP(closed)".into()]);
+    let c = 60usize;
+    let inst = Instance::uniform(1, c).expect("valid");
+    for d in [1usize, 2, 3, 4, 5, 6, 10, 15, 30, 60] {
+        let plan = single_user_optimal(&inst, Delay::new(d).expect("d")).expect("m = 1");
+        let closed = uniform_optimal_ep(c, d);
+        row(12, &[d.to_string(), fmt(plan.expected_paging), fmt(closed)]);
+        assert!((plan.expected_paging - closed).abs() < 1e-6);
+    }
+
+    println!();
+    println!("E1c: m uniform devices, c = 24, d = 3: optimal-by-family group sizes");
+    println!("      (later groups shrink as m grows — the Lemma 3.4 chain shape)");
+    row(14, &["m".into(), "EP(greedy)".into(), "groups".into()]);
+    for m in [1usize, 2, 3, 4, 6, 8] {
+        let inst = Instance::uniform(m, 24).expect("valid");
+        let plan = greedy_strategy_planned(&inst, Delay::new(3).expect("d"));
+        let sizes: Vec<String> = plan
+            .strategy
+            .group_sizes()
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        row(
+            14,
+            &[m.to_string(), fmt(plan.expected_paging), sizes.join("+")],
+        );
+    }
+    println!();
+    println!("As m grows the first group must cover more cells before the");
+    println!("product of per-device probabilities becomes worth betting on.");
+}

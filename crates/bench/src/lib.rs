@@ -1,0 +1,104 @@
+//! Shared support for the experiment binaries (`exp_*`) and Criterion
+//! benches that regenerate every experiment in `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use pager_core::{greedy_strategy_planned, optimal, Delay, Instance};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use workloads::{DistributionFamily, InstanceGenerator};
+
+/// The workspace-wide experiment seed (the year of the PODC paper).
+pub const SEED: u64 = 2002;
+
+/// Prints a row of right-aligned columns of the given width.
+pub fn row(width: usize, cells: &[String]) {
+    let line: Vec<String> = cells.iter().map(|c| format!("{c:>width$}")).collect();
+    println!("{}", line.join(" "));
+}
+
+/// Formats an `f64` for tables.
+#[must_use]
+pub fn fmt(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+/// Summary statistics of the heuristic/optimal ratio over a batch of
+/// random instances.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RatioStudy {
+    /// Instances measured.
+    pub samples: usize,
+    /// Mean ratio.
+    pub mean: f64,
+    /// Maximum ratio observed.
+    pub max: f64,
+    /// Fraction of instances where the heuristic was exactly optimal
+    /// (within 1e-9).
+    pub optimal_fraction: f64,
+}
+
+/// Measures the heuristic's empirical approximation ratio against the
+/// exact subset-DP optimum over `samples` random instances of one
+/// family.
+///
+/// # Panics
+///
+/// Panics if `c` exceeds the subset-DP limit or `samples == 0`.
+#[must_use]
+pub fn ratio_study(
+    family: DistributionFamily,
+    m: usize,
+    c: usize,
+    d: usize,
+    samples: usize,
+    seed: u64,
+) -> RatioStudy {
+    assert!(samples > 0, "need at least one sample");
+    let gen = InstanceGenerator::new(family);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let delay = Delay::new(d).expect("d >= 1");
+    let mut sum = 0.0f64;
+    let mut max = 1.0f64;
+    let mut exact_hits = 0usize;
+    for _ in 0..samples {
+        let inst: Instance = gen.generate(m, c, &mut rng);
+        let heur = greedy_strategy_planned(&inst, delay);
+        let opt = optimal::optimal_subset_dp(&inst, delay).expect("d <= c");
+        let ratio = heur.expected_paging / opt.expected_paging;
+        sum += ratio;
+        if ratio > max {
+            max = ratio;
+        }
+        if ratio < 1.0 + 1e-9 {
+            exact_hits += 1;
+        }
+    }
+    RatioStudy {
+        samples,
+        mean: sum / samples as f64,
+        max,
+        optimal_fraction: exact_hits as f64 / samples as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_study_is_well_formed() {
+        let s = ratio_study(DistributionFamily::Dirichlet, 2, 6, 2, 20, 7);
+        assert_eq!(s.samples, 20);
+        assert!(s.mean >= 1.0 - 1e-12);
+        assert!(s.max >= s.mean);
+        assert!(s.max <= pager_core::bounds::e_over_e_minus_1() + 1e-9);
+        assert!((0.0..=1.0).contains(&s.optimal_fraction));
+    }
+
+    #[test]
+    fn fmt_and_row_do_not_panic() {
+        row(8, &[fmt(1.234_567), "x".to_string()]);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the cellnet substrate.
+
+use cellnet::area::LocationAreaPlan;
+use cellnet::mobility::{MobilityModel, RandomWalk};
+use cellnet::stats::Accumulator;
+use cellnet::system::{BlanketPlanner, System, SystemConfig};
+use cellnet::topology::Topology;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Adjacency is symmetric and irreflexive on every topology.
+    #[test]
+    fn adjacency_symmetric(w in 1usize..7, h in 1usize..7, kind in 0usize..4) {
+        let topology = match kind {
+            0 => Topology::line(w * h),
+            1 => Topology::grid(w, h),
+            2 => Topology::hex(w, h),
+            _ => Topology::ring((w * h).max(3)),
+        };
+        for cell in 0..topology.num_cells() {
+            let n = topology.neighbors(cell);
+            prop_assert!(!n.contains(&cell), "no self loops");
+            for &other in &n {
+                prop_assert!(topology.neighbors(other).contains(&cell));
+            }
+        }
+    }
+
+    /// BFS distance satisfies identity and symmetry on grids.
+    #[test]
+    fn distance_metric_properties(w in 2usize..6, h in 2usize..6, a in 0usize..36, b in 0usize..36) {
+        let topology = Topology::grid(w, h);
+        let c = topology.num_cells();
+        let a = a % c;
+        let b = b % c;
+        prop_assert_eq!(topology.distance(a, a), 0);
+        prop_assert_eq!(topology.distance(a, b), topology.distance(b, a));
+    }
+
+    /// Location-area plans are partitions: every cell in exactly one
+    /// area, crossings consistent with `area_of`.
+    #[test]
+    fn area_plans_partition(w in 2usize..8, h in 2usize..8, tile in 1usize..5) {
+        let topology = Topology::grid(w, h);
+        let plan = LocationAreaPlan::tiles(&topology, tile, tile);
+        let mut seen = vec![false; topology.num_cells()];
+        for area in 0..plan.num_areas() {
+            for &cell in plan.cells_in(area) {
+                prop_assert!(!seen[cell], "cell in two areas");
+                seen[cell] = true;
+                prop_assert_eq!(plan.area_of(cell), area);
+            }
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+    }
+
+    /// Mobility never leaves the topology and moves only to neighbours
+    /// (or stays).
+    #[test]
+    fn mobility_respects_adjacency(stay in 0.0f64..0.9, seed in any::<u64>()) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let topology = Topology::hex(4, 4);
+        let mut model = RandomWalk::new(stay);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut cell = 0usize;
+        for _ in 0..200 {
+            let next = model.next_cell(cell, &topology, &mut rng);
+            prop_assert!(next < topology.num_cells());
+            prop_assert!(next == cell || topology.neighbors(cell).contains(&next));
+            cell = next;
+        }
+    }
+
+    /// System-level conservation: every call is recorded, pages cover
+    /// at least the participants' areas, and the run is seed-deterministic.
+    #[test]
+    fn system_invariants(seed in any::<u64>(), terminals in 2usize..6) {
+        let topology = Topology::grid(4, 4);
+        let areas = LocationAreaPlan::tiles(&topology, 2, 2);
+        let mut config = SystemConfig::new(topology, areas, terminals);
+        config.horizon = 60.0;
+        config.mean_call_interval = 4.0;
+        config.call_size = 2.min(terminals);
+        let mobility: Vec<RandomWalk> = (0..terminals).map(|_| RandomWalk::new(0.3)).collect();
+        let outcome_a = System::new(config.clone(), mobility.clone(), seed).run(&BlanketPlanner);
+        let outcome_b = System::new(config, mobility, seed).run(&BlanketPlanner);
+        prop_assert_eq!(&outcome_a.usage, &outcome_b.usage, "seeded determinism");
+        prop_assert_eq!(outcome_a.usage.searches as usize, outcome_a.calls.len());
+        let total_pages: u64 = outcome_a.calls.iter().map(|c| c.cells_paged).sum();
+        prop_assert_eq!(total_pages, outcome_a.usage.pages);
+        for call in &outcome_a.calls {
+            // Blanket paging of a 2x2-tile area pages 4 cells per area.
+            prop_assert!(call.cells_paged >= 4);
+            prop_assert!(call.found_all, "always-on terminals are always found");
+        }
+    }
+
+    /// The Welford accumulator matches naive two-pass statistics.
+    #[test]
+    fn welford_matches_naive(data in proptest::collection::vec(-100.0f64..100.0, 2..60)) {
+        let acc: Accumulator = data.iter().copied().collect();
+        let n = data.len() as f64;
+        let mean = data.iter().sum::<f64>() / n;
+        let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        prop_assert!((acc.mean() - mean).abs() < 1e-9);
+        prop_assert!((acc.variance() - var).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,204 @@
+//! Error types for the `pager-core` crate.
+
+use core::fmt;
+
+/// Errors produced when constructing or evaluating Conference Call
+/// instances and paging strategies.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The instance has no devices.
+    NoDevices,
+    /// The instance has no cells.
+    NoCells,
+    /// Device rows disagree on the number of cells.
+    RaggedRows {
+        /// Index of the offending row.
+        device: usize,
+        /// Its length.
+        found: usize,
+        /// The length of the first row.
+        expected: usize,
+    },
+    /// A probability is negative, NaN or infinite.
+    InvalidProbability {
+        /// Device (row) index.
+        device: usize,
+        /// Cell (column) index.
+        cell: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// A device row does not sum to one.
+    RowSumNotOne {
+        /// Device (row) index.
+        device: usize,
+        /// The actual sum.
+        sum: f64,
+    },
+    /// The delay bound is zero.
+    ZeroDelay,
+    /// The delay bound exceeds the number of cells (a strategy must have
+    /// non-empty groups, so `d <= c`).
+    DelayExceedsCells {
+        /// Requested delay.
+        delay: usize,
+        /// Number of cells.
+        cells: usize,
+    },
+    /// A strategy group is empty.
+    EmptyGroup {
+        /// Index (0-based round) of the empty group.
+        round: usize,
+    },
+    /// A strategy pages a cell index outside the instance.
+    CellOutOfRange {
+        /// The offending cell index.
+        cell: usize,
+        /// Number of cells in the instance.
+        cells: usize,
+    },
+    /// A strategy pages the same cell twice.
+    DuplicateCell {
+        /// The duplicated cell index.
+        cell: usize,
+    },
+    /// A strategy does not cover every cell.
+    MissingCell {
+        /// The first uncovered cell index.
+        cell: usize,
+    },
+    /// The strategy and instance disagree on the number of cells.
+    StrategyInstanceMismatch {
+        /// Cells covered by the strategy.
+        strategy_cells: usize,
+        /// Cells in the instance.
+        instance_cells: usize,
+    },
+    /// A per-round bandwidth bound makes the problem infeasible
+    /// (`d * b < c`).
+    InfeasibleBandwidth {
+        /// The per-round bound.
+        bandwidth: usize,
+        /// Rounds allowed.
+        delay: usize,
+        /// Cells to cover.
+        cells: usize,
+    },
+    /// The signature threshold `k` is zero or exceeds the number of
+    /// devices.
+    InvalidSignatureThreshold {
+        /// Requested threshold.
+        k: usize,
+        /// Number of devices.
+        devices: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::NoDevices => write!(f, "instance has no devices"),
+            Error::NoCells => write!(f, "instance has no cells"),
+            Error::RaggedRows {
+                device,
+                found,
+                expected,
+            } => write!(
+                f,
+                "device {device} has {found} cells but expected {expected}"
+            ),
+            Error::InvalidProbability {
+                device,
+                cell,
+                value,
+            } => write!(
+                f,
+                "invalid probability {value} for device {device} in cell {cell}"
+            ),
+            Error::RowSumNotOne { device, sum } => {
+                write!(f, "device {device} probabilities sum to {sum}, not 1")
+            }
+            Error::ZeroDelay => write!(f, "delay bound must be at least 1"),
+            Error::DelayExceedsCells { delay, cells } => {
+                write!(f, "delay {delay} exceeds the number of cells {cells}")
+            }
+            Error::EmptyGroup { round } => {
+                write!(f, "strategy group for round {round} is empty")
+            }
+            Error::CellOutOfRange { cell, cells } => {
+                write!(f, "cell index {cell} out of range for {cells} cells")
+            }
+            Error::DuplicateCell { cell } => {
+                write!(f, "cell {cell} appears in more than one group")
+            }
+            Error::MissingCell { cell } => {
+                write!(f, "cell {cell} is not paged by any group")
+            }
+            Error::StrategyInstanceMismatch {
+                strategy_cells,
+                instance_cells,
+            } => write!(
+                f,
+                "strategy covers {strategy_cells} cells but instance has {instance_cells}"
+            ),
+            Error::InfeasibleBandwidth {
+                bandwidth,
+                delay,
+                cells,
+            } => write!(
+                f,
+                "bandwidth {bandwidth} x delay {delay} cannot cover {cells} cells"
+            ),
+            Error::InvalidSignatureThreshold { k, devices } => {
+                write!(f, "signature threshold {k} invalid for {devices} devices")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Crate-wide result alias.
+pub type Result<T> = core::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_meaningfully() {
+        let cases: Vec<(Error, &str)> = vec![
+            (Error::NoDevices, "no devices"),
+            (Error::NoCells, "no cells"),
+            (Error::ZeroDelay, "at least 1"),
+            (
+                Error::RowSumNotOne {
+                    device: 3,
+                    sum: 0.5,
+                },
+                "sum to 0.5",
+            ),
+            (Error::EmptyGroup { round: 2 }, "round 2"),
+            (Error::DuplicateCell { cell: 4 }, "cell 4"),
+            (
+                Error::InfeasibleBandwidth {
+                    bandwidth: 2,
+                    delay: 3,
+                    cells: 10,
+                },
+                "cannot cover 10",
+            ),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_std_error<E: std::error::Error + Send + Sync + 'static>(_: E) {}
+        takes_std_error(Error::NoCells);
+    }
+}

@@ -1,0 +1,517 @@
+//! Conference Call problem instances.
+//!
+//! An instance is an `m × c` matrix of location probabilities: entry
+//! `(i, j)` is the probability that mobile device `i` currently resides in
+//! cell `j`. Rows sum to one and devices are independent (Section 1.2 of
+//! the paper). Two representations are provided: [`Instance`] over `f64`
+//! for planning and experiments, and [`ExactInstance`] over [`Ratio`] for
+//! the hardness reductions and certified comparisons.
+
+use crate::error::{Error, Result};
+use rational::Ratio;
+
+/// Tolerance for `f64` row sums: a row must sum to `1 ± ROW_SUM_TOL`.
+pub const ROW_SUM_TOL: f64 = 1e-6;
+
+/// A maximum paging delay: the number of rounds `d`, with `1 <= d`.
+///
+/// The paper constrains `d <= c`; that is validated against a concrete
+/// instance when a strategy is constructed (groups must be non-empty).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Delay(usize);
+
+impl Delay {
+    /// Creates a delay bound.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ZeroDelay`] when `d == 0`.
+    pub fn new(d: usize) -> Result<Delay> {
+        if d == 0 {
+            return Err(Error::ZeroDelay);
+        }
+        Ok(Delay(d))
+    }
+
+    /// The bound as a plain integer.
+    #[must_use]
+    pub fn get(self) -> usize {
+        self.0
+    }
+
+    /// Clamps the delay to at most `cells` (a strategy cannot have more
+    /// non-empty groups than cells).
+    #[must_use]
+    pub fn clamp_to_cells(self, cells: usize) -> Delay {
+        Delay(self.0.min(cells.max(1)))
+    }
+}
+
+impl core::fmt::Display for Delay {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A Conference Call instance over `f64` probabilities.
+///
+/// # Examples
+///
+/// ```
+/// use pager_core::Instance;
+///
+/// let inst = Instance::from_rows(vec![
+///     vec![0.5, 0.3, 0.2],
+///     vec![0.2, 0.2, 0.6],
+/// ])?;
+/// assert_eq!(inst.num_devices(), 2);
+/// assert_eq!(inst.num_cells(), 3);
+/// assert!((inst.cell_weight(0) - 0.7).abs() < 1e-12);
+/// # Ok::<(), pager_core::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instance {
+    /// `rows[i][j]` = probability device `i` is in cell `j`.
+    rows: Vec<Vec<f64>>,
+}
+
+impl Instance {
+    /// Builds an instance from per-device probability rows.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::NoDevices`] / [`Error::NoCells`] for empty input;
+    /// * [`Error::RaggedRows`] if rows have different lengths;
+    /// * [`Error::InvalidProbability`] for negative, NaN or infinite
+    ///   entries (zero is allowed — the Section 4.3 instance uses zeros);
+    /// * [`Error::RowSumNotOne`] if a row does not sum to `1 ± 1e-6`.
+    pub fn from_rows(rows: Vec<Vec<f64>>) -> Result<Instance> {
+        if rows.is_empty() {
+            return Err(Error::NoDevices);
+        }
+        let c = rows[0].len();
+        if c == 0 {
+            return Err(Error::NoCells);
+        }
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != c {
+                return Err(Error::RaggedRows {
+                    device: i,
+                    found: row.len(),
+                    expected: c,
+                });
+            }
+            let mut sum = 0.0;
+            for (j, &p) in row.iter().enumerate() {
+                if !p.is_finite() || p < 0.0 {
+                    return Err(Error::InvalidProbability {
+                        device: i,
+                        cell: j,
+                        value: p,
+                    });
+                }
+                sum += p;
+            }
+            if (sum - 1.0).abs() > ROW_SUM_TOL {
+                return Err(Error::RowSumNotOne { device: i, sum });
+            }
+        }
+        Ok(Instance { rows })
+    }
+
+    /// Builds a single-device instance.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Instance::from_rows`].
+    pub fn single_device(probs: Vec<f64>) -> Result<Instance> {
+        Instance::from_rows(vec![probs])
+    }
+
+    /// The uniform instance: `m` devices, each uniform over `c` cells.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `m == 0` or `c == 0`.
+    pub fn uniform(m: usize, c: usize) -> Result<Instance> {
+        if m == 0 {
+            return Err(Error::NoDevices);
+        }
+        if c == 0 {
+            return Err(Error::NoCells);
+        }
+        let p = 1.0 / c as f64;
+        Ok(Instance {
+            rows: vec![vec![p; c]; m],
+        })
+    }
+
+    /// Number of mobile devices `m`.
+    #[must_use]
+    pub fn num_devices(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of cells `c`.
+    #[must_use]
+    pub fn num_cells(&self) -> usize {
+        self.rows[0].len()
+    }
+
+    /// Probability that device `i` is in cell `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` are out of range.
+    #[must_use]
+    pub fn prob(&self, device: usize, cell: usize) -> f64 {
+        self.rows[device][cell]
+    }
+
+    /// The probability row of one device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` is out of range.
+    #[must_use]
+    pub fn device_row(&self, device: usize) -> &[f64] {
+        &self.rows[device]
+    }
+
+    /// Iterates over device rows.
+    pub fn rows(&self) -> impl Iterator<Item = &[f64]> {
+        self.rows.iter().map(Vec::as_slice)
+    }
+
+    /// The *expected number of devices* in cell `j`:
+    /// `Σ_i p[i][j]` — the sort key of the Section 4 heuristic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range.
+    #[must_use]
+    pub fn cell_weight(&self, cell: usize) -> f64 {
+        self.rows.iter().map(|r| r[cell]).sum()
+    }
+
+    /// All cell weights.
+    #[must_use]
+    pub fn cell_weights(&self) -> Vec<f64> {
+        (0..self.num_cells()).map(|j| self.cell_weight(j)).collect()
+    }
+
+    /// Cells sorted by non-increasing weight, ties broken by cell index
+    /// (the heuristic's paging order).
+    #[must_use]
+    pub fn cells_by_weight_desc(&self) -> Vec<usize> {
+        let w = self.cell_weights();
+        let mut order: Vec<usize> = (0..self.num_cells()).collect();
+        order.sort_by(|&a, &b| {
+            w[b].partial_cmp(&w[a])
+                .unwrap_or(core::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        order
+    }
+
+    /// Converts to an exact instance. Each `f64` becomes the dyadic
+    /// rational it represents, then the row is renormalised by its exact
+    /// sum so rows sum to exactly one.
+    #[must_use]
+    pub fn to_exact(&self) -> ExactInstance {
+        let rows = self
+            .rows
+            .iter()
+            .map(|row| {
+                let exact: Vec<Ratio> = row
+                    .iter()
+                    .map(|&p| Ratio::from_f64(p).expect("validated probability is finite"))
+                    .collect();
+                let sum: Ratio = exact.iter().sum();
+                exact.into_iter().map(|p| &p / &sum).collect()
+            })
+            .collect();
+        ExactInstance { rows }
+    }
+}
+
+/// A Conference Call instance over exact rationals.
+///
+/// Used by the NP-hardness reductions (Section 3) and the Section 4.3
+/// lower-bound certification, where `f64` rounding could flip a
+/// comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExactInstance {
+    rows: Vec<Vec<Ratio>>,
+}
+
+impl ExactInstance {
+    /// Builds an exact instance from rational rows.
+    ///
+    /// # Errors
+    ///
+    /// Mirrors [`Instance::from_rows`], but row sums must equal one
+    /// **exactly** and entries must be non-negative.
+    pub fn from_rows(rows: Vec<Vec<Ratio>>) -> Result<ExactInstance> {
+        if rows.is_empty() {
+            return Err(Error::NoDevices);
+        }
+        let c = rows[0].len();
+        if c == 0 {
+            return Err(Error::NoCells);
+        }
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != c {
+                return Err(Error::RaggedRows {
+                    device: i,
+                    found: row.len(),
+                    expected: c,
+                });
+            }
+            for (j, p) in row.iter().enumerate() {
+                if p.is_negative() {
+                    return Err(Error::InvalidProbability {
+                        device: i,
+                        cell: j,
+                        value: p.to_f64(),
+                    });
+                }
+            }
+            let sum: Ratio = row.iter().sum();
+            if sum != Ratio::one() {
+                return Err(Error::RowSumNotOne {
+                    device: i,
+                    sum: sum.to_f64(),
+                });
+            }
+        }
+        Ok(ExactInstance { rows })
+    }
+
+    /// Number of mobile devices `m`.
+    #[must_use]
+    pub fn num_devices(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of cells `c`.
+    #[must_use]
+    pub fn num_cells(&self) -> usize {
+        self.rows[0].len()
+    }
+
+    /// Probability that device `i` is in cell `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range.
+    #[must_use]
+    pub fn prob(&self, device: usize, cell: usize) -> &Ratio {
+        &self.rows[device][cell]
+    }
+
+    /// Iterates over device rows.
+    pub fn rows(&self) -> impl Iterator<Item = &[Ratio]> {
+        self.rows.iter().map(Vec::as_slice)
+    }
+
+    /// Exact cell weight `Σ_i p[i][j]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range.
+    #[must_use]
+    pub fn cell_weight(&self, cell: usize) -> Ratio {
+        self.rows.iter().map(|r| &r[cell]).sum()
+    }
+
+    /// Cells sorted by non-increasing exact weight, ties broken by index.
+    #[must_use]
+    pub fn cells_by_weight_desc(&self) -> Vec<usize> {
+        let w: Vec<Ratio> = (0..self.num_cells()).map(|j| self.cell_weight(j)).collect();
+        let mut order: Vec<usize> = (0..self.num_cells()).collect();
+        order.sort_by(|&a, &b| w[b].cmp(&w[a]).then(a.cmp(&b)));
+        order
+    }
+
+    /// Converts to a floating-point instance (renormalising rounding
+    /// error away).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rounded rows fail `f64` validation, which cannot
+    /// happen for a valid exact instance.
+    #[must_use]
+    pub fn to_f64(&self) -> Instance {
+        let rows: Vec<Vec<f64>> = self
+            .rows
+            .iter()
+            .map(|row| {
+                let mut v: Vec<f64> = row.iter().map(Ratio::to_f64).collect();
+                let s: f64 = v.iter().sum();
+                for p in &mut v {
+                    *p /= s;
+                }
+                v
+            })
+            .collect();
+        Instance::from_rows(rows).expect("exact instance converts to a valid f64 instance")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_validation() {
+        assert_eq!(Delay::new(0), Err(Error::ZeroDelay));
+        assert_eq!(Delay::new(3).unwrap().get(), 3);
+        assert_eq!(Delay::new(9).unwrap().clamp_to_cells(4).get(), 4);
+        assert_eq!(Delay::new(2).unwrap().clamp_to_cells(4).get(), 2);
+        assert_eq!(Delay::new(2).unwrap().to_string(), "2");
+    }
+
+    #[test]
+    fn valid_instance() {
+        let inst = Instance::from_rows(vec![vec![0.5, 0.5], vec![0.1, 0.9]]).unwrap();
+        assert_eq!(inst.num_devices(), 2);
+        assert_eq!(inst.num_cells(), 2);
+        assert!((inst.prob(1, 1) - 0.9).abs() < 1e-15);
+        assert!((inst.cell_weight(0) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(Instance::from_rows(vec![]), Err(Error::NoDevices));
+        assert_eq!(Instance::from_rows(vec![vec![]]), Err(Error::NoCells));
+        assert_eq!(Instance::uniform(0, 3).unwrap_err(), Error::NoDevices);
+        assert_eq!(Instance::uniform(3, 0).unwrap_err(), Error::NoCells);
+    }
+
+    #[test]
+    fn rejects_ragged() {
+        let err = Instance::from_rows(vec![vec![1.0], vec![0.5, 0.5]]).unwrap_err();
+        assert_eq!(
+            err,
+            Error::RaggedRows {
+                device: 1,
+                found: 2,
+                expected: 1
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_bad_probabilities() {
+        assert!(matches!(
+            Instance::from_rows(vec![vec![-0.1, 1.1]]).unwrap_err(),
+            Error::InvalidProbability { device: 0, cell: 0, .. }
+        ));
+        assert!(matches!(
+            Instance::from_rows(vec![vec![f64::NAN, 0.5]]).unwrap_err(),
+            Error::InvalidProbability { .. }
+        ));
+        assert!(matches!(
+            Instance::from_rows(vec![vec![0.5, f64::INFINITY]]).unwrap_err(),
+            Error::InvalidProbability { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_row_sum() {
+        assert!(matches!(
+            Instance::from_rows(vec![vec![0.5, 0.4]]).unwrap_err(),
+            Error::RowSumNotOne { device: 0, .. }
+        ));
+        assert!(matches!(
+            Instance::from_rows(vec![vec![0.5, 0.5], vec![0.9, 0.2]]).unwrap_err(),
+            Error::RowSumNotOne { device: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn zero_probability_is_allowed() {
+        // Section 4.3's instance has zero entries.
+        let inst = Instance::from_rows(vec![vec![0.0, 1.0]]).unwrap();
+        assert_eq!(inst.prob(0, 0), 0.0);
+    }
+
+    #[test]
+    fn uniform_weights() {
+        let inst = Instance::uniform(3, 4).unwrap();
+        for j in 0..4 {
+            assert!((inst.cell_weight(j) - 0.75).abs() < 1e-12);
+        }
+        assert_eq!(inst.cells_by_weight_desc(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn weight_order_breaks_ties_by_index() {
+        let inst = Instance::from_rows(vec![
+            vec![0.1, 0.4, 0.1, 0.4],
+            vec![0.4, 0.1, 0.4, 0.1],
+        ])
+        .unwrap();
+        // All cell weights are 0.5: order must be 0,1,2,3.
+        assert_eq!(inst.cells_by_weight_desc(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn weight_order_sorts_desc() {
+        let inst = Instance::from_rows(vec![vec![0.1, 0.6, 0.3]]).unwrap();
+        assert_eq!(inst.cells_by_weight_desc(), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn exact_round_trip() {
+        let exact = ExactInstance::from_rows(vec![vec![
+            Ratio::from_fraction(2, 7),
+            Ratio::from_fraction(5, 7),
+        ]])
+        .unwrap();
+        let f = exact.to_f64();
+        assert!((f.prob(0, 0) - 2.0 / 7.0).abs() < 1e-15);
+        let back = f.to_exact();
+        // 2/7 is not dyadic, so the round trip is approximate but
+        // renormalised: rows still sum to exactly 1.
+        let sum: Ratio = back.rows().next().unwrap().iter().sum();
+        assert_eq!(sum, Ratio::one());
+    }
+
+    #[test]
+    fn exact_rejects_bad_rows() {
+        assert!(matches!(
+            ExactInstance::from_rows(vec![vec![Ratio::from_fraction(1, 2)]]).unwrap_err(),
+            Error::RowSumNotOne { .. }
+        ));
+        assert!(matches!(
+            ExactInstance::from_rows(vec![vec![
+                Ratio::from_fraction(-1, 2),
+                Ratio::from_fraction(3, 2)
+            ]])
+            .unwrap_err(),
+            Error::InvalidProbability { .. }
+        ));
+        assert_eq!(ExactInstance::from_rows(vec![]), Err(Error::NoDevices));
+    }
+
+    #[test]
+    fn exact_cell_weight_orders() {
+        let exact = ExactInstance::from_rows(vec![
+            vec![Ratio::from_fraction(1, 3), Ratio::from_fraction(2, 3)],
+            vec![Ratio::from_fraction(1, 2), Ratio::from_fraction(1, 2)],
+        ])
+        .unwrap();
+        assert_eq!(exact.cell_weight(1), Ratio::from_fraction(7, 6));
+        assert_eq!(exact.cells_by_weight_desc(), vec![1, 0]);
+    }
+
+    #[test]
+    fn instance_to_exact_renormalises() {
+        let inst = Instance::from_rows(vec![vec![1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0]]).unwrap();
+        let exact = inst.to_exact();
+        let sum: Ratio = exact.rows().next().unwrap().iter().sum();
+        assert_eq!(sum, Ratio::one());
+    }
+}

@@ -1,0 +1,113 @@
+//! Optional Serde support (`feature = "serde"`).
+//!
+//! All types serialise through their natural data representation and
+//! deserialise through their validating constructors, so invalid
+//! payloads (rows not summing to one, non-partition strategies, zero
+//! delays) are rejected at the boundary.
+
+use crate::instance::{Delay, ExactInstance, Instance};
+use crate::strategy::Strategy;
+use rational::Ratio;
+use serde::de::Error as _;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+impl Serialize for Delay {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_u64(self.get() as u64)
+    }
+}
+
+impl<'de> Deserialize<'de> for Delay {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Delay, D::Error> {
+        let raw = u64::deserialize(deserializer)?;
+        let raw = usize::try_from(raw).map_err(D::Error::custom)?;
+        Delay::new(raw).map_err(D::Error::custom)
+    }
+}
+
+impl Serialize for Strategy {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.groups().serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for Strategy {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Strategy, D::Error> {
+        let groups = Vec::<Vec<usize>>::deserialize(deserializer)?;
+        Strategy::new(groups).map_err(D::Error::custom)
+    }
+}
+
+impl Serialize for Instance {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let rows: Vec<&[f64]> = self.rows().collect();
+        rows.serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for Instance {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Instance, D::Error> {
+        let rows = Vec::<Vec<f64>>::deserialize(deserializer)?;
+        Instance::from_rows(rows).map_err(D::Error::custom)
+    }
+}
+
+impl Serialize for ExactInstance {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let rows: Vec<&[Ratio]> = self.rows().collect();
+        rows.serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for ExactInstance {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<ExactInstance, D::Error> {
+        let rows = Vec::<Vec<Ratio>>::deserialize(deserializer)?;
+        ExactInstance::from_rows(rows).map_err(D::Error::custom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_round_trip() {
+        let d = Delay::new(4).unwrap();
+        let json = serde_json::to_string(&d).unwrap();
+        assert_eq!(json, "4");
+        let back: Delay = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, d);
+        assert!(serde_json::from_str::<Delay>("0").is_err());
+    }
+
+    #[test]
+    fn strategy_round_trip() {
+        let s = Strategy::new(vec![vec![2, 0], vec![1, 3]]).unwrap();
+        let json = serde_json::to_string(&s).unwrap();
+        assert_eq!(json, "[[2,0],[1,3]]");
+        let back: Strategy = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+        // Non-partitions rejected at the boundary.
+        assert!(serde_json::from_str::<Strategy>("[[0,0]]").is_err());
+        assert!(serde_json::from_str::<Strategy>("[[0],[2]]").is_err());
+    }
+
+    #[test]
+    fn instance_round_trip() {
+        let inst = Instance::from_rows(vec![vec![0.25, 0.75], vec![0.5, 0.5]]).unwrap();
+        let json = serde_json::to_string(&inst).unwrap();
+        let back: Instance = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, inst);
+        assert!(serde_json::from_str::<Instance>("[[0.5,0.4]]").is_err());
+    }
+
+    #[test]
+    fn exact_instance_round_trip() {
+        let inst = crate::lower_bound_instance::instance_exact();
+        let json = serde_json::to_string(&inst).unwrap();
+        assert!(json.contains("\"2/7\""), "{json}");
+        let back: ExactInstance = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, inst);
+        assert!(serde_json::from_str::<ExactInstance>("[[\"1/2\",\"1/3\"]]").is_err());
+    }
+}

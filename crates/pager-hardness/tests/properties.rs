@@ -1,0 +1,72 @@
+//! Property-based tests for the hardness pipeline.
+
+use pager_hardness::partition::PartitionInstance;
+use pager_hardness::quasipartition::{reduce_partition, Qp1Instance, Qp2Params};
+use pager_hardness::reduction::verify_reduction;
+use proptest::prelude::*;
+use rational::Ratio;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The two Partition solvers agree, and witnesses verify.
+    #[test]
+    fn partition_solvers_agree(sizes in proptest::collection::vec(1u64..40, 2..12)) {
+        let sizes = if sizes.len() % 2 == 0 { sizes } else {
+            let mut s = sizes; s.pop(); s
+        };
+        let inst = PartitionInstance::new(sizes).unwrap();
+        let dp = inst.decide_dp();
+        let witness = inst.solve();
+        prop_assert_eq!(dp, witness.is_some());
+        if let Some(w) = witness {
+            prop_assert!(inst.verify(&w));
+        }
+    }
+
+    /// The Lemma 3.2 equivalence holds on random Quasipartition1
+    /// instances: the exact two-round optimum equals the analytic LB
+    /// iff a quasipartition exists.
+    #[test]
+    fn lemma_3_2_equivalence(sizes in proptest::collection::vec(1u64..10, 6..7)) {
+        let qp1 = Qp1Instance::new(sizes);
+        if let Ok(verdict) = verify_reduction(&qp1) {
+            prop_assert!(verdict.equivalence_holds(), "{verdict:?}");
+            prop_assert!(verdict.optimal_ep >= verdict.lb);
+        }
+    }
+
+    /// The Lemma 3.7 reduction preserves the Partition answer through
+    /// Quasipartition2 (brute-force checked).
+    #[test]
+    fn lemma_3_7_preserves_answers(sizes in proptest::collection::vec(1u64..12, 4..5)) {
+        let inst = PartitionInstance::new(sizes).unwrap();
+        let qp2 = reduce_partition(&inst, &Qp2Params::quasipartition1());
+        prop_assert_eq!(inst.decide_dp(), qp2.solve_brute().is_some());
+        // Structure: total mass 1, target half.
+        prop_assert_eq!(qp2.total(), Ratio::one());
+        prop_assert_eq!(qp2.target_sum(), Ratio::from_fraction(1, 2));
+    }
+
+    /// Transformed Conference Call instances are valid (positive rows
+    /// summing exactly to one) whenever the preconditions hold.
+    #[test]
+    fn lemma_3_2_instances_valid(sizes in proptest::collection::vec(0u64..15, 6..10)) {
+        // Round length down to a multiple of 3.
+        let keep = sizes.len() - sizes.len() % 3;
+        if keep < 3 { return Ok(()); }
+        let qp1 = Qp1Instance::new(sizes[..keep].to_vec());
+        if let Ok(reduction) =
+            pager_hardness::quasipartition1_to_conference_call(&qp1)
+        {
+            for r in reduction.instance.rows() {
+                let sum: Ratio = r.iter().sum();
+                prop_assert_eq!(sum, Ratio::one());
+                for p in r {
+                    prop_assert!(p.is_positive());
+                }
+            }
+            prop_assert!(reduction.lb < Ratio::from(keep as u64));
+        }
+    }
+}

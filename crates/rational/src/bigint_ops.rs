@@ -1,0 +1,641 @@
+//! Arithmetic on [`BigInt`]: addition, subtraction, multiplication
+//! (schoolbook with a Karatsuba path for large operands), division with
+//! remainder (Knuth Algorithm D), shifts, exponentiation and GCD.
+
+use crate::bigint::{BigInt, Sign};
+use core::cmp::Ordering;
+use core::ops::{Add, Div, Mul, Neg, Rem, Shl, Shr, Sub};
+
+const BASE_BITS: u32 = 32;
+/// Operand size (in limbs) above which multiplication switches to Karatsuba.
+const KARATSUBA_THRESHOLD: usize = 32;
+
+// ---------------------------------------------------------------------------
+// magnitude helpers
+// ---------------------------------------------------------------------------
+
+/// `a + b` on magnitudes.
+fn mag_add(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let mut out = Vec::with_capacity(long.len() + 1);
+    let mut carry = 0u64;
+    for i in 0..long.len() {
+        let sum = u64::from(long[i]) + u64::from(short.get(i).copied().unwrap_or(0)) + carry;
+        out.push(sum as u32);
+        carry = sum >> BASE_BITS;
+    }
+    if carry != 0 {
+        out.push(carry as u32);
+    }
+    out
+}
+
+/// `a - b` on magnitudes; requires `a >= b`.
+fn mag_sub(a: &[u32], b: &[u32]) -> Vec<u32> {
+    debug_assert!(BigInt::cmp_mag(a, b) != Ordering::Less);
+    let mut out = Vec::with_capacity(a.len());
+    let mut borrow = 0i64;
+    for i in 0..a.len() {
+        let diff = i64::from(a[i]) - i64::from(b.get(i).copied().unwrap_or(0)) - borrow;
+        if diff < 0 {
+            out.push((diff + (1i64 << BASE_BITS)) as u32);
+            borrow = 1;
+        } else {
+            out.push(diff as u32);
+            borrow = 0;
+        }
+    }
+    debug_assert_eq!(borrow, 0);
+    while out.last() == Some(&0) {
+        out.pop();
+    }
+    out
+}
+
+/// Schoolbook `a * b` on magnitudes.
+fn mag_mul_schoolbook(a: &[u32], b: &[u32]) -> Vec<u32> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![0u32; a.len() + b.len()];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        let mut carry = 0u64;
+        let ai = u64::from(ai);
+        for (j, &bj) in b.iter().enumerate() {
+            let t = ai * u64::from(bj) + u64::from(out[i + j]) + carry;
+            out[i + j] = t as u32;
+            carry = t >> BASE_BITS;
+        }
+        let mut k = i + b.len();
+        while carry != 0 {
+            let t = u64::from(out[k]) + carry;
+            out[k] = t as u32;
+            carry = t >> BASE_BITS;
+            k += 1;
+        }
+    }
+    while out.last() == Some(&0) {
+        out.pop();
+    }
+    out
+}
+
+/// Karatsuba `a * b` on magnitudes, recursing until the schoolbook
+/// threshold.
+fn mag_mul(a: &[u32], b: &[u32]) -> Vec<u32> {
+    if a.len().min(b.len()) < KARATSUBA_THRESHOLD {
+        return mag_mul_schoolbook(a, b);
+    }
+    let split = a.len().max(b.len()) / 2;
+    let (a0, a1) = a.split_at(split.min(a.len()));
+    let (b0, b1) = b.split_at(split.min(b.len()));
+    // a = a1*B^s + a0, b = b1*B^s + b0
+    let z0 = mag_mul(a0, b0);
+    let z2 = mag_mul(a1, b1);
+    let a01 = mag_add(a0, a1);
+    let b01 = mag_add(b0, b1);
+    let z1 = mag_sub(&mag_sub(&mag_mul(&a01, &b01), &z2), &z0);
+    // result = z2*B^(2s) + z1*B^s + z0
+    let mut out = z0;
+    add_shifted(&mut out, &z1, split);
+    add_shifted(&mut out, &z2, 2 * split);
+    while out.last() == Some(&0) {
+        out.pop();
+    }
+    out
+}
+
+/// `acc += other << (limbs * 32)` on magnitudes.
+fn add_shifted(acc: &mut Vec<u32>, other: &[u32], limbs: usize) {
+    if other.is_empty() {
+        return;
+    }
+    if acc.len() < limbs + other.len() {
+        acc.resize(limbs + other.len(), 0);
+    }
+    let mut carry = 0u64;
+    for (i, &o) in other.iter().enumerate() {
+        let t = u64::from(acc[limbs + i]) + u64::from(o) + carry;
+        acc[limbs + i] = t as u32;
+        carry = t >> BASE_BITS;
+    }
+    let mut k = limbs + other.len();
+    while carry != 0 {
+        if k == acc.len() {
+            acc.push(0);
+        }
+        let t = u64::from(acc[k]) + carry;
+        acc[k] = t as u32;
+        carry = t >> BASE_BITS;
+        k += 1;
+    }
+}
+
+/// Left-shifts a magnitude by `bits`.
+fn mag_shl(a: &[u32], bits: u64) -> Vec<u32> {
+    if a.is_empty() {
+        return Vec::new();
+    }
+    let limb_shift = (bits / 32) as usize;
+    let bit_shift = (bits % 32) as u32;
+    let mut out = vec![0u32; limb_shift];
+    if bit_shift == 0 {
+        out.extend_from_slice(a);
+    } else {
+        let mut carry = 0u32;
+        for &limb in a {
+            out.push((limb << bit_shift) | carry);
+            carry = limb >> (32 - bit_shift);
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+    }
+    while out.last() == Some(&0) {
+        out.pop();
+    }
+    out
+}
+
+/// Right-shifts a magnitude by `bits` (arithmetic on the magnitude).
+fn mag_shr(a: &[u32], bits: u64) -> Vec<u32> {
+    let limb_shift = (bits / 32) as usize;
+    if limb_shift >= a.len() {
+        return Vec::new();
+    }
+    let bit_shift = (bits % 32) as u32;
+    let mut out = Vec::with_capacity(a.len() - limb_shift);
+    if bit_shift == 0 {
+        out.extend_from_slice(&a[limb_shift..]);
+    } else {
+        let body = &a[limb_shift..];
+        for i in 0..body.len() {
+            let high = body.get(i + 1).copied().unwrap_or(0);
+            out.push((body[i] >> bit_shift) | (high << (32 - bit_shift)));
+        }
+    }
+    while out.last() == Some(&0) {
+        out.pop();
+    }
+    out
+}
+
+/// Divides a magnitude by a single limb; returns (quotient, remainder).
+fn mag_divrem_limb(a: &[u32], d: u32) -> (Vec<u32>, u32) {
+    debug_assert!(d != 0);
+    let mut quot = vec![0u32; a.len()];
+    let mut rem = 0u64;
+    for i in (0..a.len()).rev() {
+        let cur = (rem << BASE_BITS) | u64::from(a[i]);
+        quot[i] = (cur / u64::from(d)) as u32;
+        rem = cur % u64::from(d);
+    }
+    while quot.last() == Some(&0) {
+        quot.pop();
+    }
+    (quot, rem as u32)
+}
+
+/// Knuth Algorithm D: divides magnitudes, returning (quotient, remainder).
+///
+/// Requires `b` non-empty. Handles the single-limb divisor fast path.
+fn mag_divrem(a: &[u32], b: &[u32]) -> (Vec<u32>, Vec<u32>) {
+    assert!(!b.is_empty(), "division by zero magnitude");
+    match BigInt::cmp_mag(a, b) {
+        Ordering::Less => return (Vec::new(), a.to_vec()),
+        Ordering::Equal => return (vec![1], Vec::new()),
+        Ordering::Greater => {}
+    }
+    if b.len() == 1 {
+        let (q, r) = mag_divrem_limb(a, b[0]);
+        return (q, if r == 0 { Vec::new() } else { vec![r] });
+    }
+
+    // D1: normalise so the top limb of the divisor has its high bit set.
+    let shift = u64::from(b.last().unwrap().leading_zeros());
+    let u = mag_shl(a, shift);
+    let v = mag_shl(b, shift);
+    let n = v.len();
+    let m = u.len() - n;
+    let mut u = {
+        let mut t = u;
+        t.push(0); // u has m + n + 1 limbs
+        t
+    };
+    let v_hi = u64::from(v[n - 1]);
+    let v_lo = u64::from(v[n - 2]);
+    let mut q = vec![0u32; m + 1];
+
+    for j in (0..=m).rev() {
+        // D3: estimate q_hat from the top two limbs of the current window.
+        let top = (u64::from(u[j + n]) << BASE_BITS) | u64::from(u[j + n - 1]);
+        let mut q_hat = top / v_hi;
+        let mut r_hat = top % v_hi;
+        while q_hat >= (1u64 << BASE_BITS)
+            || q_hat * v_lo > ((r_hat << BASE_BITS) | u64::from(u[j + n - 2]))
+        {
+            q_hat -= 1;
+            r_hat += v_hi;
+            if r_hat >= (1u64 << BASE_BITS) {
+                break;
+            }
+        }
+        // D4: multiply-subtract q_hat * v from u[j .. j+n].
+        let mut borrow = 0i64;
+        let mut carry = 0u64;
+        for i in 0..n {
+            let prod = q_hat * u64::from(v[i]) + carry;
+            carry = prod >> BASE_BITS;
+            let sub = i64::from(u[j + i]) - i64::from(prod as u32) - borrow;
+            if sub < 0 {
+                u[j + i] = (sub + (1i64 << BASE_BITS)) as u32;
+                borrow = 1;
+            } else {
+                u[j + i] = sub as u32;
+                borrow = 0;
+            }
+        }
+        let sub = i64::from(u[j + n]) - i64::from(carry as u32) - borrow;
+        if sub < 0 {
+            // D6: q_hat was one too large — add back.
+            u[j + n] = (sub + (1i64 << BASE_BITS)) as u32;
+            q_hat -= 1;
+            let mut carry2 = 0u64;
+            for i in 0..n {
+                let t = u64::from(u[j + i]) + u64::from(v[i]) + carry2;
+                u[j + i] = t as u32;
+                carry2 = t >> BASE_BITS;
+            }
+            u[j + n] = (u64::from(u[j + n]) + carry2) as u32;
+        } else {
+            u[j + n] = sub as u32;
+        }
+        q[j] = q_hat as u32;
+    }
+
+    while q.last() == Some(&0) {
+        q.pop();
+    }
+    u.truncate(n);
+    let rem = mag_shr(&u, shift);
+    (q, rem)
+}
+
+// ---------------------------------------------------------------------------
+// signed operations on BigInt
+// ---------------------------------------------------------------------------
+
+impl BigInt {
+    fn add_signed(&self, other: &BigInt) -> BigInt {
+        match (self.sign, other.sign) {
+            (Sign::Zero, _) => other.clone(),
+            (_, Sign::Zero) => self.clone(),
+            (a, b) if a == b => BigInt::from_sign_mag(a, mag_add(&self.mag, &other.mag)),
+            _ => match BigInt::cmp_mag(&self.mag, &other.mag) {
+                Ordering::Equal => BigInt::zero(),
+                Ordering::Greater => {
+                    BigInt::from_sign_mag(self.sign, mag_sub(&self.mag, &other.mag))
+                }
+                Ordering::Less => {
+                    BigInt::from_sign_mag(other.sign, mag_sub(&other.mag, &self.mag))
+                }
+            },
+        }
+    }
+
+    fn mul_signed(&self, other: &BigInt) -> BigInt {
+        BigInt::from_sign_mag(self.sign.combine(other.sign), mag_mul(&self.mag, &other.mag))
+    }
+
+    /// Divides with remainder, truncating toward zero (like Rust's `/`
+    /// and `%` on primitives): `self = q * other + r` with
+    /// `|r| < |other|` and `r` sharing `self`'s sign.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` is zero.
+    #[must_use]
+    pub fn div_rem(&self, other: &BigInt) -> (BigInt, BigInt) {
+        assert!(!other.is_zero(), "BigInt division by zero");
+        let (q_mag, r_mag) = mag_divrem(&self.mag, &other.mag);
+        let q_sign = self.sign.combine(other.sign);
+        let q = BigInt::from_sign_mag(
+            if q_mag.is_empty() { Sign::Zero } else { q_sign },
+            q_mag,
+        );
+        let r = BigInt::from_sign_mag(
+            if r_mag.is_empty() { Sign::Zero } else { self.sign },
+            r_mag,
+        );
+        q.debug_check();
+        r.debug_check();
+        (q, r)
+    }
+
+    /// Greatest common divisor of the absolute values (always
+    /// non-negative; `gcd(0, x) = |x|`).
+    ///
+    /// ```
+    /// use rational::BigInt;
+    /// assert_eq!(BigInt::from(-12).gcd(&BigInt::from(18)), BigInt::from(6));
+    /// ```
+    #[must_use]
+    pub fn gcd(&self, other: &BigInt) -> BigInt {
+        let mut a = self.abs();
+        let mut b = other.abs();
+        while !b.is_zero() {
+            let r = a.div_rem(&b).1.abs();
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Raises to a non-negative integer power (square-and-multiply).
+    ///
+    /// `0^0 == 1` by convention.
+    ///
+    /// ```
+    /// use rational::BigInt;
+    /// assert_eq!(BigInt::from(3).pow(4), BigInt::from(81));
+    /// ```
+    #[must_use]
+    pub fn pow(&self, mut exp: u32) -> BigInt {
+        let mut base = self.clone();
+        let mut acc = BigInt::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = acc.mul_signed(&base);
+            }
+            exp >>= 1;
+            if exp > 0 {
+                base = base.mul_signed(&base);
+            }
+        }
+        acc
+    }
+
+    /// Multiplies by `2^bits`.
+    #[must_use]
+    pub fn shl_bits(&self, bits: u64) -> BigInt {
+        BigInt::from_sign_mag(self.sign, mag_shl(&self.mag, bits))
+    }
+
+    /// Divides by `2^bits`, truncating toward zero.
+    #[must_use]
+    pub fn shr_bits(&self, bits: u64) -> BigInt {
+        let mag = mag_shr(&self.mag, bits);
+        BigInt::from_sign_mag(if mag.is_empty() { Sign::Zero } else { self.sign }, mag)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// operator impls: by-ref is canonical; by-value forwards
+// ---------------------------------------------------------------------------
+
+macro_rules! forward_binop {
+    ($trait:ident, $method:ident) => {
+        impl $trait<BigInt> for BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: BigInt) -> BigInt {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $trait<&BigInt> for BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: &BigInt) -> BigInt {
+                (&self).$method(rhs)
+            }
+        }
+        impl $trait<BigInt> for &BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: BigInt) -> BigInt {
+                self.$method(&rhs)
+            }
+        }
+    };
+}
+
+impl Add<&BigInt> for &BigInt {
+    type Output = BigInt;
+    fn add(self, rhs: &BigInt) -> BigInt {
+        self.add_signed(rhs)
+    }
+}
+forward_binop!(Add, add);
+
+impl Sub<&BigInt> for &BigInt {
+    type Output = BigInt;
+    fn sub(self, rhs: &BigInt) -> BigInt {
+        self.add_signed(&(-rhs.clone()))
+    }
+}
+forward_binop!(Sub, sub);
+
+impl Mul<&BigInt> for &BigInt {
+    type Output = BigInt;
+    fn mul(self, rhs: &BigInt) -> BigInt {
+        self.mul_signed(rhs)
+    }
+}
+forward_binop!(Mul, mul);
+
+impl Div<&BigInt> for &BigInt {
+    type Output = BigInt;
+    fn div(self, rhs: &BigInt) -> BigInt {
+        self.div_rem(rhs).0
+    }
+}
+forward_binop!(Div, div);
+
+impl Rem<&BigInt> for &BigInt {
+    type Output = BigInt;
+    fn rem(self, rhs: &BigInt) -> BigInt {
+        self.div_rem(rhs).1
+    }
+}
+forward_binop!(Rem, rem);
+
+impl Neg for BigInt {
+    type Output = BigInt;
+    fn neg(mut self) -> BigInt {
+        self.sign = self.sign.negate();
+        self
+    }
+}
+
+impl Neg for &BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        -self.clone()
+    }
+}
+
+impl Shl<u64> for &BigInt {
+    type Output = BigInt;
+    fn shl(self, bits: u64) -> BigInt {
+        self.shl_bits(bits)
+    }
+}
+
+impl Shr<u64> for &BigInt {
+    type Output = BigInt;
+    fn shr(self, bits: u64) -> BigInt {
+        self.shr_bits(bits)
+    }
+}
+
+impl core::iter::Sum for BigInt {
+    fn sum<I: Iterator<Item = BigInt>>(iter: I) -> BigInt {
+        iter.fold(BigInt::zero(), |acc, x| &acc + &x)
+    }
+}
+
+impl<'a> core::iter::Sum<&'a BigInt> for BigInt {
+    fn sum<I: Iterator<Item = &'a BigInt>>(iter: I) -> BigInt {
+        iter.fold(BigInt::zero(), |acc, x| &acc + x)
+    }
+}
+
+impl core::iter::Product for BigInt {
+    fn product<I: Iterator<Item = BigInt>>(iter: I) -> BigInt {
+        iter.fold(BigInt::one(), |acc, x| &acc * &x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bi(v: i128) -> BigInt {
+        BigInt::from(v)
+    }
+
+    #[test]
+    fn add_sub_small() {
+        assert_eq!(bi(2) + bi(3), bi(5));
+        assert_eq!(bi(-2) + bi(3), bi(1));
+        assert_eq!(bi(2) + bi(-3), bi(-1));
+        assert_eq!(bi(-2) + bi(-3), bi(-5));
+        assert_eq!(bi(5) - bi(5), BigInt::zero());
+        assert_eq!(bi(0) + bi(0), BigInt::zero());
+    }
+
+    #[test]
+    fn add_carries_across_limbs() {
+        let a = BigInt::from(u64::MAX);
+        let one = BigInt::one();
+        let sum = &a + &one;
+        assert_eq!(sum.to_string(), "18446744073709551616");
+        assert_eq!(&sum - &one, a);
+    }
+
+    #[test]
+    fn mul_small_signs() {
+        assert_eq!(bi(6) * bi(7), bi(42));
+        assert_eq!(bi(-6) * bi(7), bi(-42));
+        assert_eq!(bi(-6) * bi(-7), bi(42));
+        assert_eq!(bi(6) * bi(0), BigInt::zero());
+    }
+
+    #[test]
+    fn mul_matches_i128() {
+        let cases: [(i128, i128); 6] = [
+            (123_456_789, 987_654_321),
+            (-1, i64::MAX as i128),
+            (i64::MAX as i128, i64::MAX as i128),
+            (u64::MAX as i128, i32::MAX as i128),
+            (0, 55),
+            (-33, -44),
+        ];
+        for (a, b) in cases {
+            assert_eq!(bi(a) * bi(b), bi(a * b), "{a} * {b}");
+        }
+    }
+
+    #[test]
+    fn karatsuba_agrees_with_schoolbook() {
+        // Operands big enough to trip the Karatsuba threshold.
+        let a: Vec<u32> = (1..=100u32).collect();
+        let b: Vec<u32> = (1..=90u32).map(|x| x.wrapping_mul(0x9E37_79B9)).collect();
+        let school = mag_mul_schoolbook(&a, &b);
+        let kara = mag_mul(&a, &b);
+        assert_eq!(school, kara);
+    }
+
+    #[test]
+    fn divrem_truncates_toward_zero() {
+        assert_eq!(bi(7).div_rem(&bi(2)), (bi(3), bi(1)));
+        assert_eq!(bi(-7).div_rem(&bi(2)), (bi(-3), bi(-1)));
+        assert_eq!(bi(7).div_rem(&bi(-2)), (bi(-3), bi(1)));
+        assert_eq!(bi(-7).div_rem(&bi(-2)), (bi(3), bi(-1)));
+    }
+
+    #[test]
+    fn divrem_reconstructs() {
+        let pairs: [(i128, i128); 5] = [
+            (i128::from(u64::MAX) * 7 + 5, 13),
+            (1 << 100, (1 << 40) + 3),
+            (999_999_999_999_999_999, 1_000_000_007),
+            (12, 1 << 90),
+            (-(1 << 100), (1 << 33) - 1),
+        ];
+        for (a, b) in pairs {
+            let (q, r) = bi(a).div_rem(&bi(b));
+            assert_eq!(&q * &bi(b) + &r, bi(a), "{a} / {b}");
+            assert!(r.abs() < bi(b).abs());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = bi(1).div_rem(&BigInt::zero());
+    }
+
+    #[test]
+    fn knuth_d_add_back_case() {
+        // Constructed to exercise the rare D6 add-back branch: the
+        // canonical trigger family from Knuth (base b = 2^32):
+        // u = [0, 0, 2^31], v = [1, 2^31].
+        let u = BigInt::from_sign_mag(Sign::Plus, vec![0, 0, 1 << 31]);
+        let v = BigInt::from_sign_mag(Sign::Plus, vec![1, 1 << 31]);
+        let (q, r) = u.div_rem(&v);
+        assert_eq!(&q * &v + &r, u);
+        assert!(r < v);
+    }
+
+    #[test]
+    fn gcd_matches_small() {
+        assert_eq!(bi(48).gcd(&bi(36)), bi(12));
+        assert_eq!(bi(-48).gcd(&bi(36)), bi(12));
+        assert_eq!(bi(0).gcd(&bi(5)), bi(5));
+        assert_eq!(bi(5).gcd(&bi(0)), bi(5));
+        let big = BigInt::from(10u8).pow(30);
+        assert_eq!(big.gcd(&(&big * &bi(7))), big);
+    }
+
+    #[test]
+    fn pow_and_shifts() {
+        assert_eq!(bi(2).pow(0), bi(1));
+        assert_eq!(bi(2).pow(10), bi(1024));
+        assert_eq!(bi(0).pow(0), bi(1));
+        assert_eq!(bi(10).pow(20).to_string(), "100000000000000000000");
+        assert_eq!(bi(1).shl_bits(100).shr_bits(100), bi(1));
+        assert_eq!(bi(5).shl_bits(3), bi(40));
+        assert_eq!(bi(-40).shr_bits(3), bi(-5));
+        assert_eq!(bi(1).shr_bits(1), bi(0));
+    }
+
+    #[test]
+    fn sum_product_iters() {
+        let xs = [bi(1), bi(2), bi(3), bi(4)];
+        let s: BigInt = xs.iter().sum();
+        assert_eq!(s, bi(10));
+        let p: BigInt = xs.into_iter().product();
+        assert_eq!(p, bi(24));
+    }
+}

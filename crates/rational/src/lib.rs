@@ -1,0 +1,118 @@
+//! Exact arbitrary-precision arithmetic: [`BigInt`] and [`Ratio`].
+//!
+//! This crate is the numerical substrate of the `conference-call` workspace.
+//! The NP-hardness reductions of Bar-Noy & Malewicz (Section 3 of the paper)
+//! distinguish expected-paging values that differ by `O(1/S^2)` where `S` is
+//! a sum of Partition sizes, and the Section 4.3 lower bound is the exact
+//! fraction `320/317`. Floating point cannot certify either, so the
+//! workspace computes expected paging exactly over the rationals.
+//!
+//! The crate is self-contained (no dependencies) and implements:
+//!
+//! * [`BigInt`] — sign-magnitude arbitrary-precision integers over `u32`
+//!   limbs, with schoolbook and Karatsuba multiplication, Knuth Algorithm D
+//!   division, binary GCD, exponentiation, radix-10 parsing and printing;
+//! * [`Ratio`] — always-normalised exact rationals with total ordering,
+//!   field arithmetic, exact conversion from `f64`, and rounding back.
+//!
+//! # Examples
+//!
+//! ```
+//! use rational::{BigInt, Ratio};
+//!
+//! let a = BigInt::from(10u32).pow(40);
+//! let b = &a + &BigInt::from(1u32);
+//! assert_eq!((&b - &a).to_string(), "1");
+//!
+//! // The Section 4.3 lower-bound ratio, exactly.
+//! let heuristic = Ratio::new(BigInt::from(320), BigInt::from(49));
+//! let optimal = Ratio::new(BigInt::from(317), BigInt::from(49));
+//! assert_eq!((&heuristic / &optimal).to_string(), "320/317");
+//! ```
+
+#![forbid(unsafe_code)]
+// Index-based loops are the clearer idiom in limb- and DP-style
+// arithmetic where several arrays are co-indexed.
+#![allow(clippy::needless_range_loop)]
+#![warn(missing_docs)]
+
+mod bigint;
+mod bigint_ops;
+mod convert;
+mod parse;
+mod ratio;
+#[cfg(feature = "serde")]
+mod serde_impls;
+
+pub use bigint::{BigInt, Sign};
+pub use parse::ParseBigIntError;
+pub use ratio::{ParseRatioError, Ratio};
+
+/// Computes the greatest common divisor of two non-negative `u64` values.
+///
+/// Used internally for limb-level fast paths; exposed because the workload
+/// and hardness crates need small-integer gcds too.
+///
+/// ```
+/// assert_eq!(rational::gcd_u64(12, 18), 6);
+/// assert_eq!(rational::gcd_u64(0, 7), 7);
+/// ```
+#[must_use]
+pub fn gcd_u64(mut a: u64, mut b: u64) -> u64 {
+    if a == 0 {
+        return b;
+    }
+    if b == 0 {
+        return a;
+    }
+    let shift = (a | b).trailing_zeros();
+    a >>= a.trailing_zeros();
+    loop {
+        b >>= b.trailing_zeros();
+        if a > b {
+            core::mem::swap(&mut a, &mut b);
+        }
+        b -= a;
+        if b == 0 {
+            return a << shift;
+        }
+    }
+}
+
+/// Computes the least common multiple of two `u64` values.
+///
+/// # Panics
+///
+/// Panics if the result overflows `u64`.
+///
+/// ```
+/// assert_eq!(rational::lcm_u64(4, 6), 12);
+/// ```
+#[must_use]
+pub fn lcm_u64(a: u64, b: u64) -> u64 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    a / gcd_u64(a, b) * b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd_u64(0, 0), 0);
+        assert_eq!(gcd_u64(1, 1), 1);
+        assert_eq!(gcd_u64(48, 36), 12);
+        assert_eq!(gcd_u64(17, 13), 1);
+        assert_eq!(gcd_u64(u64::MAX, u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn lcm_basics() {
+        assert_eq!(lcm_u64(0, 5), 0);
+        assert_eq!(lcm_u64(21, 6), 42);
+        assert_eq!(lcm_u64(7, 7), 7);
+    }
+}

@@ -1,0 +1,207 @@
+//! Radix-10 parsing and formatting for [`BigInt`].
+
+use crate::bigint::{BigInt, Sign};
+use core::fmt;
+use core::str::FromStr;
+
+/// Error returned when a string cannot be parsed as a [`BigInt`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBigIntError {
+    kind: ParseErrorKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ParseErrorKind {
+    Empty,
+    InvalidDigit(char),
+}
+
+impl fmt::Display for ParseBigIntError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            ParseErrorKind::Empty => write!(f, "cannot parse integer from empty string"),
+            ParseErrorKind::InvalidDigit(c) => {
+                write!(f, "invalid digit {c:?} in integer literal")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseBigIntError {}
+
+impl ParseBigIntError {
+    pub(crate) fn empty() -> Self {
+        ParseBigIntError {
+            kind: ParseErrorKind::Empty,
+        }
+    }
+
+    pub(crate) fn invalid(c: char) -> Self {
+        ParseBigIntError {
+            kind: ParseErrorKind::InvalidDigit(c),
+        }
+    }
+}
+
+/// 10^9 — the largest power of ten fitting a `u32` limb; parsing and
+/// printing work in blocks of nine decimal digits.
+const DEC_BLOCK: u32 = 1_000_000_000;
+const DEC_BLOCK_DIGITS: usize = 9;
+
+impl FromStr for BigInt {
+    type Err = ParseBigIntError;
+
+    /// Parses an optionally signed decimal integer. Underscores are
+    /// permitted between digits as visual separators, as in Rust literals.
+    fn from_str(s: &str) -> Result<BigInt, ParseBigIntError> {
+        let (sign, digits) = match s.as_bytes().first() {
+            None => return Err(ParseBigIntError::empty()),
+            Some(b'-') => (Sign::Minus, &s[1..]),
+            Some(b'+') => (Sign::Plus, &s[1..]),
+            Some(_) => (Sign::Plus, s),
+        };
+        if digits.is_empty() {
+            return Err(ParseBigIntError::empty());
+        }
+        let mut mag: Vec<u32> = Vec::new();
+        let mut block: u32 = 0;
+        let mut block_len = 0usize;
+        let mut any_digit = false;
+        // Accumulate left-to-right: value = value * 10^k + block.
+        let push_block = |mag: &mut Vec<u32>, block: u32, len: usize| {
+            let mult = 10u64.pow(len as u32);
+            let mut carry = u64::from(block);
+            for limb in mag.iter_mut() {
+                let t = u64::from(*limb) * mult + carry;
+                *limb = t as u32;
+                carry = t >> 32;
+            }
+            while carry != 0 {
+                mag.push(carry as u32);
+                carry >>= 32;
+            }
+        };
+        for ch in digits.chars() {
+            if ch == '_' {
+                continue;
+            }
+            let d = ch
+                .to_digit(10)
+                .ok_or_else(|| ParseBigIntError::invalid(ch))?;
+            any_digit = true;
+            block = block * 10 + d;
+            block_len += 1;
+            if block_len == DEC_BLOCK_DIGITS {
+                push_block(&mut mag, block, block_len);
+                block = 0;
+                block_len = 0;
+            }
+        }
+        if !any_digit {
+            return Err(ParseBigIntError::empty());
+        }
+        if block_len > 0 {
+            push_block(&mut mag, block, block_len);
+        }
+        while mag.last() == Some(&0) {
+            mag.pop();
+        }
+        let sign = if mag.is_empty() { Sign::Zero } else { sign };
+        Ok(BigInt::from_sign_mag(sign, mag))
+    }
+}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.pad_integral(true, "", "0");
+        }
+        // Repeatedly divide by 10^9, collecting 9-digit blocks.
+        let mut mag = self.mag.clone();
+        let mut blocks: Vec<u32> = Vec::new();
+        while !mag.is_empty() {
+            let mut rem = 0u64;
+            for limb in mag.iter_mut().rev() {
+                let cur = (rem << 32) | u64::from(*limb);
+                *limb = (cur / u64::from(DEC_BLOCK)) as u32;
+                rem = cur % u64::from(DEC_BLOCK);
+            }
+            while mag.last() == Some(&0) {
+                mag.pop();
+            }
+            blocks.push(rem as u32);
+        }
+        let mut s = String::with_capacity(blocks.len() * DEC_BLOCK_DIGITS);
+        s.push_str(&blocks.last().unwrap().to_string());
+        for b in blocks.iter().rev().skip(1) {
+            s.push_str(&format!("{b:09}"));
+        }
+        f.pad_integral(self.sign != Sign::Minus, "", &s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_small() {
+        for v in [-1000i64, -1, 0, 1, 7, 42, 999_999_999, 1_000_000_000] {
+            let s = v.to_string();
+            let parsed: BigInt = s.parse().unwrap();
+            assert_eq!(parsed, BigInt::from(v));
+            assert_eq!(parsed.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_round_trips_large() {
+        let s = "123456789012345678901234567890123456789012345678901234567890";
+        let x: BigInt = s.parse().unwrap();
+        assert_eq!(x.to_string(), s);
+        let neg: BigInt = format!("-{s}").parse().unwrap();
+        assert_eq!(neg.to_string(), format!("-{s}"));
+        assert_eq!(-neg, x);
+    }
+
+    #[test]
+    fn parse_accepts_separators_and_plus() {
+        let x: BigInt = "+1_000_000".parse().unwrap();
+        assert_eq!(x, BigInt::from(1_000_000u32));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("".parse::<BigInt>().is_err());
+        assert!("-".parse::<BigInt>().is_err());
+        assert!("_".parse::<BigInt>().is_err());
+        assert!("12a".parse::<BigInt>().is_err());
+        assert!("1.5".parse::<BigInt>().is_err());
+        let err = "12a".parse::<BigInt>().unwrap_err();
+        assert!(err.to_string().contains("invalid digit"));
+    }
+
+    #[test]
+    fn parse_leading_zeros() {
+        let x: BigInt = "000123".parse().unwrap();
+        assert_eq!(x, BigInt::from(123u32));
+        let z: BigInt = "-000".parse().unwrap();
+        assert!(z.is_zero());
+        assert_eq!(z.to_string(), "0");
+    }
+
+    #[test]
+    fn display_pads() {
+        assert_eq!(format!("{:>8}", BigInt::from(42)), "      42");
+        assert_eq!(format!("{:>8}", BigInt::from(-42)), "     -42");
+    }
+
+    #[test]
+    fn display_block_boundaries() {
+        for p in 0..12u32 {
+            let v = 10u64.pow(p);
+            assert_eq!(BigInt::from(v).to_string(), v.to_string());
+            assert_eq!(BigInt::from(v - 1).to_string(), (v - 1).to_string());
+        }
+    }
+}

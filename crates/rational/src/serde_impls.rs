@@ -1,0 +1,72 @@
+//! Optional Serde support (`feature = "serde"`).
+//!
+//! [`BigInt`] serialises as its decimal string; [`Ratio`] as the
+//! `"num/den"` (or plain integer) string accepted by its `FromStr`.
+//! String forms keep arbitrary precision intact across any format.
+
+use crate::{BigInt, Ratio};
+use serde::de::Error as _;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+impl Serialize for BigInt {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for BigInt {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<BigInt, D::Error> {
+        let text = String::deserialize(deserializer)?;
+        text.parse().map_err(D::Error::custom)
+    }
+}
+
+impl Serialize for Ratio {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for Ratio {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Ratio, D::Error> {
+        let text = String::deserialize(deserializer)?;
+        text.parse().map_err(D::Error::custom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{BigInt, Ratio};
+
+    #[test]
+    fn bigint_json_round_trip() {
+        let x: BigInt = "123456789012345678901234567890".parse().unwrap();
+        let json = serde_json::to_string(&x).unwrap();
+        assert_eq!(json, "\"123456789012345678901234567890\"");
+        let back: BigInt = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, x);
+        let neg: BigInt = serde_json::from_str("\"-42\"").unwrap();
+        assert_eq!(neg, BigInt::from(-42));
+    }
+
+    #[test]
+    fn ratio_json_round_trip() {
+        for q in [
+            Ratio::from_fraction(320, 317),
+            Ratio::from_fraction(-5, 3),
+            Ratio::from_integer(7),
+            Ratio::zero(),
+        ] {
+            let json = serde_json::to_string(&q).unwrap();
+            let back: Ratio = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, q, "{json}");
+        }
+    }
+
+    #[test]
+    fn bad_payloads_rejected() {
+        assert!(serde_json::from_str::<BigInt>("\"12a\"").is_err());
+        assert!(serde_json::from_str::<Ratio>("\"1/0\"").is_err());
+        assert!(serde_json::from_str::<Ratio>("3.5").is_err()); // must be a string
+    }
+}

@@ -1,0 +1,161 @@
+//! Adversarial and near-tie instances.
+//!
+//! The Section 4.3 lower-bound instance works by making the heuristic's
+//! cell-weight order *misleading*: cell weights tie (or nearly tie)
+//! while the per-device products differ. These generators produce such
+//! near-tie instances at scale, plus ε-perturbations that break ties in
+//! a chosen direction — the instances on which the heuristic's
+//! empirical ratio is worst (experiment `E3` hunts there).
+
+use pager_core::Instance;
+use rand::Rng;
+
+/// Two-device instances where every cell has (almost) the same weight
+/// `Σ_i p_{i,j}` but the split between the devices varies wildly:
+/// cell `j` gives one device `share_j` and the other `w − share_j`,
+/// with `share_j` drawn uniformly.
+///
+/// # Panics
+///
+/// Panics if `c < 2`.
+pub fn balanced_weight_two_device<R: Rng>(c: usize, rng: &mut R) -> Instance {
+    assert!(c >= 2, "need at least two cells");
+    // Per-cell weight 2/c, split unevenly between the devices, then
+    // each row is renormalised exactly (keeping weights near-tied).
+    let w = 2.0 / c as f64;
+    let mut row1 = Vec::with_capacity(c);
+    let mut row2 = Vec::with_capacity(c);
+    for _ in 0..c {
+        let share: f64 = rng.gen::<f64>() * w;
+        row1.push(share.max(1e-9));
+        row2.push((w - share).max(1e-9));
+    }
+    let s1: f64 = row1.iter().sum();
+    let s2: f64 = row2.iter().sum();
+    for p in &mut row1 {
+        *p /= s1;
+    }
+    for p in &mut row2 {
+        *p /= s2;
+    }
+    Instance::from_rows(vec![row1, row2]).expect("rows are valid")
+}
+
+/// The Section 4.3 family generalised: `m = 2` devices, `c` cells
+/// (`c ≥ 8`, divisible by 4). Device 1 has a double-weight head cell
+/// and no mass on the tail; device 2 mirrors it. Designed so the
+/// weight order prefers the head cell even though pairing mass matters
+/// more.
+///
+/// # Panics
+///
+/// Panics if `c < 8` or `c % 4 != 0`.
+#[must_use]
+pub fn section43_family(c: usize) -> Instance {
+    assert!(c >= 8 && c.is_multiple_of(4), "need c >= 8 divisible by 4");
+    // Head cell + body + tail (tail = c/4 cells).
+    let tail = c / 4;
+    let body = c - 1 - tail;
+    // Device 1: weight 2u on cell 0, u on each body cell, 0 on tail.
+    // u = 1/(2 + body).
+    let u = 1.0 / (2.0 + body as f64);
+    let mut row1 = vec![0.0; c];
+    row1[0] = 2.0 * u;
+    for j in 1..=body {
+        row1[j] = u;
+    }
+    // Device 2: 0 on cell 0, v on everything else; v = 1/(c − 1).
+    let v = 1.0 / (c as f64 - 1.0);
+    let mut row2 = vec![v; c];
+    row2[0] = 0.0;
+    Instance::from_rows(vec![row1, row2]).expect("rows are valid")
+}
+
+/// Applies a multiplicative ε-perturbation to every probability and
+/// renormalises — used to check that conclusions are robust to tie
+/// breaks (as the paper argues at the end of Section 4.3).
+///
+/// # Panics
+///
+/// Panics if `epsilon` is not in `[0, 0.5)`.
+pub fn perturb<R: Rng>(instance: &Instance, epsilon: f64, rng: &mut R) -> Instance {
+    assert!((0.0..0.5).contains(&epsilon), "epsilon must be in [0, 0.5)");
+    let rows: Vec<Vec<f64>> = instance
+        .rows()
+        .map(|row| {
+            let mut out: Vec<f64> = row
+                .iter()
+                .map(|&p| p * (1.0 + epsilon * (rng.gen::<f64>() * 2.0 - 1.0)))
+                .collect();
+            let s: f64 = out.iter().sum();
+            for p in &mut out {
+                *p /= s;
+            }
+            out
+        })
+        .collect();
+    Instance::from_rows(rows).expect("perturbed rows are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pager_core::{greedy_strategy_planned, Delay};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn balanced_weights_are_nearly_tied() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let inst = balanced_weight_two_device(10, &mut rng);
+        let weights: Vec<f64> = (0..10).map(|j| inst.cell_weight(j)).collect();
+        let max = weights.iter().cloned().fold(f64::MIN, f64::max);
+        let min = weights.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max - min < 0.15, "{weights:?}");
+    }
+
+    #[test]
+    fn section43_family_recovers_the_paper_instance() {
+        let inst = section43_family(8);
+        let exact = pager_core::lower_bound_instance::instance_f64();
+        for i in 0..2 {
+            for j in 0..8 {
+                assert!(
+                    (inst.prob(i, j) - exact.prob(i, j)).abs() < 1e-9,
+                    "({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn section43_family_scales() {
+        for c in [8usize, 12, 16, 24] {
+            let inst = section43_family(c);
+            assert_eq!(inst.num_cells(), c);
+            // The heuristic still beats blanket paging on it.
+            let plan = greedy_strategy_planned(&inst, Delay::new(2).unwrap());
+            assert!(plan.expected_paging < c as f64);
+        }
+    }
+
+    #[test]
+    fn perturbation_keeps_instances_valid_and_close() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let base = section43_family(8);
+        let pert = perturb(&base, 0.01, &mut rng);
+        for i in 0..2 {
+            for j in 0..8 {
+                assert!((base.prob(i, j) - pert.prob(i, j)).abs() < 0.01);
+            }
+        }
+    }
+
+    #[test]
+    fn guards() {
+        assert!(std::panic::catch_unwind(|| section43_family(9)).is_err());
+        let base = section43_family(8);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(std::panic::catch_unwind(move || perturb(&base, 0.9, &mut rng)).is_err());
+    }
+}

@@ -1,0 +1,135 @@
+//! Correlated multi-device families.
+//!
+//! The paper's model assumes *independent* devices; its expected-paging
+//! formula stays valid per instance regardless of how the rows were
+//! produced, but real conference-call participants are often
+//! correlated in *shape*: colleagues share the same office hotspot,
+//! family members share a home cell. These generators produce rows
+//! whose distributions overlap (or anti-overlap) to stress the
+//! heuristic's cell-weight ordering, which flattens when rows disagree.
+
+use pager_core::Instance;
+use rand::Rng;
+
+/// Devices share one common hotspot plus individual noise:
+/// `row_i = blend·hotspot + (1 − blend)·noise_i`.
+///
+/// # Panics
+///
+/// Panics if `m == 0`, `c == 0`, or `blend` is outside `[0, 1]`.
+pub fn shared_hotspot<R: Rng>(m: usize, c: usize, blend: f64, rng: &mut R) -> Instance {
+    assert!(m > 0 && c > 0, "need devices and cells");
+    assert!((0.0..=1.0).contains(&blend), "blend must be in [0, 1]");
+    let hotspot = peaked_row(c, rng);
+    let rows: Vec<Vec<f64>> = (0..m)
+        .map(|_| {
+            let noise = random_row(c, rng);
+            hotspot
+                .iter()
+                .zip(&noise)
+                .map(|(h, n)| blend * h + (1.0 - blend) * n)
+                .collect()
+        })
+        .collect();
+    Instance::from_rows(rows).expect("blended rows are valid")
+}
+
+/// Devices concentrate on *disjoint* regions of the cell range —
+/// adversarial for the conference-call objective because no single
+/// paging order serves all devices well.
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `c < m`.
+pub fn disjoint_hotspots<R: Rng>(m: usize, c: usize, rng: &mut R) -> Instance {
+    assert!(m > 0 && c >= m, "need at least one cell per device");
+    let chunk = c / m;
+    let rows: Vec<Vec<f64>> = (0..m)
+        .map(|i| {
+            let lo = i * chunk;
+            let hi = if i + 1 == m { c } else { lo + chunk };
+            let mut row = vec![0.02 / c as f64; c];
+            for j in lo..hi {
+                row[j] = 1.0 + rng.gen::<f64>();
+            }
+            let total: f64 = row.iter().sum();
+            row.into_iter().map(|p| p / total).collect()
+        })
+        .collect();
+    Instance::from_rows(rows).expect("disjoint rows are valid")
+}
+
+fn peaked_row<R: Rng>(c: usize, rng: &mut R) -> Vec<f64> {
+    let peak = rng.gen_range(0..c);
+    let mut row = vec![0.5; c];
+    row[peak] += c as f64;
+    let total: f64 = row.iter().sum();
+    row.into_iter().map(|p| p / total).collect()
+}
+
+fn random_row<R: Rng>(c: usize, rng: &mut R) -> Vec<f64> {
+    let mut row: Vec<f64> = (0..c)
+        .map(|_| -(rng.gen::<f64>().max(1e-12)).ln())
+        .collect();
+    let total: f64 = row.iter().sum();
+    for p in &mut row {
+        *p /= total;
+    }
+    row
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shared_hotspot_rows_overlap() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let inst = shared_hotspot(3, 10, 0.9, &mut rng);
+        // All devices share a mode.
+        let mode = |i: usize| -> usize {
+            (0..10)
+                .max_by(|&a, &b| inst.prob(i, a).partial_cmp(&inst.prob(i, b)).unwrap())
+                .unwrap()
+        };
+        assert_eq!(mode(0), mode(1));
+        assert_eq!(mode(1), mode(2));
+    }
+
+    #[test]
+    fn blend_zero_gives_independent_noise() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let inst = shared_hotspot(2, 50, 0.0, &mut rng);
+        // With pure noise the modes almost surely differ.
+        let mode = |i: usize| -> usize {
+            (0..50)
+                .max_by(|&a, &b| inst.prob(i, a).partial_cmp(&inst.prob(i, b)).unwrap())
+                .unwrap()
+        };
+        assert_ne!(mode(0), mode(1));
+    }
+
+    #[test]
+    fn disjoint_hotspots_do_not_overlap() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let inst = disjoint_hotspots(3, 12, &mut rng);
+        // Device 0's mass is in the first third, device 2's in the last.
+        let mass = |i: usize, lo: usize, hi: usize| -> f64 {
+            (lo..hi).map(|j| inst.prob(i, j)).sum()
+        };
+        assert!(mass(0, 0, 4) > 0.9);
+        assert!(mass(2, 8, 12) > 0.9);
+        assert!(mass(0, 8, 12) < 0.05);
+    }
+
+    #[test]
+    fn instances_validate() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = shared_hotspot(4, 9, 0.5, &mut rng);
+        assert_eq!(a.num_devices(), 4);
+        let b = disjoint_hotspots(2, 7, &mut rng);
+        assert_eq!(b.num_cells(), 7);
+    }
+}

@@ -1,0 +1,50 @@
+//! Adaptive versus oblivious paging (Section 5 extension).
+//!
+//! The adaptive policy replans after every round using the conditional
+//! distributions of still-missing devices; the oblivious strategy is
+//! fixed up front. For `d = 2` they coincide (the second round is
+//! forced); for `d >= 3` adaptivity buys a measurable reduction. Also
+//! sweeps the bandwidth-limited variant (at most `b` cells per round).
+//!
+//! Run with: `cargo run --example adaptive_paging`
+
+use conference_call::gen::{DistributionFamily, InstanceGenerator};
+use conference_call::pager::adaptive::{adaptive_expected_paging, adaptive_simulate};
+use conference_call::pager::bandwidth::bandwidth_sweep;
+use conference_call::pager::greedy_strategy_planned;
+use conference_call::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(17);
+    let inst = InstanceGenerator::new(DistributionFamily::Dirichlet).generate(3, 10, &mut rng);
+
+    println!("three devices, ten cells (Dirichlet rows)\n");
+    println!(
+        "{:>3} {:>14} {:>14} {:>14} {:>9}",
+        "d", "oblivious EP", "adaptive EP", "adaptive sim", "gain %"
+    );
+    for d in 2..=6 {
+        let delay = Delay::new(d)?;
+        let oblivious = greedy_strategy_planned(&inst, delay);
+        let adaptive = adaptive_expected_paging(&inst, delay)?;
+        let simulated = adaptive_simulate(&inst, delay, 40_000, 5)?;
+        let gain = 100.0 * (oblivious.expected_paging - adaptive) / oblivious.expected_paging;
+        println!(
+            "{d:>3} {:>14.4} {adaptive:>14.4} {simulated:>14.4} {gain:>9.2}",
+            oblivious.expected_paging
+        );
+        assert!((simulated - adaptive).abs() < 0.1, "simulation must agree");
+    }
+    println!();
+
+    println!("bandwidth-limited paging (d = 4): EP versus per-round cap b");
+    println!("{:>4} {:>14}", "b", "EP(greedy)");
+    for (b, ep) in bandwidth_sweep(&inst, Delay::new(4)?) {
+        println!("{b:>4} {ep:>14.4}");
+    }
+    println!("\nTighter caps force earlier rounds to skip likely cells;");
+    println!("EP falls monotonically as the cap loosens.");
+    Ok(())
+}

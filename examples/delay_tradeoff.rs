@@ -1,0 +1,64 @@
+//! The delay/paging trade-off: expected paging as a function of the
+//! delay bound `d`.
+//!
+//! Section 2 of the paper notes that for any strategy of length
+//! `t − 1 < c` there is a strictly better strategy of length `t`, so
+//! the optimal expected paging strictly decreases with the delay bound
+//! until `d = c`. This example sweeps `d` for a single uniform device
+//! (reproducing the `3c/4` example of Section 1.1 at `d = 2`) and for
+//! a three-device skewed instance.
+//!
+//! Run with: `cargo run --example delay_tradeoff`
+
+use conference_call::gen::{DistributionFamily, InstanceGenerator};
+use conference_call::pager::single_user::uniform_optimal_ep;
+use conference_call::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let c = 16usize;
+
+    println!("single uniform device over c = {c} cells (optimal DP)");
+    println!("{:>3} {:>12} {:>12}", "d", "EP(dp)", "EP(closed)");
+    let uniform = Instance::uniform(1, c)?;
+    let mut last = f64::INFINITY;
+    for d in 1..=c {
+        let plan = single_user_optimal(&uniform, Delay::new(d)?)?;
+        let closed = uniform_optimal_ep(c, d);
+        println!("{d:>3} {:>12.4} {closed:>12.4}", plan.expected_paging);
+        assert!(plan.expected_paging <= last + 1e-9, "EP must not increase");
+        assert!((plan.expected_paging - closed).abs() < 1e-9);
+        last = plan.expected_paging;
+    }
+    // The Section 1.1 example: d = 2 halving gives 3c/4.
+    let halved = single_user_optimal(&uniform, Delay::new(2)?)?;
+    assert!((halved.expected_paging - 0.75 * c as f64).abs() < 1e-9);
+    println!("d = 2 reproduces the paper's 3c/4 = {}", 0.75 * c as f64);
+    println!();
+
+    println!("three Zipf devices over c = {c} cells (greedy heuristic)");
+    println!("{:>3} {:>12} {:>10}", "d", "EP(greedy)", "groups");
+    let mut rng = StdRng::seed_from_u64(9);
+    let zipf = InstanceGenerator::new(DistributionFamily::Zipf).generate(3, c, &mut rng);
+    let mut last = f64::INFINITY;
+    for d in 1..=8 {
+        let plan = conference_call::pager::greedy_strategy_planned(&zipf, Delay::new(d)?);
+        let sizes: Vec<String> = plan
+            .strategy
+            .group_sizes()
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        println!(
+            "{d:>3} {:>12.4} {:>10}",
+            plan.expected_paging,
+            sizes.join("+")
+        );
+        assert!(plan.expected_paging <= last + 1e-9);
+        last = plan.expected_paging;
+    }
+    println!();
+    println!("Each extra round of allowed delay buys strictly fewer paged cells.");
+    Ok(())
+}

@@ -1,0 +1,244 @@
+//! `pager` — command-line paging-strategy planner.
+//!
+//! ```text
+//! USAGE:
+//!   pager <instance-file> [--delay D] [--algorithm ALGO] [--bandwidth B]
+//!         [--signature K] [--simulate TRIALS] [--evaluate "0,1 | 2,3"] [--exact]
+//!
+//! ALGO: greedy (default) | fig1 | single | optimal | types | adaptive
+//! ```
+//!
+//! The instance file holds one device per line, whitespace-separated
+//! probabilities (decimals or fractions such as `2/7`); `#` starts a
+//! comment. See `conference_call::textio` for the format.
+
+use conference_call::pager::adaptive::adaptive_expected_paging;
+use conference_call::pager::bandwidth::greedy_strategy_bounded;
+use conference_call::pager::signature::greedy_signature;
+use conference_call::pager::{
+    cell_types, fig1, greedy_strategy_planned, optimal, simulation, single_user_optimal,
+};
+use conference_call::prelude::*;
+use conference_call::textio;
+use std::process::ExitCode;
+
+struct Options {
+    file: String,
+    delay: usize,
+    algorithm: String,
+    bandwidth: Option<usize>,
+    signature: Option<usize>,
+    simulate: Option<usize>,
+    evaluate: Option<String>,
+    exact: bool,
+    report: bool,
+    compare: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: pager <instance-file> [--delay D] [--algorithm greedy|fig1|single|optimal|types|adaptive] [--bandwidth B] [--signature K] [--simulate TRIALS] [--evaluate SPEC] [--exact] [--report] [--compare]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args(mut args: std::env::Args) -> Result<Options, String> {
+    let _ = args.next();
+    let mut file = None;
+    let mut opts = Options {
+        file: String::new(),
+        delay: 2,
+        algorithm: "greedy".into(),
+        bandwidth: None,
+        signature: None,
+        simulate: None,
+        evaluate: None,
+        exact: false,
+        report: false,
+        compare: false,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--delay" => {
+                opts.delay = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--delay needs a positive integer")?;
+            }
+            "--algorithm" => {
+                opts.algorithm = args.next().ok_or("--algorithm needs a value")?;
+            }
+            "--bandwidth" => {
+                opts.bandwidth = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--bandwidth needs a positive integer")?,
+                );
+            }
+            "--signature" => {
+                opts.signature = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--signature needs a positive integer")?,
+                );
+            }
+            "--simulate" => {
+                opts.simulate = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--simulate needs a trial count")?,
+                );
+            }
+            "--evaluate" => {
+                opts.evaluate = Some(args.next().ok_or("--evaluate needs a strategy spec")?);
+            }
+            "--exact" => opts.exact = true,
+            "--report" => opts.report = true,
+            "--compare" => opts.compare = true,
+            other if file.is_none() && !other.starts_with("--") => {
+                file = Some(other.to_string());
+            }
+            other => return Err(format!("unrecognised argument {other:?}")),
+        }
+    }
+    opts.file = file.ok_or("missing instance file")?;
+    Ok(opts)
+}
+
+fn run(opts: &Options) -> Result<(), String> {
+    let text = std::fs::read_to_string(&opts.file)
+        .map_err(|e| format!("cannot read {}: {e}", opts.file))?;
+    let instance = textio::parse_instance(&text).map_err(|e| e.to_string())?;
+    let delay = Delay::new(opts.delay).map_err(|e| e.to_string())?;
+    println!(
+        "instance: {} devices x {} cells, delay {}",
+        instance.num_devices(),
+        instance.num_cells(),
+        opts.delay
+    );
+
+    if opts.compare {
+        println!();
+        println!("{:>10} {:>14} {:>30}", "algorithm", "expected EP", "strategy");
+        let mut rows: Vec<(String, f64, String)> = Vec::new();
+        let greedy = greedy_strategy_planned(&instance, delay);
+        rows.push(("greedy".into(), greedy.expected_paging, greedy.strategy.to_string()));
+        let f = fig1::approximation(&instance, delay);
+        rows.push(("fig1".into(), f.expected_paging, String::from("(same family)")));
+        if instance.num_cells() <= optimal::SUBSET_DP_MAX_CELLS {
+            if let Ok(opt) = optimal::optimal_subset_dp(&instance, delay) {
+                rows.push(("optimal".into(), opt.expected_paging, opt.strategy.to_string()));
+            }
+        }
+        if let Ok(types) = cell_types::optimal_by_types(&instance, delay) {
+            rows.push(("types".into(), types.expected_paging, types.strategy.to_string()));
+        }
+        if let Ok(adaptive) = adaptive_expected_paging(&instance, delay) {
+            rows.push(("adaptive".into(), adaptive, String::from("(replans per round)")));
+        }
+        for (name, ep, strat) in rows {
+            println!("{name:>10} {ep:>14.6} {strat:>30}");
+        }
+        return Ok(());
+    }
+
+    if let Some(spec) = &opts.evaluate {
+        let strategy: Strategy = spec
+            .parse()
+            .map_err(|e| format!("bad strategy spec: {e}"))?;
+        let ep = instance
+            .expected_paging(&strategy)
+            .map_err(|e| e.to_string())?;
+        println!("evaluated strategy       : {strategy}");
+        println!("expected cells paged     : {ep:.6}");
+        if opts.exact {
+            let exact_ep = instance
+                .to_exact()
+                .expected_paging(&strategy)
+                .map_err(|e| e.to_string())?;
+            println!("exact expected paging    : {exact_ep}");
+        }
+        return Ok(());
+    }
+
+    if let Some(k) = opts.signature {
+        let plan = greedy_signature(&instance, delay, k).map_err(|e| e.to_string())?;
+        println!("signature(k={k}) strategy : {}", plan.strategy);
+        println!("expected cells paged     : {:.6}", plan.expected_paging);
+        return Ok(());
+    }
+
+    let plan = match opts.algorithm.as_str() {
+        "greedy" => match opts.bandwidth {
+            Some(b) => greedy_strategy_bounded(&instance, delay, b).map_err(|e| e.to_string())?,
+            None => greedy_strategy_planned(&instance, delay),
+        },
+        "fig1" => {
+            let out = fig1::approximation(&instance, delay);
+            let strategy = out.to_strategy().map_err(|e| e.to_string())?;
+            conference_call::pager::PlannedStrategy {
+                expected_paging: out.expected_paging,
+                strategy,
+            }
+        }
+        "single" => single_user_optimal(&instance, delay).map_err(|e| e.to_string())?,
+        "optimal" => optimal::optimal_subset_dp(&instance, delay).map_err(|e| e.to_string())?,
+        "types" => cell_types::optimal_by_types(&instance, delay).map_err(|e| e.to_string())?,
+        "adaptive" => {
+            let ep = adaptive_expected_paging(&instance, delay).map_err(|e| e.to_string())?;
+            println!("adaptive expected cells paged: {ep:.6}");
+            println!("(adaptive strategies have no fixed group list; the first");
+            println!(" round matches the greedy plan and later rounds replan)");
+            return Ok(());
+        }
+        other => return Err(format!("unknown algorithm {other:?}")),
+    };
+
+    println!("strategy ({} rounds)     : {}", plan.strategy.rounds(), plan.strategy);
+    println!("expected cells paged     : {:.6}", plan.expected_paging);
+    println!(
+        "blanket paging baseline  : {:.6}",
+        instance.num_cells() as f64
+    );
+
+    if opts.report {
+        let report = conference_call::pager::analysis::analyze(&instance, &plan.strategy)
+            .map_err(|e| e.to_string())?;
+        println!();
+        print!("{}", report.to_table());
+    }
+
+    if opts.exact {
+        let exact = instance.to_exact();
+        let ep = exact
+            .expected_paging(&plan.strategy)
+            .map_err(|e| e.to_string())?;
+        println!("exact expected paging    : {ep}");
+    }
+    if let Some(trials) = opts.simulate {
+        let report = simulation::simulate(&instance, &plan.strategy, trials, 2002)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "simulated ({} trials)  : {:.6} (std dev {:.4})",
+            report.trials, report.mean_cells_paged, report.std_dev
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args(std::env::args()) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    match run(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! # conference-call
+//!
+//! A production-quality reproduction of **Bar-Noy & Malewicz,
+//! “Establishing wireless conference calls under delay constraints”**
+//! (PODC 2002; *Journal of Algorithms* 51(2):145–169, 2004).
+//!
+//! A cellular system has `c` cells and `m` mobile devices whose locations
+//! are known only as per-device probability distributions. To establish a
+//! conference call the system pages subsets of cells in rounds — at most
+//! `d` rounds — until every device has been found, and wants to minimise
+//! the expected number of cells paged. This crate re-exports the full
+//! workspace:
+//!
+//! * [`pager`] — the Conference Call problem, the e/(e−1)-approximation
+//!   heuristic (Fig. 1 of the paper), optimal solvers, and the adaptive /
+//!   bandwidth-limited / yellow-pages / signature extensions;
+//! * [`hardness`] — the NP-hardness reduction pipeline of Section 3;
+//! * [`net`] — a cellular-network simulator grounding the model
+//!   (location areas, mobility, distribution estimation, link costs);
+//! * [`exact`] — arbitrary-precision rational arithmetic;
+//! * [`gen`] — workload generators for the experiments.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use conference_call::prelude::*;
+//!
+//! // Three devices roaming over six cells, at most two paging rounds.
+//! let instance = Instance::from_rows(vec![
+//!     vec![0.40, 0.30, 0.10, 0.10, 0.05, 0.05],
+//!     vec![0.25, 0.25, 0.20, 0.10, 0.10, 0.10],
+//!     vec![0.50, 0.20, 0.10, 0.10, 0.05, 0.05],
+//! ])?;
+//! let strategy = greedy_strategy(&instance, Delay::new(2)?);
+//! let ep = instance.expected_paging(&strategy)?;
+//! assert!(ep < 6.0); // strictly better than blanket paging
+//! # Ok::<(), conference_call::pager::Error>(())
+//! ```
+
+pub use cellnet as net;
+pub use pager_core as pager;
+pub use pager_hardness as hardness;
+pub use rational as exact;
+pub use workloads as gen;
+
+pub mod planner;
+pub mod textio;
+
+/// Convenience re-exports for the common planning workflow.
+pub mod prelude {
+    pub use pager_core::{
+        greedy_strategy, single_user_optimal, Delay, Instance, Strategy,
+    };
+    pub use rational::{BigInt, Ratio};
+}

@@ -1,0 +1,137 @@
+//! Integration tests for the Section 5 extensions: Yellow Pages,
+//! Signature, adaptive, and bandwidth-limited paging, checked for
+//! mutual consistency.
+
+use conference_call::gen::{DistributionFamily, InstanceGenerator};
+use conference_call::pager::adaptive::adaptive_expected_paging;
+use conference_call::pager::bandwidth::greedy_strategy_bounded;
+use conference_call::pager::signature::{expected_paging_signature, greedy_signature};
+use conference_call::pager::yellow_pages::{best_single_device, expected_paging_yellow};
+use conference_call::pager::{greedy_strategy_planned, optimal};
+use conference_call::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Signature interpolates: for any fixed strategy,
+/// `EP_YP = EP_sig(1) <= EP_sig(2) <= … <= EP_sig(m) = EP_CC`.
+#[test]
+fn signature_interpolates_between_yellow_pages_and_conference() {
+    let mut rng = StdRng::seed_from_u64(13);
+    let gen = InstanceGenerator::new(DistributionFamily::Dirichlet);
+    for _ in 0..5 {
+        let inst = gen.generate(4, 8, &mut rng);
+        let plan = greedy_strategy_planned(&inst, Delay::new(3).unwrap());
+        let yp = expected_paging_yellow(&inst, &plan.strategy).unwrap();
+        let cc = inst.expected_paging(&plan.strategy).unwrap();
+        let mut last = yp;
+        for k in 1..=4 {
+            let sig = expected_paging_signature(&inst, &plan.strategy, k).unwrap();
+            assert!(sig >= last - 1e-9, "k={k}");
+            last = sig;
+        }
+        assert!((last - cc).abs() < 1e-9, "k = m must equal conference call");
+        assert!(
+            (expected_paging_signature(&inst, &plan.strategy, 1).unwrap() - yp).abs() < 1e-12
+        );
+    }
+}
+
+/// The greedy signature planner's reported EP matches re-evaluation,
+/// and k = m reproduces the conference-call greedy exactly.
+#[test]
+fn greedy_signature_consistency() {
+    let mut rng = StdRng::seed_from_u64(14);
+    let inst =
+        InstanceGenerator::new(DistributionFamily::Hotspot).generate(3, 9, &mut rng);
+    for k in 1..=3 {
+        let plan = greedy_signature(&inst, Delay::new(3).unwrap(), k).unwrap();
+        let ep = expected_paging_signature(&inst, &plan.strategy, k).unwrap();
+        assert!((ep - plan.expected_paging).abs() < 1e-9, "k={k}");
+    }
+    let cc = greedy_strategy_planned(&inst, Delay::new(3).unwrap());
+    let sig_m = greedy_signature(&inst, Delay::new(3).unwrap(), 3).unwrap();
+    assert!((cc.expected_paging - sig_m.expected_paging).abs() < 1e-9);
+}
+
+/// The best-single-device Yellow Pages heuristic stays within a factor
+/// m of the exhaustive optimum (the m-approximation the paper reports).
+#[test]
+fn yellow_pages_m_approximation() {
+    let mut rng = StdRng::seed_from_u64(15);
+    for family in [
+        DistributionFamily::Dirichlet,
+        DistributionFamily::Hotspot,
+        DistributionFamily::Zipf,
+    ] {
+        let gen = InstanceGenerator::new(family);
+        for _ in 0..4 {
+            let m = 3usize;
+            let inst = gen.generate(m, 7, &mut rng);
+            let delay = Delay::new(3).unwrap();
+            let single = best_single_device(&inst, delay).unwrap();
+            let opt = conference_call::pager::yellow_pages::optimal_yellow_exhaustive(
+                &inst, delay,
+            )
+            .unwrap();
+            assert!(
+                single.expected_paging <= m as f64 * opt.expected_paging + 1e-9,
+                "{family:?}: {} vs m*{}",
+                single.expected_paging,
+                opt.expected_paging
+            );
+        }
+    }
+}
+
+/// Adaptive paging never does worse than the oblivious greedy on
+/// random instances (its first round is identical; replanning uses
+/// strictly more information).
+#[test]
+fn adaptive_no_worse_than_oblivious_on_random_instances() {
+    let mut rng = StdRng::seed_from_u64(16);
+    let gen = InstanceGenerator::new(DistributionFamily::Dirichlet);
+    for trial in 0..6 {
+        let inst = gen.generate(2, 8, &mut rng);
+        for d in 2..=4 {
+            let delay = Delay::new(d).unwrap();
+            let oblivious = greedy_strategy_planned(&inst, delay);
+            let adaptive = adaptive_expected_paging(&inst, delay).unwrap();
+            assert!(
+                adaptive <= oblivious.expected_paging + 1e-6,
+                "trial {trial} d={d}: adaptive {adaptive} vs oblivious {}",
+                oblivious.expected_paging
+            );
+        }
+    }
+}
+
+/// Bandwidth caps interact sanely with the optimum: the capped greedy
+/// is sandwiched between the uncapped greedy and blanket paging.
+#[test]
+fn bandwidth_sandwich() {
+    let mut rng = StdRng::seed_from_u64(17);
+    let inst =
+        InstanceGenerator::new(DistributionFamily::Geometric).generate(2, 10, &mut rng);
+    let delay = Delay::new(4).unwrap();
+    let free = greedy_strategy_planned(&inst, delay);
+    for b in 3..=10 {
+        let capped = greedy_strategy_bounded(&inst, delay, b).unwrap();
+        assert!(capped.expected_paging >= free.expected_paging - 1e-9, "b={b}");
+        assert!(capped.expected_paging <= 10.0 + 1e-9, "b={b}");
+    }
+}
+
+/// The capped planner still respects the proven factor against the
+/// *capped* optimum (computed exhaustively for a small instance).
+#[test]
+fn bandwidth_capped_vs_uncapped_optimum() {
+    let mut rng = StdRng::seed_from_u64(18);
+    let inst = InstanceGenerator::new(DistributionFamily::Dirichlet).generate(2, 8, &mut rng);
+    let delay = Delay::new(4).unwrap();
+    // The uncapped optimum lower-bounds every capped strategy.
+    let opt = optimal::optimal_subset_dp(&inst, delay).unwrap();
+    for b in 2..=8 {
+        let capped = greedy_strategy_bounded(&inst, delay, b).unwrap();
+        assert!(capped.expected_paging >= opt.expected_paging - 1e-9, "b={b}");
+    }
+}
