@@ -43,8 +43,7 @@ fn bench_system_run(crit: &mut Criterion) {
         group.bench_function(BenchmarkId::new(name, 200), |b| {
             b.iter(|| {
                 let config = build(200.0);
-                let mobility: Vec<RandomWalk> =
-                    (0..10).map(|_| RandomWalk::new(0.3)).collect();
+                let mobility: Vec<RandomWalk> = (0..10).map(|_| RandomWalk::new(0.3)).collect();
                 let mut system = System::new(config, mobility, 1);
                 if greedy {
                     system.run(&Greedy)

@@ -1,0 +1,114 @@
+//! Serving-layer benchmarks: what the pager-service cache buys.
+//!
+//! The interesting ratios are cache-hit vs cold-plan latency per tier
+//! (the hit path is a shard lock + `HashMap` probe + `Arc` clone) and
+//! the cost of computing the quantised fingerprint itself, which is
+//! paid on every cacheable request.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pager_core::{Delay, Instance};
+use pager_service::{PagerService, PlanOptions, ServiceConfig, TierPolicy, Variant};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use workloads::{DistributionFamily, InstanceGenerator};
+
+fn instance(m: usize, c: usize, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    InstanceGenerator::new(DistributionFamily::Dirichlet).generate(m, c, &mut rng)
+}
+
+fn bench_hit_vs_cold(crit: &mut Criterion) {
+    let mut group = crit.benchmark_group("service_hit_vs_cold");
+    for (label, m, c, variant) in [
+        ("exact_2x8", 2usize, 8usize, Variant::Exact),
+        ("greedy_3x64", 3, 64, Variant::Greedy),
+    ] {
+        let inst = instance(m, c, 42);
+        let delay = Delay::new(3).unwrap();
+        let service = PagerService::new(ServiceConfig::default());
+        let opts = PlanOptions {
+            variant,
+            cache: true,
+        };
+        // Warm the cache once, then measure the hit path.
+        service.plan(&inst, delay, opts).unwrap();
+        group.bench_function(BenchmarkId::new("hit", label), |b| {
+            b.iter(|| black_box(service.plan(&inst, delay, opts).unwrap()));
+        });
+        let cold = PlanOptions {
+            variant,
+            cache: false,
+        };
+        group.bench_function(BenchmarkId::new("cold", label), |b| {
+            b.iter(|| black_box(service.plan(&inst, delay, cold).unwrap()));
+        });
+        service.shutdown();
+    }
+    group.finish();
+}
+
+fn bench_fingerprint(crit: &mut Criterion) {
+    let mut group = crit.benchmark_group("service_fingerprint");
+    for c in [16usize, 64, 256] {
+        let inst = instance(3, c, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(c), &inst, |b, inst| {
+            b.iter(|| black_box(inst.fingerprint64(1000)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_concurrent_hits(crit: &mut Criterion) {
+    let mut group = crit.benchmark_group("service_concurrent_hits");
+    group.sample_size(10);
+    let service = Arc::new(PagerService::new(ServiceConfig {
+        workers: 4,
+        policy: TierPolicy::default(),
+        ..ServiceConfig::default()
+    }));
+    let delay = Delay::new(3).unwrap();
+    // 64 distinct instances spread over the shards, all pre-planned.
+    let instances: Vec<Instance> = (0..64).map(|s| instance(2, 16, s)).collect();
+    for inst in &instances {
+        service.plan(inst, delay, PlanOptions::default()).unwrap();
+    }
+    for threads in [1usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let handles: Vec<_> = (0..threads)
+                        .map(|t| {
+                            let service = Arc::clone(&service);
+                            let instances = instances.clone();
+                            std::thread::spawn(move || {
+                                for (i, inst) in instances.iter().enumerate() {
+                                    let _ = black_box(
+                                        service.plan(inst, delay, PlanOptions::default()).unwrap(),
+                                    );
+                                    let _ = (t, i);
+                                }
+                            })
+                        })
+                        .collect();
+                    for h in handles {
+                        h.join().unwrap();
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+    service.shutdown();
+}
+
+criterion_group!(
+    benches,
+    bench_hit_vs_cold,
+    bench_fingerprint,
+    bench_concurrent_hits
+);
+criterion_main!(benches);

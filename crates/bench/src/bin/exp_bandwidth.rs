@@ -17,12 +17,19 @@ fn main() {
     let c = 16usize;
     let d = 4usize;
     println!("E9: EP versus per-round bandwidth cap b (c = {c}, d = {d})");
-    row(12, &["family".into(), "b".into(), "EP".into(), "groups".into()]);
+    row(
+        12,
+        &["family".into(), "b".into(), "EP".into(), "groups".into()],
+    );
     let mut rng = StdRng::seed_from_u64(SEED);
     let uniform = Instance::uniform(2, c).expect("valid");
     let hotspot = InstanceGenerator::new(DistributionFamily::Hotspot).generate(2, c, &mut rng);
     let zipf = InstanceGenerator::new(DistributionFamily::Zipf).generate(2, c, &mut rng);
-    for (name, inst) in [("uniform", &uniform), ("hotspot", &hotspot), ("zipf", &zipf)] {
+    for (name, inst) in [
+        ("uniform", &uniform),
+        ("hotspot", &hotspot),
+        ("zipf", &zipf),
+    ] {
         let mut last = f64::INFINITY;
         for b in [4usize, 5, 6, 8, 12, 16] {
             let plan =

@@ -29,7 +29,10 @@ fn main() {
         let Ok(verdict) = verify_reduction(&qp1) else {
             continue;
         };
-        assert!(verdict.equivalence_holds(), "equivalence must hold: {verdict:?}");
+        assert!(
+            verdict.equivalence_holds(),
+            "equivalence must hold: {verdict:?}"
+        );
         if verdict.qp1_yes {
             yes += 1;
         } else {
@@ -41,10 +44,16 @@ fn main() {
 
     println!();
     println!("E6b: Lemma 3.4 chain parameters and lower bounds");
-    println!("{:>4} {:>4} {:>30} {:>14}", "m", "d", "b_1..b_d (c = 12)", "LB(m,d,c=12)");
+    println!(
+        "{:>4} {:>4} {:>30} {:>14}",
+        "m", "d", "b_1..b_d (c = 12)", "LB(m,d,c=12)"
+    );
     for (m, d) in [(2u32, 2usize), (2, 3), (3, 2), (3, 3), (4, 4)] {
         let b = lemma34_boundaries(m, d, 12);
-        let chain: Vec<String> = b[1..].iter().map(|x| format!("{:.2}", x.to_f64())).collect();
+        let chain: Vec<String> = b[1..]
+            .iter()
+            .map(|x| format!("{:.2}", x.to_f64()))
+            .collect();
         let lb = lemma34_lb(m, d, 12);
         println!(
             "{m:>4} {d:>4} {:>30} {:>14.4}",
@@ -74,7 +83,10 @@ fn main() {
         assert_eq!(expected, qp2_answer, "Lemma 3.7 must preserve the answer");
         let multi = reduce_qp2(&qp2, &params);
         let multi_answer = multi.solve_brute().is_some();
-        assert_eq!(qp2_answer, multi_answer, "Lemma 3.6 must preserve the answer");
+        assert_eq!(
+            qp2_answer, multi_answer,
+            "Lemma 3.6 must preserve the answer"
+        );
         if expected {
             chain_yes += 1;
         } else {

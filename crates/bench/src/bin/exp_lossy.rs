@@ -9,9 +9,7 @@
 //! single-device blanket page.
 
 use bench::{fmt, row, SEED};
-use pager_core::lossy::{
-    expected_paging_lossy_single_round, simulate_lossy, DetectionModel,
-};
+use pager_core::lossy::{expected_paging_lossy_single_round, simulate_lossy, DetectionModel};
 use pager_core::{greedy_strategy, Delay, Instance, Strategy};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -41,9 +39,7 @@ fn main() {
                 fmt(report.mean_cells_paged),
             ],
         );
-        assert!(
-            (report.mean_cells_paged - expected_paging_lossy_single_round(c, p)).abs() < 0.15
-        );
+        assert!((report.mean_cells_paged - expected_paging_lossy_single_round(c, p)).abs() < 0.15);
     }
 
     println!();
@@ -92,8 +88,7 @@ fn main() {
             "retry frac".into(),
         ],
     );
-    let dispersed =
-        workloads::correlated::disjoint_hotspots(4, 12, &mut rng);
+    let dispersed = workloads::correlated::disjoint_hotspots(4, 12, &mut rng);
     let colocated = shared_hotspot(4, 12, 0.95, &mut rng);
     for (name, inst) in [("dispersed", &dispersed), ("co-located", &colocated)] {
         let strategy = greedy_strategy(inst, Delay::new(3).expect("d"));

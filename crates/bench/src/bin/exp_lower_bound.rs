@@ -22,9 +22,15 @@ fn main() {
     let heur = greedy_strategy_exact(&exact, Delay::new(2).expect("d"));
     let opt = optimal_two_round_exact(&exact).expect("c = 8");
     println!("heuristic strategy : {}", heur.strategy);
-    println!("heuristic EP       : {} (paper: 320/49)", heur.expected_paging);
+    println!(
+        "heuristic EP       : {} (paper: 320/49)",
+        heur.expected_paging
+    );
     println!("optimal strategy   : {}", opt.strategy);
-    println!("optimal EP         : {} (paper: 317/49)", opt.expected_paging);
+    println!(
+        "optimal EP         : {} (paper: 317/49)",
+        opt.expected_paging
+    );
     let ratio = &heur.expected_paging / &opt.expected_paging;
     println!("ratio              : {ratio} (paper: 320/317)");
     assert_eq!(heur.expected_paging, lbi::heuristic_ep());
@@ -33,7 +39,10 @@ fn main() {
 
     println!();
     println!("E5b: epsilon-perturbed strictly-positive variants");
-    println!("{:>12} {:>16} {:>16} {:>12}", "epsilon", "heuristic EP", "optimal EP", "ratio");
+    println!(
+        "{:>12} {:>16} {:>16} {:>12}",
+        "epsilon", "heuristic EP", "optimal EP", "ratio"
+    );
     for denom in [1_000i64, 10_000, 100_000, 1_000_000] {
         let p = lbi::perturbed_exact(denom);
         let heur = greedy_strategy_exact(&p, Delay::new(2).expect("d"));

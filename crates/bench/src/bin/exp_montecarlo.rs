@@ -29,8 +29,7 @@ fn main() {
         let strategy = greedy_strategy(&inst, Delay::new(3).expect("d"));
         let analytic = inst.expected_paging(&strategy).expect("dims match");
         for trials in [1_000usize, 10_000, 100_000, 1_000_000] {
-            let report =
-                simulation::simulate(&inst, &strategy, trials, SEED).expect("valid sim");
+            let report = simulation::simulate(&inst, &strategy, trials, SEED).expect("valid sim");
             let err = (report.mean_cells_paged - analytic).abs();
             row(
                 12,

@@ -35,14 +35,9 @@ fn main() {
         let strategy = greedy_strategy(&inst, Delay::new(d).expect("d"));
         let mut last = 0.0;
         for p in [0.0f64, 0.05, 0.15, 0.35] {
-            let report = simulate_moving(
-                &inst,
-                &strategy,
-                MotionModel::LineWalk { p },
-                trials,
-                SEED,
-            )
-            .expect("valid");
+            let report =
+                simulate_moving(&inst, &strategy, MotionModel::LineWalk { p }, trials, SEED)
+                    .expect("valid");
             row(
                 12,
                 &[
@@ -67,15 +62,9 @@ fn main() {
     for d in 1..=8 {
         let strategy = greedy_strategy(&inst, Delay::new(d).expect("d"));
         let frozen = inst.expected_paging(&strategy).expect("dims");
-        let moving = simulate_moving(
-            &inst,
-            &strategy,
-            MotionModel::Jump { p: 0.2 },
-            trials,
-            SEED,
-        )
-        .expect("valid")
-        .mean_cells_paged;
+        let moving = simulate_moving(&inst, &strategy, MotionModel::Jump { p: 0.2 }, trials, SEED)
+            .expect("valid")
+            .mean_cells_paged;
         if frozen < best_frozen.1 {
             best_frozen = (d, frozen);
         }

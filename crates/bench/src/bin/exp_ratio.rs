@@ -57,7 +57,16 @@ fn main() {
 
     println!();
     println!("E3m: heterogeneous parties (each device from a random family)");
-    row(11, &["m".into(), "c".into(), "d".into(), "mean".into(), "max".into()]);
+    row(
+        11,
+        &[
+            "m".into(),
+            "c".into(),
+            "d".into(),
+            "mean".into(),
+            "max".into(),
+        ],
+    );
     let mut mix_rng = StdRng::seed_from_u64(SEED + 1);
     for (m, c, d) in [(2usize, 8usize, 2usize), (3, 8, 3), (4, 10, 3)] {
         let mut sum = 0.0;
@@ -102,7 +111,12 @@ fn main() {
             global_max = global_max.max(max);
             row(
                 11,
-                &[c.to_string(), d.to_string(), fmt(sum / samples as f64), fmt(max)],
+                &[
+                    c.to_string(),
+                    d.to_string(),
+                    fmt(sum / samples as f64),
+                    fmt(max),
+                ],
             );
         }
     }
@@ -121,7 +135,10 @@ fn main() {
 
     println!();
     println!("E4: m = 2, d = 2 linear-scan algorithm versus optimum (bound 4/3)");
-    row(11, &["family".into(), "c".into(), "mean".into(), "max".into()]);
+    row(
+        11,
+        &["family".into(), "c".into(), "mean".into(), "max".into()],
+    );
     for family in DistributionFamily::ALL {
         let c = 9usize;
         let mut sum = 0.0;
@@ -142,7 +159,12 @@ fn main() {
         assert!(max <= 4.0 / 3.0 + 1e-9, "{family:?} violated the 4/3 bound");
         row(
             11,
-            &[family.name().into(), c.to_string(), fmt(sum / samples as f64), fmt(max)],
+            &[
+                family.name().into(),
+                c.to_string(),
+                fmt(sum / samples as f64),
+                fmt(max),
+            ],
         );
     }
 

@@ -34,8 +34,12 @@ fn main() {
         (
             "two-block",
             Instance::from_rows(vec![
-                vec![0.15, 0.15, 0.15, 0.15, 0.05, 0.05, 0.05, 0.05, 0.05, 0.05, 0.05, 0.05],
-                vec![0.05, 0.05, 0.05, 0.05, 0.15, 0.15, 0.15, 0.15, 0.05, 0.05, 0.05, 0.05],
+                vec![
+                    0.15, 0.15, 0.15, 0.15, 0.05, 0.05, 0.05, 0.05, 0.05, 0.05, 0.05, 0.05,
+                ],
+                vec![
+                    0.05, 0.05, 0.05, 0.05, 0.15, 0.15, 0.15, 0.15, 0.05, 0.05, 0.05, 0.05,
+                ],
             ])
             .expect("valid"),
         ),
@@ -47,11 +51,8 @@ fn main() {
     for (name, inst) in &structured {
         let types = CellTypes::of(inst);
         let by_types = optimal_by_types(inst, d).expect("few types");
-        let exact = optimal_subset_dp(
-            inst,
-            Delay::new(3.min(inst.num_cells())).expect("d"),
-        )
-        .expect("small");
+        let exact = optimal_subset_dp(inst, Delay::new(3.min(inst.num_cells())).expect("d"))
+            .expect("small");
         row(
             12,
             &[

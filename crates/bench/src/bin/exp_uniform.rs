@@ -13,7 +13,10 @@ use pager_core::{greedy_strategy_planned, single_user_optimal, Delay, Instance};
 
 fn main() {
     println!("E1a: single uniform device, d = 2 -> EP = 3c/4 (paper Section 1.1)");
-    row(12, &["c".into(), "EP(dp)".into(), "3c/4".into(), "blanket".into()]);
+    row(
+        12,
+        &["c".into(), "EP(dp)".into(), "3c/4".into(), "blanket".into()],
+    );
     for c in [8usize, 16, 32, 64, 128, 256, 512] {
         let inst = Instance::uniform(1, c).expect("valid");
         let plan = single_user_optimal(&inst, Delay::new(2).expect("d")).expect("m = 1");

@@ -19,7 +19,9 @@ use workloads::adversarial::{balanced_weight_two_device, section43_family};
 fn ratio(inst: &Instance, d: usize) -> f64 {
     let delay = Delay::new(d).expect("d");
     let heur = greedy_strategy_planned(inst, delay).expected_paging;
-    let opt = optimal_subset_dp(inst, delay).expect("small").expected_paging;
+    let opt = optimal_subset_dp(inst, delay)
+        .expect("small")
+        .expected_paging;
     heur / opt
 }
 
@@ -67,7 +69,13 @@ fn main() {
         "m", "c", "d", "start", "worst ratio"
     );
     let mut global: f64 = 1.0;
-    for (m, c, d) in [(2usize, 8usize, 2usize), (2, 10, 2), (2, 10, 3), (2, 12, 4), (3, 9, 3)] {
+    for (m, c, d) in [
+        (2usize, 8usize, 2usize),
+        (2, 10, 2),
+        (2, 10, 3),
+        (2, 12, 4),
+        (3, 9, 3),
+    ] {
         let mut worst: f64 = 1.0;
         for restart in 0..restarts {
             let start = if m == 2 && restart == 0 && c % 4 == 0 {
@@ -95,8 +103,12 @@ fn main() {
         );
     }
     println!();
-    println!("reference points: 320/317 = {:.6}, 4/3 = {:.6}, e/(e-1) = {:.6}",
-        320.0/317.0, 4.0/3.0, std::f64::consts::E / (std::f64::consts::E - 1.0));
+    println!(
+        "reference points: 320/317 = {:.6}, 4/3 = {:.6}, e/(e-1) = {:.6}",
+        320.0 / 317.0,
+        4.0 / 3.0,
+        std::f64::consts::E / (std::f64::consts::E - 1.0)
+    );
     println!("worst ratio found anywhere: {global:.6}");
     assert!(global < std::f64::consts::E / (std::f64::consts::E - 1.0));
     println!();

@@ -70,11 +70,7 @@ pub fn recency_weighted(history: &[CellId], c: usize, decay: f64, alpha: f64) ->
 #[must_use]
 pub fn total_variation(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "distributions must share support");
-    0.5 * a
-        .iter()
-        .zip(b)
-        .map(|(x, y)| (x - y).abs())
-        .sum::<f64>()
+    0.5 * a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum::<f64>()
 }
 
 #[cfg(test)]

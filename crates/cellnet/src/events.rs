@@ -170,7 +170,13 @@ mod tests {
     #[test]
     fn clock_advances() {
         let mut q = EventQueue::new();
-        q.schedule(2.5, Event::Power { terminal: 0, on: true });
+        q.schedule(
+            2.5,
+            Event::Power {
+                terminal: 0,
+                on: true,
+            },
+        );
         assert_eq!(q.now(), 0.0);
         let (t, _) = q.pop().unwrap();
         assert_eq!(t, 2.5);
@@ -193,7 +199,12 @@ mod tests {
     fn len_and_empty() {
         let mut q = EventQueue::new();
         assert!(q.is_empty());
-        q.schedule(1.0, Event::Call { participants: vec![0, 1] });
+        q.schedule(
+            1.0,
+            Event::Call {
+                participants: vec![0, 1],
+            },
+        );
         assert_eq!(q.len(), 1);
         q.pop();
         assert!(q.is_empty());

@@ -43,8 +43,8 @@ pub mod mobility;
 pub mod stats;
 pub mod system;
 pub mod terminal;
-pub mod trace;
 pub mod topology;
+pub mod trace;
 
 pub use area::LocationAreaPlan;
 pub use cost::{CostModel, LinkUsage};

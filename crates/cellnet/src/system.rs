@@ -305,7 +305,13 @@ impl<M: MobilityModel> System<M> {
         if let Some(mean_toggle) = self.config.mean_power_toggle {
             for t in 0..self.config.num_terminals {
                 let dt = Self::exp_interval(&mut self.rng, mean_toggle);
-                queue.schedule(dt, Event::Power { terminal: t, on: false });
+                queue.schedule(
+                    dt,
+                    Event::Power {
+                        terminal: t,
+                        on: false,
+                    },
+                );
             }
         }
         while let Some((time, event)) = queue.pop() {
@@ -485,11 +491,7 @@ mod tests {
         // And some calls needed the global fallback: with 2x2 areas a
         // blanket page per area is 4 cells; a fallback call pages more
         // than 2 areas' worth.
-        let fallbacks = outcome
-            .calls
-            .iter()
-            .filter(|c| c.cells_paged > 8)
-            .count();
+        let fallbacks = outcome.calls.iter().filter(|c| c.cells_paged > 8).count();
         assert!(fallbacks > 0, "expected fallback paging to trigger");
         // Power-on attach reports are included in the tally.
         assert!(outcome.usage.reports > 0);
@@ -507,9 +509,8 @@ mod tests {
         let topology = Topology::line(4);
         let areas = LocationAreaPlan::single(&topology);
         let config = SystemConfig::new(topology, areas, 2);
-        let result = std::panic::catch_unwind(move || {
-            System::new(config, vec![RandomWalk::new(0.1)], 0)
-        });
+        let result =
+            std::panic::catch_unwind(move || System::new(config, vec![RandomWalk::new(0.1)], 0));
         assert!(result.is_err(), "mobility count mismatch must panic");
     }
 }

@@ -147,7 +147,10 @@ impl Topology {
     /// Panics if the position is out of range.
     #[must_use]
     pub fn cell_at(&self, col: usize, row: usize) -> CellId {
-        assert!(col < self.width && row < self.height, "position out of range");
+        assert!(
+            col < self.width && row < self.height,
+            "position out of range"
+        );
         row * self.width + col
     }
 

@@ -47,13 +47,22 @@ fn plan_next_group(
             // Contradiction with "not yet found": treat as uniform.
             rows.push(vec![1.0 / unpaged.len() as f64; unpaged.len()]);
         } else {
-            rows.push(unpaged.iter().map(|&j| instance.prob(i, j) / total).collect());
+            rows.push(
+                unpaged
+                    .iter()
+                    .map(|&j| instance.prob(i, j) / total)
+                    .collect(),
+            );
         }
     }
     let reduced = Instance::from_rows(rows).expect("conditional rows are valid");
     let delay = Delay::new(rounds_left).expect("rounds_left >= 1");
     let strategy = greedy_strategy(&reduced, delay);
-    strategy.group(0).iter().map(|&local| unpaged[local]).collect()
+    strategy
+        .group(0)
+        .iter()
+        .map(|&local| unpaged[local])
+        .collect()
 }
 
 /// Exact expected number of cells paged by the adaptive replanning
@@ -183,18 +192,10 @@ pub fn optimal_adaptive_expected_paging(instance: &Instance, delay: Delay) -> Re
             mass[i][mask] = mass[i][mask & (mask - 1)] + instance.prob(i, low);
         }
     }
-    let mut memo: std::collections::HashMap<(u32, u32, u8), f64> =
-        std::collections::HashMap::new();
+    let mut memo: std::collections::HashMap<(u32, u32, u8), f64> = std::collections::HashMap::new();
     let full_devices = (1u32 << m) - 1;
     let full_cells = (1u32 << c) - 1;
-    let value = adaptive_value(
-        full_devices,
-        full_cells,
-        d as u8,
-        &mass,
-        m,
-        &mut memo,
-    );
+    let value = adaptive_value(full_devices, full_cells, d as u8, &mass, m, &mut memo);
     Ok(value)
 }
 

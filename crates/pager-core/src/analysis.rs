@@ -132,11 +132,9 @@ mod tests {
     use super::*;
 
     fn demo() -> (Instance, Strategy) {
-        let inst = Instance::from_rows(vec![
-            vec![0.4, 0.3, 0.2, 0.1],
-            vec![0.25, 0.25, 0.25, 0.25],
-        ])
-        .unwrap();
+        let inst =
+            Instance::from_rows(vec![vec![0.4, 0.3, 0.2, 0.1], vec![0.25, 0.25, 0.25, 0.25]])
+                .unwrap();
         let s = Strategy::new(vec![vec![0, 1], vec![2], vec![3]]).unwrap();
         (inst, s)
     }

@@ -48,10 +48,9 @@ pub fn greedy_strategy_bounded(
     let order = instance.cells_by_weight_desc();
     let rows: Vec<&[f64]> = instance.rows().collect();
     let g = conference_stop_probs(&rows, &order);
-    let split =
-        optimal_split(&g, d, Some(bandwidth)).expect("feasibility was checked above");
-    let strategy = Strategy::from_order_and_sizes(&order, &split.sizes)
-        .expect("split partitions the order");
+    let split = optimal_split(&g, d, Some(bandwidth)).expect("feasibility was checked above");
+    let strategy =
+        Strategy::from_order_and_sizes(&order, &split.sizes).expect("split partitions the order");
     Ok(PlannedStrategy {
         expected_paging: c as f64 - split.savings,
         strategy,

@@ -312,10 +312,7 @@ mod tests {
             for d in [2usize, 3, 5, 8] {
                 let a = lemma34_alphas(m, d);
                 assert_eq!(a.len(), d - 1);
-                assert_eq!(
-                    a[0],
-                    Ratio::from_fraction(i64::from(m), i64::from(m) + 1)
-                );
+                assert_eq!(a[0], Ratio::from_fraction(i64::from(m), i64::from(m) + 1));
                 for w in a.windows(2) {
                     assert!(w[0] < w[1], "alphas must increase");
                 }
@@ -355,7 +352,9 @@ mod tests {
             .map(Ratio::to_f64)
             .collect();
         let objective = |b: &[f64]| -> f64 {
-            (1..d).map(|r| (b[r + 1] - b[r]) * b[r].powi(m as i32)).sum()
+            (1..d)
+                .map(|r| (b[r + 1] - b[r]) * b[r].powi(m as i32))
+                .sum()
         };
         let base = objective(&b);
         for k in 1..d {

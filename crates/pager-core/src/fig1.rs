@@ -193,11 +193,8 @@ mod tests {
         // Device 2 is surely in cell 0: F[j] can hit 1.0 early in the
         // *reverse* sense; more importantly denominators can vanish when
         // a suffix has probability zero of containing any device.
-        let inst = Instance::from_rows(vec![
-            vec![0.5, 0.5, 0.0, 0.0],
-            vec![1.0, 0.0, 0.0, 0.0],
-        ])
-        .unwrap();
+        let inst =
+            Instance::from_rows(vec![vec![0.5, 0.5, 0.0, 0.0], vec![1.0, 0.0, 0.0, 0.0]]).unwrap();
         for d in 1..=4 {
             let out = approximation(&inst, Delay::new(d).unwrap());
             let s = out.to_strategy().unwrap();

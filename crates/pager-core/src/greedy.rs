@@ -9,7 +9,9 @@
 //! * ratio constants: [`approx_ratio_upper_bound`] (`e/(e−1)`) and
 //!   [`heuristic_ratio_lower_bound`] (`320/317`, Section 4.3).
 
-use crate::dp::{conference_stop_probs, conference_stop_probs_exact, optimal_split, optimal_split_exact};
+use crate::dp::{
+    conference_stop_probs, conference_stop_probs_exact, optimal_split, optimal_split_exact,
+};
 use crate::error::{Error, Result};
 use crate::instance::{Delay, ExactInstance, Instance};
 use crate::strategy::Strategy;

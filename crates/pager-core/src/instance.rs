@@ -406,7 +406,11 @@ mod tests {
     fn rejects_bad_probabilities() {
         assert!(matches!(
             Instance::from_rows(vec![vec![-0.1, 1.1]]).unwrap_err(),
-            Error::InvalidProbability { device: 0, cell: 0, .. }
+            Error::InvalidProbability {
+                device: 0,
+                cell: 0,
+                ..
+            }
         ));
         assert!(matches!(
             Instance::from_rows(vec![vec![f64::NAN, 0.5]]).unwrap_err(),
@@ -448,11 +452,8 @@ mod tests {
 
     #[test]
     fn weight_order_breaks_ties_by_index() {
-        let inst = Instance::from_rows(vec![
-            vec![0.1, 0.4, 0.1, 0.4],
-            vec![0.4, 0.1, 0.4, 0.1],
-        ])
-        .unwrap();
+        let inst =
+            Instance::from_rows(vec![vec![0.1, 0.4, 0.1, 0.4], vec![0.4, 0.1, 0.4, 0.1]]).unwrap();
         // All cell weights are 0.5: order must be 0,1,2,3.
         assert_eq!(inst.cells_by_weight_desc(), vec![0, 1, 2, 3]);
     }

@@ -55,14 +55,14 @@ pub mod cell_types;
 pub mod dp;
 mod error;
 pub mod fig1;
+pub mod fingerprint;
 pub mod greedy;
 mod instance;
+mod json_impls;
 pub mod lossy;
 pub mod lower_bound_instance;
 pub mod moving;
 pub mod optimal;
-#[cfg(feature = "serde")]
-mod serde_impls;
 pub mod signature;
 pub mod simulation;
 pub mod single_user;

@@ -195,15 +195,11 @@ mod tests {
 
     #[test]
     fn perfect_model_matches_exact_ep() {
-        let inst = Instance::from_rows(vec![
-            vec![0.4, 0.3, 0.2, 0.1],
-            vec![0.1, 0.2, 0.3, 0.4],
-        ])
-        .unwrap();
+        let inst =
+            Instance::from_rows(vec![vec![0.4, 0.3, 0.2, 0.1], vec![0.1, 0.2, 0.3, 0.4]]).unwrap();
         let strategy = crate::greedy::greedy_strategy(&inst, Delay::new(2).unwrap());
         let analytic = inst.expected_paging(&strategy).unwrap();
-        let report =
-            simulate_lossy(&inst, &strategy, DetectionModel::Perfect, 100_000, 3).unwrap();
+        let report = simulate_lossy(&inst, &strategy, DetectionModel::Perfect, 100_000, 3).unwrap();
         assert!(
             (report.mean_cells_paged - analytic).abs() < 0.05,
             "{} vs {analytic}",
@@ -238,11 +234,9 @@ mod tests {
 
     #[test]
     fn losses_increase_cost_monotonically() {
-        let inst = Instance::from_rows(vec![
-            vec![0.5, 0.3, 0.1, 0.1],
-            vec![0.25, 0.25, 0.25, 0.25],
-        ])
-        .unwrap();
+        let inst =
+            Instance::from_rows(vec![vec![0.5, 0.3, 0.1, 0.1], vec![0.25, 0.25, 0.25, 0.25]])
+                .unwrap();
         let strategy = crate::greedy::greedy_strategy(&inst, Delay::new(2).unwrap());
         let mut last = 0.0;
         for p in [1.0, 0.9, 0.7, 0.5] {
@@ -266,14 +260,9 @@ mod tests {
     #[test]
     fn collisions_hurt_colocated_devices() {
         // Both devices surely in cell 0: collisions delay detection.
-        let inst = Instance::from_rows(vec![
-            vec![1.0, 0.0],
-            vec![1.0, 0.0],
-        ])
-        .unwrap();
+        let inst = Instance::from_rows(vec![vec![1.0, 0.0], vec![1.0, 0.0]]).unwrap();
         let strategy = Strategy::blanket(2);
-        let perfect =
-            simulate_lossy(&inst, &strategy, DetectionModel::Perfect, 20_000, 1).unwrap();
+        let perfect = simulate_lossy(&inst, &strategy, DetectionModel::Perfect, 20_000, 1).unwrap();
         let collide = simulate_lossy(
             &inst,
             &strategy,
@@ -283,27 +272,21 @@ mod tests {
         )
         .unwrap();
         assert_eq!(perfect.mean_cells_paged, 2.0);
-        assert!(collide.mean_cells_paged > 2.5, "{}", collide.mean_cells_paged);
+        assert!(
+            collide.mean_cells_paged > 2.5,
+            "{}",
+            collide.mean_cells_paged
+        );
     }
 
     #[test]
     fn validation() {
         let inst = Instance::uniform(1, 3).unwrap();
-        assert!(simulate_lossy(
-            &inst,
-            &Strategy::blanket(4),
-            DetectionModel::Perfect,
-            10,
-            0
-        )
-        .is_err());
-        assert!(simulate_lossy(
-            &inst,
-            &Strategy::blanket(3),
-            DetectionModel::Perfect,
-            0,
-            0
-        )
-        .is_err());
+        assert!(
+            simulate_lossy(&inst, &Strategy::blanket(4), DetectionModel::Perfect, 10, 0).is_err()
+        );
+        assert!(
+            simulate_lossy(&inst, &Strategy::blanket(3), DetectionModel::Perfect, 0, 0).is_err()
+        );
     }
 }

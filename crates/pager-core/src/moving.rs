@@ -182,8 +182,7 @@ mod tests {
         let inst = demo();
         let strategy = greedy_strategy(&inst, Delay::new(3).unwrap());
         let analytic = inst.expected_paging(&strategy).unwrap();
-        let report =
-            simulate_moving(&inst, &strategy, MotionModel::Static, 120_000, 4).unwrap();
+        let report = simulate_moving(&inst, &strategy, MotionModel::Static, 120_000, 4).unwrap();
         assert!(
             (report.mean_cells_paged - analytic).abs() < 0.05,
             "{} vs {analytic}",
@@ -199,14 +198,8 @@ mod tests {
         let strategy = greedy_strategy(&inst, Delay::new(4).unwrap());
         let mut last = 0.0;
         for p in [0.0, 0.1, 0.3, 0.6] {
-            let report = simulate_moving(
-                &inst,
-                &strategy,
-                MotionModel::Jump { p },
-                40_000,
-                7,
-            )
-            .unwrap();
+            let report =
+                simulate_moving(&inst, &strategy, MotionModel::Jump { p }, 40_000, 7).unwrap();
             assert!(
                 report.mean_cells_paged >= last - 0.05,
                 "p={p}: {} after {last}",
@@ -220,14 +213,8 @@ mod tests {
     fn escapes_happen_with_heavy_motion() {
         let inst = demo();
         let strategy = greedy_strategy(&inst, Delay::new(6).unwrap());
-        let report = simulate_moving(
-            &inst,
-            &strategy,
-            MotionModel::Jump { p: 0.5 },
-            20_000,
-            9,
-        )
-        .unwrap();
+        let report =
+            simulate_moving(&inst, &strategy, MotionModel::Jump { p: 0.5 }, 20_000, 9).unwrap();
         assert!(report.escape_fraction > 0.05, "{}", report.escape_fraction);
         assert!(report.mean_resweeps > 0.0);
     }

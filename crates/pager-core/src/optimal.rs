@@ -210,8 +210,7 @@ pub fn optimal_subset_dp(instance: &Instance, delay: Delay) -> Result<PlannedStr
             let mut sub = (sup - 1) as u32 & supm;
             loop {
                 if sub != 0 && h[sub as usize] != neg {
-                    let gained =
-                        (supm.count_ones() - sub.count_ones()) as f64 * f[sub as usize];
+                    let gained = (supm.count_ones() - sub.count_ones()) as f64 * f[sub as usize];
                     let cand = h[sub as usize] + gained;
                     if cand > next[sup] {
                         next[sup] = cand;
@@ -334,10 +333,7 @@ mod tests {
     fn two_round_exact_agrees_with_float_engines() {
         let exact = crate::lower_bound_instance::instance_exact();
         let e = optimal_two_round_exact(&exact).unwrap();
-        assert_eq!(
-            e.expected_paging,
-            crate::lower_bound_instance::optimal_ep()
-        );
+        assert_eq!(e.expected_paging, crate::lower_bound_instance::optimal_ep());
         let f = optimal_subset_dp(&exact.to_f64(), Delay::new(2).unwrap()).unwrap();
         assert!((e.expected_paging.to_f64() - f.expected_paging).abs() < 1e-9);
     }

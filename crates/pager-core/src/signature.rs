@@ -126,8 +126,8 @@ pub fn greedy_signature(instance: &Instance, delay: Delay, k: usize) -> Result<P
     let order = instance.cells_by_weight_desc();
     let g = signature_stop_probs(instance, &order, k);
     let split = optimal_split(&g, d, None).expect("clamped delay is feasible");
-    let strategy = Strategy::from_order_and_sizes(&order, &split.sizes)
-        .expect("split partitions the order");
+    let strategy =
+        Strategy::from_order_and_sizes(&order, &split.sizes).expect("split partitions the order");
     Ok(PlannedStrategy {
         expected_paging: c as f64 - split.savings,
         strategy,
@@ -238,7 +238,7 @@ mod tests {
         assert!((at_least_k_prob(&[0.5, 0.5], 2) - 0.25).abs() < 1e-12);
         let p = [0.2, 0.7, 0.4];
         // brute force over 8 outcomes
-        let mut brute = vec![0.0f64; 4];
+        let mut brute = [0.0f64; 4];
         for mask in 0u32..8 {
             let mut pr = 1.0;
             let mut cnt = 0;
@@ -254,20 +254,14 @@ mod tests {
         }
         for k in 0..=3 {
             let tail: f64 = brute[k..].iter().sum();
-            assert!(
-                (at_least_k_prob(&p, k) - tail).abs() < 1e-12,
-                "k={k}"
-            );
+            assert!((at_least_k_prob(&p, k) - tail).abs() < 1e-12, "k={k}");
         }
     }
 
     #[test]
     fn k_equals_m_matches_conference_call() {
-        let inst = Instance::from_rows(vec![
-            vec![0.4, 0.3, 0.2, 0.1],
-            vec![0.1, 0.2, 0.3, 0.4],
-        ])
-        .unwrap();
+        let inst =
+            Instance::from_rows(vec![vec![0.4, 0.3, 0.2, 0.1], vec![0.1, 0.2, 0.3, 0.4]]).unwrap();
         let s = Strategy::new(vec![vec![0, 3], vec![1, 2]]).unwrap();
         let sig = expected_paging_signature(&inst, &s, 2).unwrap();
         let cc = inst.expected_paging(&s).unwrap();
@@ -312,8 +306,7 @@ mod tests {
         for k in 1..=3 {
             for d in 2..=3 {
                 let g = greedy_signature(&inst, Delay::new(d).unwrap(), k).unwrap();
-                let o =
-                    optimal_signature_exhaustive(&inst, Delay::new(d).unwrap(), k).unwrap();
+                let o = optimal_signature_exhaustive(&inst, Delay::new(d).unwrap(), k).unwrap();
                 assert!(
                     g.expected_paging >= o.expected_paging - 1e-9,
                     "greedy cannot beat optimal (k={k}, d={d})"
@@ -332,11 +325,9 @@ mod tests {
 
     #[test]
     fn greedy_ep_matches_reported() {
-        let inst = Instance::from_rows(vec![
-            vec![0.4, 0.3, 0.2, 0.1],
-            vec![0.25, 0.25, 0.25, 0.25],
-        ])
-        .unwrap();
+        let inst =
+            Instance::from_rows(vec![vec![0.4, 0.3, 0.2, 0.1], vec![0.25, 0.25, 0.25, 0.25]])
+                .unwrap();
         for k in 1..=2 {
             let plan = greedy_signature(&inst, Delay::new(2).unwrap(), k).unwrap();
             let ep = expected_paging_signature(&inst, &plan.strategy, k).unwrap();

@@ -98,9 +98,7 @@ impl Strategy {
         }
         if pos != order.len() {
             // Leftover cells: the sizes under-cover the order.
-            return Err(Error::MissingCell {
-                cell: order[pos],
-            });
+            return Err(Error::MissingCell { cell: order[pos] });
         }
         Strategy::new(groups)
     }
@@ -493,11 +491,7 @@ mod tests {
 
     #[test]
     fn found_by_round_monotone() {
-        let inst = Instance::from_rows(vec![
-            vec![0.6, 0.2, 0.2],
-            vec![0.1, 0.8, 0.1],
-        ])
-        .unwrap();
+        let inst = Instance::from_rows(vec![vec![0.6, 0.2, 0.2], vec![0.1, 0.8, 0.1]]).unwrap();
         let s = Strategy::new(vec![vec![0], vec![1], vec![2]]).unwrap();
         let f0 = inst.found_by_round(&s, 0).unwrap();
         let f1 = inst.found_by_round(&s, 1).unwrap();

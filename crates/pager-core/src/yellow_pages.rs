@@ -22,9 +22,7 @@
 use crate::error::Result;
 use crate::greedy::PlannedStrategy;
 use crate::instance::{Delay, Instance};
-use crate::signature::{
-    expected_paging_signature, greedy_signature, optimal_signature_exhaustive,
-};
+use crate::signature::{expected_paging_signature, greedy_signature, optimal_signature_exhaustive};
 use crate::single_user::single_user_optimal;
 use crate::strategy::Strategy;
 
@@ -89,11 +87,8 @@ mod tests {
 
     #[test]
     fn yellow_cheaper_than_conference() {
-        let inst = Instance::from_rows(vec![
-            vec![0.4, 0.3, 0.2, 0.1],
-            vec![0.1, 0.2, 0.3, 0.4],
-        ])
-        .unwrap();
+        let inst =
+            Instance::from_rows(vec![vec![0.4, 0.3, 0.2, 0.1], vec![0.1, 0.2, 0.3, 0.4]]).unwrap();
         let s = Strategy::new(vec![vec![0], vec![1], vec![2], vec![3]]).unwrap();
         let yp = expected_paging_yellow(&inst, &s).unwrap();
         let cc = inst.expected_paging(&s).unwrap();
@@ -145,11 +140,9 @@ mod tests {
 
     #[test]
     fn greedy_yellow_reported_ep_is_consistent() {
-        let inst = Instance::from_rows(vec![
-            vec![0.3, 0.3, 0.2, 0.2],
-            vec![0.25, 0.25, 0.25, 0.25],
-        ])
-        .unwrap();
+        let inst =
+            Instance::from_rows(vec![vec![0.3, 0.3, 0.2, 0.2], vec![0.25, 0.25, 0.25, 0.25]])
+                .unwrap();
         let plan = greedy_yellow(&inst, Delay::new(2).unwrap()).unwrap();
         let ep = expected_paging_yellow(&inst, &plan.strategy).unwrap();
         assert!((ep - plan.expected_paging).abs() < 1e-9);

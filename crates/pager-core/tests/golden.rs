@@ -1,9 +1,7 @@
 //! Golden-value regression tests: every constant here was derived by
 //! hand from the paper's formulas, independent of the implementation.
 
-use pager_core::bounds::{
-    lemma34_alphas, lemma34_boundaries, two_device_two_round_lb,
-};
+use pager_core::bounds::{lemma34_alphas, lemma34_boundaries, two_device_two_round_lb};
 use pager_core::single_user::uniform_optimal_ep;
 use pager_core::{greedy_strategy_exact, Delay, ExactInstance, Instance, Strategy};
 use rational::Ratio;
@@ -30,7 +28,11 @@ fn hand_computed_ep_8_3() {
 fn uniform_delay_sequence() {
     let expect = [60.0, 45.0, 40.0, 37.5, 36.0, 35.0];
     for (d, &e) in expect.iter().enumerate() {
-        assert!((uniform_optimal_ep(60, d + 1) - e).abs() < 1e-12, "d={}", d + 1);
+        assert!(
+            (uniform_optimal_ep(60, d + 1) - e).abs() < 1e-12,
+            "d={}",
+            d + 1
+        );
     }
     // And the d = c limit: (c+1)/2 + (c-1)/(2c)·... for uniform with
     // one cell per round EP = Σ r/c = (c+1)/2.
@@ -74,11 +76,7 @@ fn lemma34_chain_m3_d3() {
 /// EP = 4 − 2·(1/2)² = 7/2.
 #[test]
 fn two_uniform_devices_halved() {
-    let exact = ExactInstance::from_rows(vec![
-        vec![r(1, 4); 4],
-        vec![r(1, 4); 4],
-    ])
-    .unwrap();
+    let exact = ExactInstance::from_rows(vec![vec![r(1, 4); 4], vec![r(1, 4); 4]]).unwrap();
     let s = Strategy::new(vec![vec![0, 1], vec![2, 3]]).unwrap();
     assert_eq!(exact.expected_paging(&s).unwrap(), r(7, 2));
 }

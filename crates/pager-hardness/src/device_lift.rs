@@ -36,9 +36,7 @@ pub fn lift_instance(instance: &ExactInstance, m: usize, a: &Ratio) -> ExactInst
     let keep = &Ratio::one() - a;
     let mut rows: Vec<Vec<Ratio>> = Vec::with_capacity(m);
     for device in 0..2 {
-        let mut row: Vec<Ratio> = (0..c)
-            .map(|j| instance.prob(device, j) * &keep)
-            .collect();
+        let mut row: Vec<Ratio> = (0..c).map(|j| instance.prob(device, j) * &keep).collect();
         row.push(a.clone());
         rows.push(row);
     }
@@ -61,10 +59,7 @@ pub fn canonical_a(c: usize) -> Ratio {
 /// re-indexes. Returns `None` when the strategy does not have that
 /// shape.
 #[must_use]
-pub fn project_strategy(
-    lifted: &pager_core::Strategy,
-    c: usize,
-) -> Option<pager_core::Strategy> {
+pub fn project_strategy(lifted: &pager_core::Strategy, c: usize) -> Option<pager_core::Strategy> {
     if lifted.rounds() < 2 || lifted.group(0) != [c] {
         return None;
     }

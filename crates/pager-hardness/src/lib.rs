@@ -36,6 +36,6 @@ pub use multipartition::{MultipartitionInstance, MultipartitionParams};
 pub use partition::{PartitionError, PartitionInstance};
 pub use quasipartition::{Qp1Instance, Qp2Instance, Qp2Params};
 pub use reduction::{
-    quasipartition1_to_conference_call, verify_reduction, ConferenceCallReduction,
-    ReductionError, ReductionVerdict,
+    quasipartition1_to_conference_call, verify_reduction, ConferenceCallReduction, ReductionError,
+    ReductionVerdict,
 };

@@ -221,14 +221,7 @@ impl MultipartitionInstance {
             }
             false
         }
-        if rec(
-            &self.sizes,
-            &cards,
-            &targets,
-            0,
-            &mut groups,
-            &mut sums,
-        ) {
+        if rec(&self.sizes, &cards, &targets, 0, &mut groups, &mut sums) {
             Some(groups)
         } else {
             None
@@ -254,7 +247,12 @@ pub fn reduce_qp2(qp2: &Qp2Instance, params: &MultipartitionParams) -> Multipart
     let family = params.qp2_params();
     assert_eq!(
         (&family.r_u, &family.r_v, &family.x_u, &family.x_v),
-        (&qp2.params.r_u, &qp2.params.r_v, &qp2.params.x_u, &qp2.params.x_v),
+        (
+            &qp2.params.r_u,
+            &qp2.params.r_v,
+            &qp2.params.x_u,
+            &qp2.params.x_v
+        ),
         "Qp2 instance must belong to the family derived from the parameters"
     );
     let d = params.d;

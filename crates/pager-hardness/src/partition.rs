@@ -174,7 +174,11 @@ impl PartitionInstance {
             if let Some(&lmask) = table.get(&(g / 2 - count, half_sum - sum)) {
                 let mut subset: Vec<usize> =
                     (0..left.len()).filter(|&i| lmask & (1 << i) != 0).collect();
-                subset.extend((0..right.len()).filter(|&i| mask & (1 << i) != 0).map(|i| i + mid));
+                subset.extend(
+                    (0..right.len())
+                        .filter(|&i| mask & (1 << i) != 0)
+                        .map(|i| i + mid),
+                );
                 return Some(subset);
             }
         }
@@ -209,7 +213,10 @@ impl PartitionInstance {
 ///
 /// Panics if `g < 2` or `g` is odd.
 pub fn planted_yes<R: rand::Rng>(rng: &mut R, g: usize, max_size: u64) -> PartitionInstance {
-    assert!(g >= 2 && g.is_multiple_of(2), "g must be even and at least 2");
+    assert!(
+        g >= 2 && g.is_multiple_of(2),
+        "g must be even and at least 2"
+    );
     let half = g / 2;
     let max_size = max_size.max(2);
     let left: Vec<u64> = (0..half).map(|_| rng.gen_range(1..=max_size)).collect();
@@ -241,7 +248,10 @@ pub fn planted_yes<R: rand::Rng>(rng: &mut R, g: usize, max_size: u64) -> Partit
 ///
 /// Panics if `g < 2` or `g` is odd.
 pub fn planted_no<R: rand::Rng>(rng: &mut R, g: usize, max_size: u64) -> PartitionInstance {
-    assert!(g >= 2 && g.is_multiple_of(2), "g must be even and at least 2");
+    assert!(
+        g >= 2 && g.is_multiple_of(2),
+        "g must be even and at least 2"
+    );
     let max_size = max_size.max(2);
     let mut sizes: Vec<u64> = (0..g).map(|_| rng.gen_range(1..=max_size)).collect();
     if sizes.iter().sum::<u64>() % 2 == 0 {

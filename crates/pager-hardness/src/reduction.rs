@@ -208,7 +208,11 @@ mod tests {
         let qp1 = Qp1Instance::new(vec![1, 1, 2, 2, 3, 3]);
         let verdict = verify_reduction(&qp1).unwrap();
         assert!(verdict.qp1_yes);
-        assert!(verdict.ep_meets_lb, "optimal {} vs lb {}", verdict.optimal_ep, verdict.lb);
+        assert!(
+            verdict.ep_meets_lb,
+            "optimal {} vs lb {}",
+            verdict.optimal_ep, verdict.lb
+        );
         assert!(verdict.equivalence_holds());
     }
 

@@ -1,0 +1,224 @@
+//! Sharded, capacity-bounded LRU strategy cache.
+//!
+//! The cache is split into `shards` independent maps, each behind its
+//! own mutex, with a key routed to a shard by its precomputed 64-bit
+//! fingerprint. Concurrent lookups on different shards never contend;
+//! under uniform fingerprints, contention drops by the shard factor.
+//!
+//! Each shard is a true LRU bounded at `capacity / shards` entries:
+//! entries carry a monotone "last used" tick and the oldest entry is
+//! evicted on overflow. Eviction scans the shard (`O(shard size)`),
+//! which for the intended capacities (≤ a few thousand entries per
+//! shard) is cheaper and simpler than an intrusive list, and happens
+//! only on insert after the shard is full.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A sharded LRU map from plan keys to cached plans.
+#[derive(Debug)]
+pub struct ShardedCache<K, V> {
+    shards: Vec<Mutex<Shard<K, V>>>,
+    per_shard_capacity: usize,
+    evictions: AtomicU64,
+}
+
+#[derive(Debug)]
+struct Shard<K, V> {
+    map: HashMap<K, Entry<V>>,
+    tick: u64,
+}
+
+#[derive(Debug)]
+struct Entry<V> {
+    value: Arc<V>,
+    last_used: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> ShardedCache<K, V> {
+    /// Creates a cache of at most `capacity` entries spread over
+    /// `shards` shards (both forced to at least 1).
+    #[must_use]
+    pub fn new(capacity: usize, shards: usize) -> ShardedCache<K, V> {
+        let shards = shards.max(1);
+        let per_shard_capacity = capacity.div_ceil(shards).max(1);
+        ShardedCache {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        map: HashMap::new(),
+                        tick: 0,
+                    })
+                })
+                .collect(),
+            per_shard_capacity,
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total entries evicted since creation.
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Current total entry count (sums shard sizes; racy but accurate
+    /// at rest).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").map.len())
+            .sum()
+    }
+
+    /// Whether the cache holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn shard_for(&self, fingerprint: u64) -> &Mutex<Shard<K, V>> {
+        // High bits: the low bits of sequential fingerprints may
+        // correlate with the hash mixer's tail.
+        let idx = (fingerprint >> 32) as usize % self.shards.len();
+        &self.shards[idx]
+    }
+
+    /// Looks up `key` (routed by `fingerprint`), refreshing its LRU
+    /// position on a hit.
+    #[must_use]
+    pub fn get(&self, fingerprint: u64, key: &K) -> Option<Arc<V>> {
+        let mut shard = self
+            .shard_for(fingerprint)
+            .lock()
+            .expect("cache shard poisoned");
+        shard.tick += 1;
+        let tick = shard.tick;
+        let entry = shard.map.get_mut(key)?;
+        entry.last_used = tick;
+        Some(Arc::clone(&entry.value))
+    }
+
+    /// Inserts `key → value`, evicting the least-recently-used entry
+    /// of the target shard if it is full. Returns the stored handle.
+    pub fn insert(&self, fingerprint: u64, key: K, value: Arc<V>) -> Arc<V> {
+        let mut shard = self
+            .shard_for(fingerprint)
+            .lock()
+            .expect("cache shard poisoned");
+        shard.tick += 1;
+        let tick = shard.tick;
+        if shard.map.len() >= self.per_shard_capacity && !shard.map.contains_key(&key) {
+            if let Some(oldest) = shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                shard.map.remove(&oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let stored = Arc::clone(&value);
+        shard.map.insert(
+            key,
+            Entry {
+                value,
+                last_used: tick,
+            },
+        );
+        stored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(k: u64) -> u64 {
+        // Spread test keys across shards like real fingerprints do.
+        k.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
+    #[test]
+    fn get_and_insert_round_trip() {
+        let cache: ShardedCache<u64, String> = ShardedCache::new(64, 4);
+        assert!(cache.get(fp(1), &1).is_none());
+        cache.insert(fp(1), 1, Arc::new("one".into()));
+        assert_eq!(cache.get(fp(1), &1).unwrap().as_str(), "one");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used_within_shard() {
+        // Single shard so LRU order is global and deterministic.
+        let cache: ShardedCache<u64, u64> = ShardedCache::new(3, 1);
+        for k in 0..3 {
+            cache.insert(fp(k), k, Arc::new(k));
+        }
+        // Touch 0 and 2 so 1 is the LRU victim.
+        assert!(cache.get(fp(0), &0).is_some());
+        assert!(cache.get(fp(2), &2).is_some());
+        cache.insert(fp(3), 3, Arc::new(3));
+        assert!(cache.get(fp(1), &1).is_none(), "LRU entry evicted");
+        assert!(cache.get(fp(0), &0).is_some());
+        assert!(cache.get(fp(3), &3).is_some());
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn reinserting_existing_key_does_not_evict() {
+        let cache: ShardedCache<u64, u64> = ShardedCache::new(2, 1);
+        cache.insert(fp(1), 1, Arc::new(10));
+        cache.insert(fp(2), 2, Arc::new(20));
+        cache.insert(fp(1), 1, Arc::new(11));
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(*cache.get(fp(1), &1).unwrap(), 11);
+        assert_eq!(*cache.get(fp(2), &2).unwrap(), 20);
+    }
+
+    #[test]
+    fn capacity_is_bounded_under_churn() {
+        let cache: ShardedCache<u64, u64> = ShardedCache::new(100, 8);
+        for k in 0..10_000u64 {
+            cache.insert(fp(k), k, Arc::new(k));
+        }
+        // Per-shard capacity is ceil(100/8); total stays bounded.
+        assert!(cache.len() <= 13 * 8, "len {} over bound", cache.len());
+        assert!(cache.evictions() > 0);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let cache: Arc<ShardedCache<u64, u64>> = Arc::new(ShardedCache::new(256, 8));
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    for i in 0..2_000u64 {
+                        let k = (t * 37 + i) % 512;
+                        if let Some(v) = cache.get(fp(k), &k) {
+                            assert_eq!(*v, k);
+                        } else {
+                            cache.insert(fp(k), k, Arc::new(k));
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(cache.len() <= 256 + 8);
+    }
+}

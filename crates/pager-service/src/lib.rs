@@ -1,0 +1,55 @@
+//! # pager-service
+//!
+//! A concurrent strategy-planning service for the conference-call
+//! paging problem (Bar-Noy & Malewicz, PODC 2002).
+//!
+//! A base station that establishes many calls per second keeps
+//! re-solving the same optimisation: given a matrix of location
+//! probabilities and a delay bound, partition the cells into at most
+//! `d` paging rounds minimising the expected number of cells paged.
+//! This crate wraps the solvers in [`pager_core`] with the serving
+//! machinery that workload makes worthwhile:
+//!
+//! * **Tiered planning** ([`planner`]) — exact subset-DP for small
+//!   instances, the paper's Fig. 1 greedy otherwise, plus the
+//!   bandwidth-bounded and signature variants on request.
+//! * **Sharded LRU cache** ([`cache`]) — strategies are cached under a
+//!   *quantised* fingerprint of the instance
+//!   ([`pager_core::fingerprint`]), so measurements that differ only
+//!   by noise below the grid resolution share one planned strategy.
+//! * **Worker pool with batch coalescing** ([`PagerService`]) — cache
+//!   misses are planned by a fixed thread pool, and concurrent
+//!   requests for the same fingerprint are coalesced into a single
+//!   computation whose result fans out to every waiter.
+//! * **Metrics** ([`metrics`]) — atomic counters and log-bucketed
+//!   per-tier latency histograms, dumpable as JSON.
+//! * **Wire protocol** ([`proto`], [`server`]) — a JSON-lines
+//!   request/response protocol served over TCP or stdio by the
+//!   `pager-serve` binary.
+//!
+//! ```
+//! use pager_core::{Delay, Instance};
+//! use pager_service::{PagerService, PlanOptions, ServiceConfig};
+//!
+//! let service = PagerService::new(ServiceConfig::default());
+//! let instance = Instance::from_rows(vec![vec![0.6, 0.3, 0.1]]).unwrap();
+//! let response = service
+//!     .plan(&instance, Delay::new(2).unwrap(), PlanOptions::default())
+//!     .unwrap();
+//! assert!(response.plan.expected_paging >= 1.0);
+//! ```
+
+pub mod cache;
+pub mod metrics;
+pub mod planner;
+mod pool;
+pub mod proto;
+pub mod server;
+mod service;
+
+pub use cache::ShardedCache;
+pub use metrics::{LatencyHistogram, Metrics};
+pub use planner::{plan, Plan, PlanError, Tier, TierPolicy, Variant};
+pub use proto::{handle_line, parse_request, LineOutcome, Request};
+pub use server::{serve_lines, serve_tcp, ServerHandle};
+pub use service::{PagerService, PlanKey, PlanOptions, PlanResponse, ServiceConfig};

@@ -1,0 +1,202 @@
+//! Lock-free service metrics.
+//!
+//! Counters and latency histograms are plain atomics so the hot path
+//! never takes a lock to record. Snapshots are assembled on demand
+//! and dumped as JSON through [`jsonio`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use jsonio::Value;
+
+/// Histogram bucket count: bucket `i` holds samples in
+/// `[2^(i-1), 2^i)` microseconds (bucket 0 is `< 1µs`).
+const BUCKETS: usize = 32;
+
+/// A log₂-bucketed latency histogram over microseconds.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    total_micros: AtomicU64,
+    max_micros: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// Records one sample.
+    pub fn record(&self, micros: u64) {
+        let idx = (u64::BITS - micros.leading_zeros()).min(BUCKETS as u32 - 1) as usize;
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_micros.fetch_add(micros, Ordering::Relaxed);
+        self.max_micros.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Upper bound (µs) of the bucket containing the `q`-quantile
+    /// sample, or 0 with no samples. Approximate by construction —
+    /// resolution is the power-of-two bucket width.
+    pub fn quantile_upper_micros(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let target = ((count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= target {
+                return if i == 0 { 1 } else { 1u64 << i };
+            }
+        }
+        self.max_micros.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot as a JSON object.
+    pub fn to_json(&self) -> Value {
+        let count = self.count();
+        let total = self.total_micros.load(Ordering::Relaxed);
+        #[allow(clippy::cast_precision_loss)]
+        let mean = if count == 0 {
+            0.0
+        } else {
+            total as f64 / count as f64
+        };
+        Value::object(vec![
+            ("count", Value::from(count)),
+            ("total_micros", Value::from(total)),
+            ("mean_micros", Value::Float(mean)),
+            (
+                "p50_le_micros",
+                Value::from(self.quantile_upper_micros(0.50)),
+            ),
+            (
+                "p90_le_micros",
+                Value::from(self.quantile_upper_micros(0.90)),
+            ),
+            (
+                "p99_le_micros",
+                Value::from(self.quantile_upper_micros(0.99)),
+            ),
+            (
+                "max_micros",
+                Value::from(self.max_micros.load(Ordering::Relaxed)),
+            ),
+        ])
+    }
+}
+
+/// All counters the service exposes.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Total plan requests received (cacheable or not).
+    pub requests: AtomicU64,
+    /// Requests answered straight from the strategy cache.
+    pub cache_hits: AtomicU64,
+    /// Requests that had to plan (or join an in-flight plan).
+    pub cache_misses: AtomicU64,
+    /// Requests that joined an identical in-flight computation
+    /// instead of planning again.
+    pub coalesced: AtomicU64,
+    /// Requests rejected with an error (bad instance, infeasible
+    /// bandwidth, ...).
+    pub errors: AtomicU64,
+    /// Cache entries evicted to make room.
+    pub evictions: AtomicU64,
+    /// Planning latency per solver tier.
+    pub exact_latency: LatencyHistogram,
+    /// Fig. 1 greedy tier latency.
+    pub greedy_latency: LatencyHistogram,
+    /// Bandwidth-bounded tier latency.
+    pub bandwidth_latency: LatencyHistogram,
+    /// Signature tier latency.
+    pub signature_latency: LatencyHistogram,
+}
+
+impl Metrics {
+    /// Bumps a counter.
+    pub fn inc(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Reads a counter.
+    pub fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+
+    /// The latency histogram for one solver tier.
+    pub fn tier_latency(&self, tier: crate::planner::Tier) -> &LatencyHistogram {
+        match tier {
+            crate::planner::Tier::Exact => &self.exact_latency,
+            crate::planner::Tier::Greedy => &self.greedy_latency,
+            crate::planner::Tier::Bandwidth => &self.bandwidth_latency,
+            crate::planner::Tier::Signature => &self.signature_latency,
+        }
+    }
+
+    /// Full snapshot as a JSON object (the `--metrics-json` /
+    /// `{"cmd":"metrics"}` payload).
+    pub fn to_json(&self) -> Value {
+        Value::object(vec![
+            ("requests", Value::from(Self::get(&self.requests))),
+            ("cache_hits", Value::from(Self::get(&self.cache_hits))),
+            ("cache_misses", Value::from(Self::get(&self.cache_misses))),
+            ("coalesced", Value::from(Self::get(&self.coalesced))),
+            ("errors", Value::from(Self::get(&self.errors))),
+            ("evictions", Value::from(Self::get(&self.evictions))),
+            (
+                "tier_latency",
+                Value::object(vec![
+                    ("exact", self.exact_latency.to_json()),
+                    ("greedy", self.greedy_latency.to_json()),
+                    ("bandwidth", self.bandwidth_latency.to_json()),
+                    ("signature", self.signature_latency.to_json()),
+                ]),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = LatencyHistogram::default();
+        for micros in [0, 1, 2, 3, 10, 100, 1000, 1000, 1000, 100_000] {
+            h.record(micros);
+        }
+        assert_eq!(h.count(), 10);
+        assert!(h.quantile_upper_micros(0.5) <= 128);
+        assert!(h.quantile_upper_micros(1.0) >= 65_536);
+        assert_eq!(LatencyHistogram::default().quantile_upper_micros(0.5), 0);
+    }
+
+    #[test]
+    fn metrics_json_has_required_fields() {
+        let m = Metrics::default();
+        Metrics::inc(&m.requests);
+        Metrics::inc(&m.cache_hits);
+        m.greedy_latency.record(42);
+        let json = m.to_json();
+        assert_eq!(json.get("requests").and_then(Value::as_u64), Some(1));
+        assert_eq!(json.get("cache_hits").and_then(Value::as_u64), Some(1));
+        assert_eq!(json.get("cache_misses").and_then(Value::as_u64), Some(0));
+        assert_eq!(json.get("coalesced").and_then(Value::as_u64), Some(0));
+        let tiers = json.get("tier_latency").unwrap();
+        assert_eq!(
+            tiers
+                .get("greedy")
+                .and_then(|t| t.get("count"))
+                .and_then(Value::as_u64),
+            Some(1)
+        );
+        // The dump must serialise cleanly.
+        assert!(jsonio::parse(&json.to_string()).is_ok());
+    }
+}

@@ -1,0 +1,275 @@
+//! Solver-tier dispatch.
+//!
+//! One request names *what* it wants ([`Variant`]); the planner
+//! decides *which solver* actually runs ([`Tier`]) and times it:
+//!
+//! * small instances (subset-DP reach) go to the exact optimum,
+//! * everything else goes to the paper's Fig. 1 greedy
+//!   (`e/(e−1)`-approximate, `O(c(m + dc))`),
+//! * bandwidth-bounded and signature (`k`-of-`m`) variants dispatch to
+//!   their Section 5 solvers on request.
+
+use std::time::Instant;
+
+use pager_core::{bandwidth, optimal, signature, Delay, Instance};
+use pager_core::{greedy_strategy_planned, Strategy};
+
+/// What kind of plan a request wants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// Let the planner pick: exact when affordable, greedy otherwise.
+    Auto,
+    /// Force the exact optimum (errors on instances beyond its reach).
+    Exact,
+    /// Force the Fig. 1 greedy approximation.
+    Greedy,
+    /// Bandwidth-limited paging: at most `b` cells per round.
+    Bandwidth(usize),
+    /// Signature problem: stop once `k` of the `m` devices are found.
+    Signature(usize),
+}
+
+impl Variant {
+    /// Stable name for keys/metrics/wire.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::Auto => "auto",
+            Variant::Exact => "exact",
+            Variant::Greedy => "greedy",
+            Variant::Bandwidth(_) => "bandwidth",
+            Variant::Signature(_) => "signature",
+        }
+    }
+}
+
+/// Which solver actually produced a plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tier {
+    /// Optimal subset-DP / exhaustive solver.
+    Exact,
+    /// Fig. 1 greedy.
+    Greedy,
+    /// Bandwidth-bounded greedy.
+    Bandwidth,
+    /// Signature greedy.
+    Signature,
+}
+
+impl Tier {
+    /// Stable name for metrics and the wire protocol.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::Exact => "exact",
+            Tier::Greedy => "greedy",
+            Tier::Bandwidth => "bandwidth",
+            Tier::Signature => "signature",
+        }
+    }
+}
+
+/// Size limits for automatic exact-tier dispatch.
+///
+/// `optimal_subset_dp` is `O(d·3^c)` time / `O(2^c)` space, so the
+/// default caps keep the exact tier around a millisecond.
+#[derive(Debug, Clone, Copy)]
+pub struct TierPolicy {
+    /// Maximum cells for `Auto` to choose the exact solver.
+    pub exact_max_cells: usize,
+    /// Maximum devices for `Auto` to choose the exact solver.
+    pub exact_max_devices: usize,
+}
+
+impl Default for TierPolicy {
+    fn default() -> TierPolicy {
+        TierPolicy {
+            exact_max_cells: 10,
+            exact_max_devices: 4,
+        }
+    }
+}
+
+/// A finished plan: the strategy, its cost, and provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    /// The paging strategy.
+    pub strategy: Strategy,
+    /// Expected number of cells paged under the planning instance.
+    pub expected_paging: f64,
+    /// The solver tier that produced it.
+    pub tier: Tier,
+    /// Wall-clock planning time.
+    pub planning_micros: u64,
+}
+
+/// A planning failure (bad variant parameters or solver limits).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanError(pub String);
+
+impl core::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Plans `instance` under `delay` with the solver tier selected by
+/// `variant` and `policy`.
+///
+/// # Errors
+///
+/// [`PlanError`] when a forced exact plan exceeds solver limits, a
+/// bandwidth cap is infeasible, or a signature threshold is invalid.
+pub fn plan(
+    instance: &Instance,
+    delay: Delay,
+    variant: Variant,
+    policy: &TierPolicy,
+) -> Result<Plan, PlanError> {
+    let start = Instant::now();
+    let (tier, planned) = match variant {
+        Variant::Greedy => (Tier::Greedy, Ok(greedy_strategy_planned(instance, delay))),
+        Variant::Exact => (Tier::Exact, plan_exact(instance, delay)),
+        Variant::Auto => {
+            if instance.num_cells() <= policy.exact_max_cells
+                && instance.num_devices() <= policy.exact_max_devices
+            {
+                (Tier::Exact, plan_exact(instance, delay))
+            } else {
+                (Tier::Greedy, Ok(greedy_strategy_planned(instance, delay)))
+            }
+        }
+        Variant::Bandwidth(cap) => (
+            Tier::Bandwidth,
+            bandwidth::greedy_strategy_bounded(instance, delay, cap)
+                .map_err(|e| PlanError(e.to_string())),
+        ),
+        Variant::Signature(k) => (
+            Tier::Signature,
+            signature::greedy_signature(instance, delay, k).map_err(|e| PlanError(e.to_string())),
+        ),
+    };
+    let planned = planned?;
+    let micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+    Ok(Plan {
+        strategy: planned.strategy,
+        expected_paging: planned.expected_paging,
+        tier,
+        planning_micros: micros,
+    })
+}
+
+fn plan_exact(instance: &Instance, delay: Delay) -> Result<pager_core::PlannedStrategy, PlanError> {
+    let c = instance.num_cells();
+    if c > optimal::SUBSET_DP_MAX_CELLS {
+        return Err(PlanError(format!(
+            "exact tier supports at most {} cells, got {c}",
+            optimal::SUBSET_DP_MAX_CELLS
+        )));
+    }
+    // The subset DP requires d <= c; clamp like the greedy tier does.
+    let delay = delay.clamp_to_cells(c);
+    optimal::optimal_subset_dp(instance, delay).map_err(|e| PlanError(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Instance {
+        Instance::from_rows(vec![vec![0.4, 0.3, 0.2, 0.1], vec![0.1, 0.2, 0.3, 0.4]]).unwrap()
+    }
+
+    #[test]
+    fn auto_dispatches_small_to_exact() {
+        let p = plan(
+            &small(),
+            Delay::new(2).unwrap(),
+            Variant::Auto,
+            &TierPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(p.tier, Tier::Exact);
+        // The exact plan is at least as good as greedy.
+        let g = plan(
+            &small(),
+            Delay::new(2).unwrap(),
+            Variant::Greedy,
+            &TierPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(g.tier, Tier::Greedy);
+        assert!(p.expected_paging <= g.expected_paging + 1e-12);
+    }
+
+    #[test]
+    fn auto_dispatches_large_to_greedy() {
+        let inst = Instance::uniform(3, 40).unwrap();
+        let p = plan(
+            &inst,
+            Delay::new(4).unwrap(),
+            Variant::Auto,
+            &TierPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(p.tier, Tier::Greedy);
+        assert_eq!(p.strategy.num_cells(), 40);
+    }
+
+    #[test]
+    fn forced_exact_rejects_oversized() {
+        let inst = Instance::uniform(2, optimal::SUBSET_DP_MAX_CELLS + 1).unwrap();
+        let err = plan(
+            &inst,
+            Delay::new(2).unwrap(),
+            Variant::Exact,
+            &TierPolicy::default(),
+        )
+        .unwrap_err();
+        assert!(err.0.contains("exact tier"), "{err}");
+    }
+
+    #[test]
+    fn bandwidth_variant_respects_cap() {
+        let inst = Instance::uniform(2, 12).unwrap();
+        let p = plan(
+            &inst,
+            Delay::new(4).unwrap(),
+            Variant::Bandwidth(3),
+            &TierPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(p.tier, Tier::Bandwidth);
+        assert!(p.strategy.group_sizes().iter().all(|&s| s <= 3));
+        // Infeasible cap errors instead of panicking.
+        assert!(plan(
+            &inst,
+            Delay::new(2).unwrap(),
+            Variant::Bandwidth(3),
+            &TierPolicy::default(),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn signature_variant_plans() {
+        let p = plan(
+            &small(),
+            Delay::new(2).unwrap(),
+            Variant::Signature(1),
+            &TierPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(p.tier, Tier::Signature);
+        assert!(p.expected_paging > 0.0);
+        assert!(plan(
+            &small(),
+            Delay::new(2).unwrap(),
+            Variant::Signature(99),
+            &TierPolicy::default(),
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,177 @@
+//! Worker pool with batch coalescing.
+//!
+//! Planning requests flow through an `mpsc` queue consumed by a fixed
+//! pool of std threads. Before a request is queued, the dispatcher
+//! checks an *in-flight* table: if an identical key is already being
+//! planned, the request subscribes to that computation instead of
+//! enqueueing a duplicate — under bursts of identical instances
+//! (exactly the conference-call hot path: many pages for the same
+//! popular distribution) the pool does the work once and fans the
+//! result out to every waiter.
+
+use std::collections::HashMap;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use pager_core::{Delay, Instance};
+
+use crate::planner::{plan, Plan, PlanError, TierPolicy, Variant};
+use crate::service::PlanKey;
+use crate::{cache::ShardedCache, metrics::Metrics};
+
+/// Result fanned out to every subscriber of one computation.
+pub(crate) type PlanResult = Result<Arc<Plan>, PlanError>;
+
+struct Job {
+    key: PlanKey,
+    fingerprint: u64,
+    instance: Instance,
+    delay: Delay,
+    variant: Variant,
+}
+
+/// Owns the queue, the in-flight table, and the worker threads.
+pub(crate) struct Dispatcher {
+    queue: Mutex<Option<mpsc::Sender<Job>>>,
+    inflight: Arc<Mutex<HashMap<PlanKey, Vec<mpsc::Sender<PlanResult>>>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Dispatcher {
+    pub(crate) fn new(
+        workers: usize,
+        cache: Arc<ShardedCache<PlanKey, Plan>>,
+        metrics: Arc<Metrics>,
+        policy: TierPolicy,
+    ) -> Dispatcher {
+        let (tx, rx) = mpsc::channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let inflight: Arc<Mutex<HashMap<PlanKey, Vec<mpsc::Sender<PlanResult>>>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let cache = Arc::clone(&cache);
+                let metrics = Arc::clone(&metrics);
+                let inflight = Arc::clone(&inflight);
+                std::thread::Builder::new()
+                    .name(format!("pager-worker-{i}"))
+                    .spawn(move || worker_loop(&rx, &cache, &metrics, &inflight, policy))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Dispatcher {
+            queue: Mutex::new(Some(tx)),
+            inflight,
+            workers: Mutex::new(handles),
+        }
+    }
+
+    /// Submits a planning job, coalescing onto an identical in-flight
+    /// one when possible. Returns the channel the result will arrive
+    /// on and whether the request was coalesced.
+    pub(crate) fn submit(
+        &self,
+        key: PlanKey,
+        fingerprint: u64,
+        instance: Instance,
+        delay: Delay,
+        variant: Variant,
+    ) -> Result<(mpsc::Receiver<PlanResult>, bool), PlanError> {
+        let (result_tx, result_rx) = mpsc::channel();
+        let coalesced = {
+            let mut inflight = self.inflight.lock().expect("inflight poisoned");
+            if let Some(waiters) = inflight.get_mut(&key) {
+                waiters.push(result_tx);
+                true
+            } else {
+                inflight.insert(key.clone(), vec![result_tx]);
+                false
+            }
+        };
+        if !coalesced {
+            let queue = self.queue.lock().expect("queue poisoned");
+            let Some(tx) = queue.as_ref() else {
+                // Shutting down: clear our registration and bail.
+                self.inflight
+                    .lock()
+                    .expect("inflight poisoned")
+                    .remove(&key);
+                return Err(PlanError("service is shutting down".into()));
+            };
+            tx.send(Job {
+                key,
+                fingerprint,
+                instance,
+                delay,
+                variant,
+            })
+            .map_err(|_| PlanError("worker pool is gone".into()))?;
+        }
+        Ok((result_rx, coalesced))
+    }
+
+    /// Stops accepting work and joins every worker.
+    pub(crate) fn shutdown(&self) {
+        self.queue.lock().expect("queue poisoned").take();
+        let handles: Vec<_> = self
+            .workers
+            .lock()
+            .expect("workers poisoned")
+            .drain(..)
+            .collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Dispatcher {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(
+    rx: &Mutex<mpsc::Receiver<Job>>,
+    cache: &ShardedCache<PlanKey, Plan>,
+    metrics: &Metrics,
+    inflight: &Mutex<HashMap<PlanKey, Vec<mpsc::Sender<PlanResult>>>>,
+    policy: TierPolicy,
+) {
+    loop {
+        // Hold the receiver lock only for the dequeue itself.
+        let job = match rx.lock().expect("worker rx poisoned").recv() {
+            Ok(job) => job,
+            Err(_) => return, // queue closed: shut down
+        };
+        // A coalesced burst may have already populated the cache by
+        // the time this job reaches the front of the queue.
+        let result: PlanResult = match cache.get(job.fingerprint, &job.key) {
+            Some(ready) => Ok(ready),
+            None => match plan(&job.instance, job.delay, job.variant, &policy) {
+                Ok(fresh) => {
+                    metrics
+                        .tier_latency(fresh.tier)
+                        .record(fresh.planning_micros);
+                    let shared = cache.insert(job.fingerprint, job.key.clone(), Arc::new(fresh));
+                    Ok(shared)
+                }
+                Err(error) => {
+                    Metrics::inc(&metrics.errors);
+                    Err(error)
+                }
+            },
+        };
+        let waiters = inflight
+            .lock()
+            .expect("inflight poisoned")
+            .remove(&job.key)
+            .unwrap_or_default();
+        for waiter in waiters {
+            // A waiter that hung up is its own problem.
+            let _ = waiter.send(result.clone());
+        }
+    }
+}

@@ -1,0 +1,333 @@
+//! JSON-lines wire protocol.
+//!
+//! One request per line, one response line per request, over TCP or
+//! stdin/stdout. Planning request:
+//!
+//! ```json
+//! {"id": 7, "instance": [[0.5, 0.3, 0.2], [0.2, 0.2, 0.6]], "delay": 2,
+//!  "variant": "auto", "cache": true}
+//! ```
+//!
+//! `instance` also accepts the `textio` text format as a JSON string
+//! (`"0.5 0.3 0.2\n1/4 1/4 1/2"` — rows on lines, `#` comments,
+//! decimal or `num/den` entries). `variant` is `"auto"` (default),
+//! `"exact"`, `"greedy"`, `"bandwidth"` (with `"bandwidth": b`), or
+//! `"signature"` (with `"k": k`). Response:
+//!
+//! ```json
+//! {"id": 7, "ok": true, "strategy": [[0], [1, 2]], "ep": 2.21,
+//!  "tier": "greedy", "cached": false, "coalesced": false,
+//!  "planning_micros": 41}
+//! ```
+//!
+//! Control lines: `{"cmd": "metrics"}` dumps the metrics registry,
+//! `{"cmd": "ping"}` answers `{"ok": true, "pong": true}`, and
+//! `{"cmd": "shutdown"}` asks the server to stop accepting
+//! connections (it answers `{"ok": true, "stopping": true}` first).
+
+use jsonio::Value;
+use pager_core::{Delay, Instance};
+use rational::Ratio;
+
+use crate::planner::Variant;
+use crate::service::{PagerService, PlanOptions};
+
+/// A parsed request line.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Plan a strategy.
+    Plan {
+        /// Opaque id echoed back in the response.
+        id: Value,
+        /// The instance to plan for.
+        instance: Instance,
+        /// Maximum paging rounds.
+        delay: Delay,
+        /// Per-request options (variant + cache opt-out).
+        options: PlanOptions,
+    },
+    /// Dump the metrics registry.
+    Metrics,
+    /// Liveness probe.
+    Ping,
+    /// Stop the server.
+    Shutdown,
+}
+
+/// Parses one wire line.
+///
+/// # Errors
+///
+/// A human-readable message for malformed JSON, unknown commands or
+/// invalid payloads (the message ends up in the error response).
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let value = jsonio::parse(line).map_err(|e| e.to_string())?;
+    if let Some(cmd) = value.get("cmd") {
+        return match cmd.as_str() {
+            Some("metrics") => Ok(Request::Metrics),
+            Some("ping") => Ok(Request::Ping),
+            Some("shutdown") => Ok(Request::Shutdown),
+            _ => Err(format!("unknown cmd {cmd}")),
+        };
+    }
+    let id = value.get("id").cloned().unwrap_or(Value::Null);
+    let instance = value
+        .get("instance")
+        .ok_or_else(|| "missing \"instance\"".to_string())?;
+    let instance = parse_instance_payload(instance)?;
+    let delay = Delay::from_json(
+        value
+            .get("delay")
+            .ok_or_else(|| "missing \"delay\"".to_string())?,
+    )?;
+    let variant = parse_variant(&value)?;
+    let cache = match value.get("cache") {
+        None => true,
+        Some(flag) => flag
+            .as_bool()
+            .ok_or_else(|| "\"cache\" must be a boolean".to_string())?,
+    };
+    Ok(Request::Plan {
+        id,
+        instance,
+        delay,
+        options: PlanOptions { variant, cache },
+    })
+}
+
+/// Accepts either the JSON rows form or the `textio` string form.
+fn parse_instance_payload(payload: &Value) -> Result<Instance, String> {
+    match payload {
+        Value::Str(text) => parse_textio_instance(text),
+        other => Instance::from_json(other),
+    }
+}
+
+/// `textio`-convention parser: one device per line, whitespace-
+/// separated probabilities, `#` comments, decimals or `num/den`
+/// fractions (kept in sync with the root crate's `textio` module).
+fn parse_textio_instance(text: &str) -> Result<Instance, String> {
+    let mut rows = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let body = line.split('#').next().unwrap_or("").trim();
+        if body.is_empty() {
+            continue;
+        }
+        let mut row = Vec::new();
+        for token in body.split_whitespace() {
+            let value: Ratio = token.parse().map_err(|_| {
+                format!("line {}: cannot parse {token:?} as a probability", idx + 1)
+            })?;
+            row.push(value.to_f64());
+        }
+        rows.push(row);
+    }
+    if rows.is_empty() {
+        return Err("no probability rows found".to_string());
+    }
+    Instance::from_rows(rows).map_err(|e| e.to_string())
+}
+
+fn parse_variant(value: &Value) -> Result<Variant, String> {
+    let name = match value.get("variant") {
+        None => return Ok(Variant::Auto),
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| "\"variant\" must be a string".to_string())?,
+    };
+    match name {
+        "auto" => Ok(Variant::Auto),
+        "exact" => Ok(Variant::Exact),
+        "greedy" => Ok(Variant::Greedy),
+        "bandwidth" => {
+            let cap = value
+                .get("bandwidth")
+                .and_then(Value::as_usize)
+                .ok_or_else(|| {
+                    "variant \"bandwidth\" needs a positive integer \"bandwidth\"".to_string()
+                })?;
+            Ok(Variant::Bandwidth(cap))
+        }
+        "signature" => {
+            let k = value.get("k").and_then(Value::as_usize).ok_or_else(|| {
+                "variant \"signature\" needs a positive integer \"k\"".to_string()
+            })?;
+            Ok(Variant::Signature(k))
+        }
+        other => Err(format!("unknown variant {other:?}")),
+    }
+}
+
+/// What handling one line produced.
+#[derive(Debug)]
+pub struct LineOutcome {
+    /// The response line (no trailing newline).
+    pub response: String,
+    /// Whether the server should stop accepting connections.
+    pub shutdown: bool,
+}
+
+/// Handles one wire line end to end against a service.
+#[must_use]
+pub fn handle_line(service: &PagerService, line: &str) -> LineOutcome {
+    match parse_request(line) {
+        Err(message) => LineOutcome {
+            response: error_response(&Value::Null, &message),
+            shutdown: false,
+        },
+        Ok(Request::Ping) => LineOutcome {
+            response: Value::object(vec![("ok", Value::Bool(true)), ("pong", Value::Bool(true))])
+                .to_string(),
+            shutdown: false,
+        },
+        Ok(Request::Metrics) => LineOutcome {
+            response: Value::object(vec![
+                ("ok", Value::Bool(true)),
+                ("metrics", service.metrics().to_json()),
+            ])
+            .to_string(),
+            shutdown: false,
+        },
+        Ok(Request::Shutdown) => LineOutcome {
+            response: Value::object(vec![
+                ("ok", Value::Bool(true)),
+                ("stopping", Value::Bool(true)),
+            ])
+            .to_string(),
+            shutdown: true,
+        },
+        Ok(Request::Plan {
+            id,
+            instance,
+            delay,
+            options,
+        }) => match service.plan(&instance, delay, options) {
+            Err(error) => LineOutcome {
+                response: error_response(&id, &error.to_string()),
+                shutdown: false,
+            },
+            Ok(response) => LineOutcome {
+                response: Value::object(vec![
+                    ("id", id),
+                    ("ok", Value::Bool(true)),
+                    ("strategy", response.plan.strategy.to_json()),
+                    ("ep", Value::Float(response.plan.expected_paging)),
+                    ("tier", Value::from(response.plan.tier.name())),
+                    ("cached", Value::Bool(response.cached)),
+                    ("coalesced", Value::Bool(response.coalesced)),
+                    (
+                        "planning_micros",
+                        Value::from(response.plan.planning_micros),
+                    ),
+                ])
+                .to_string(),
+                shutdown: false,
+            },
+        },
+    }
+}
+
+fn error_response(id: &Value, message: &str) -> String {
+    Value::object(vec![
+        ("id", id.clone()),
+        ("ok", Value::Bool(false)),
+        ("error", Value::from(message)),
+    ])
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+
+    fn service() -> PagerService {
+        PagerService::new(ServiceConfig {
+            workers: 2,
+            capacity: 64,
+            ..ServiceConfig::default()
+        })
+    }
+
+    #[test]
+    fn plan_request_round_trip() {
+        let svc = service();
+        let line = r#"{"id": 7, "instance": [[0.5, 0.3, 0.2]], "delay": 2}"#;
+        let out = handle_line(&svc, line);
+        assert!(!out.shutdown);
+        let v = jsonio::parse(&out.response).unwrap();
+        assert_eq!(v.get("id").and_then(Value::as_i64), Some(7));
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(v.get("cached").and_then(Value::as_bool), Some(false));
+        assert!(v.get("ep").and_then(Value::as_f64).unwrap() > 0.0);
+        // Strategy covers all three cells.
+        let strategy = v.get("strategy").and_then(Value::as_array).unwrap();
+        let total: usize = strategy.iter().map(|g| g.as_array().unwrap().len()).sum();
+        assert_eq!(total, 3);
+        // Identical follow-up is served from cache.
+        let again = handle_line(&svc, line);
+        let v2 = jsonio::parse(&again.response).unwrap();
+        assert_eq!(v2.get("cached").and_then(Value::as_bool), Some(true));
+        assert_eq!(v2.get("strategy"), v.get("strategy"));
+    }
+
+    #[test]
+    fn textio_instances_are_accepted() {
+        let svc = service();
+        let line = r##"{"id": "t", "instance": "# demo\n0.5 0.5\n1/4 3/4", "delay": 2}"##;
+        let v = jsonio::parse(&handle_line(&svc, line).response).unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "{v}");
+        assert_eq!(v.get("id").and_then(Value::as_str), Some("t"));
+    }
+
+    #[test]
+    fn variants_parse_and_validate() {
+        let svc = service();
+        let bw = r#"{"instance": [[0.25,0.25,0.25,0.25]], "delay": 2, "variant": "bandwidth", "bandwidth": 2}"#;
+        let v = jsonio::parse(&handle_line(&svc, bw).response).unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "{v}");
+        assert_eq!(v.get("tier").and_then(Value::as_str), Some("bandwidth"));
+        let missing = r#"{"instance": [[1.0]], "delay": 1, "variant": "bandwidth"}"#;
+        let v = jsonio::parse(&handle_line(&svc, missing).response).unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+        let unknown = r#"{"instance": [[1.0]], "delay": 1, "variant": "psychic"}"#;
+        let v = jsonio::parse(&handle_line(&svc, unknown).response).unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+    }
+
+    #[test]
+    fn malformed_lines_get_error_responses() {
+        let svc = service();
+        for bad in [
+            "not json",
+            "{}",
+            r#"{"instance": [[0.5, 0.6]], "delay": 2}"#,
+            r#"{"instance": [[0.5, 0.5]], "delay": 0}"#,
+            r#"{"instance": [[0.5, 0.5]]}"#,
+            r#"{"cmd": "dance"}"#,
+        ] {
+            let out = handle_line(&svc, bad);
+            let v = jsonio::parse(&out.response).unwrap();
+            assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false), "{bad}");
+            assert!(v.get("error").is_some(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn control_lines() {
+        let svc = service();
+        let ping = handle_line(&svc, r#"{"cmd": "ping"}"#);
+        assert!(ping.response.contains("pong"));
+        let _ = handle_line(&svc, r#"{"instance": [[0.5, 0.5]], "delay": 1}"#);
+        let metrics = handle_line(&svc, r#"{"cmd": "metrics"}"#);
+        let v = jsonio::parse(&metrics.response).unwrap();
+        assert_eq!(
+            v.get("metrics")
+                .and_then(|m| m.get("requests"))
+                .and_then(Value::as_u64),
+            Some(1)
+        );
+        let stop = handle_line(&svc, r#"{"cmd": "shutdown"}"#);
+        assert!(stop.shutdown);
+    }
+}

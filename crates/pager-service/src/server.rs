@@ -1,0 +1,253 @@
+//! Line-oriented servers over TCP and stdio.
+//!
+//! Both fronts speak the [`crate::proto`] JSON-lines protocol against
+//! one shared [`PagerService`]. The TCP server accepts on a
+//! non-blocking listener and handles each connection on its own
+//! thread; a `{"cmd": "shutdown"}` line (or [`ServerHandle::stop`])
+//! makes the accept loop exit. Connections already open keep being
+//! served until their peer hangs up.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::proto::handle_line;
+use crate::service::PagerService;
+
+/// How often the accept loop re-checks the stop flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+
+/// A running TCP server.
+pub struct ServerHandle {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the listener is bound to (useful with port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Whether the accept loop has been asked to stop.
+    #[must_use]
+    pub fn stopping(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Stops accepting connections and joins the accept thread.
+    /// Threads serving open connections run until their peers
+    /// disconnect.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Blocks until the accept loop exits (e.g. a client sent
+    /// `{"cmd": "shutdown"}`).
+    pub fn join(&mut self) {
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Binds `addr` and serves the wire protocol until stopped.
+///
+/// # Errors
+///
+/// An [`std::io::Error`] when the address cannot be bound.
+pub fn serve_tcp<A: ToSocketAddrs>(
+    service: Arc<PagerService>,
+    addr: A,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept_stop = Arc::clone(&stop);
+    let accept_thread = std::thread::Builder::new()
+        .name("pager-accept".into())
+        .spawn(move || accept_loop(&listener, &service, &accept_stop))
+        .expect("spawn accept thread");
+    Ok(ServerHandle {
+        addr,
+        stop,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+fn accept_loop(listener: &TcpListener, service: &Arc<PagerService>, stop: &Arc<AtomicBool>) {
+    let mut connection_id = 0u64;
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                connection_id += 1;
+                let service = Arc::clone(service);
+                let stop = Arc::clone(stop);
+                let spawned = std::thread::Builder::new()
+                    .name(format!("pager-conn-{connection_id}"))
+                    .spawn(move || serve_connection(&stream, &service, &stop));
+                if spawned.is_err() {
+                    // Out of threads: drop the connection rather than
+                    // the whole server.
+                    continue;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => {
+                // Transient accept errors (e.g. ECONNABORTED): retry.
+                std::thread::sleep(ACCEPT_POLL);
+            }
+        }
+    }
+}
+
+fn serve_connection(stream: &TcpStream, service: &PagerService, stop: &AtomicBool) {
+    // Each line is handled synchronously; blocking reads are fine on
+    // a dedicated thread.
+    if stream.set_nonblocking(false).is_err() {
+        return;
+    }
+    let reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = BufWriter::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { return };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let outcome = handle_line(service, &line);
+        if writeln!(writer, "{}", outcome.response).is_err() || writer.flush().is_err() {
+            return;
+        }
+        if outcome.shutdown {
+            stop.store(true, Ordering::SeqCst);
+            return;
+        }
+    }
+}
+
+/// Serves the wire protocol over arbitrary reader/writer pairs (used
+/// for `pager-serve --stdio` and in-process tests). Returns when the
+/// reader reaches EOF or a shutdown line is handled.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the reader or writer.
+pub fn serve_lines<R: BufRead, W: Write>(
+    service: &PagerService,
+    reader: R,
+    mut writer: W,
+) -> std::io::Result<()> {
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let outcome = handle_line(service, &line);
+        writeln!(writer, "{}", outcome.response)?;
+        writer.flush()?;
+        if outcome.shutdown {
+            break;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+    use jsonio::Value;
+    use std::io::Cursor;
+
+    fn service() -> Arc<PagerService> {
+        Arc::new(PagerService::new(ServiceConfig {
+            workers: 2,
+            capacity: 64,
+            ..ServiceConfig::default()
+        }))
+    }
+
+    #[test]
+    fn serve_lines_round_trip() {
+        let svc = service();
+        let input =
+            "\n{\"id\": 1, \"instance\": [[0.5, 0.5]], \"delay\": 1}\n{\"cmd\": \"ping\"}\n";
+        let mut out = Vec::new();
+        serve_lines(&svc, Cursor::new(input), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first = jsonio::parse(lines[0]).unwrap();
+        assert_eq!(first.get("ok").and_then(Value::as_bool), Some(true));
+        assert!(lines[1].contains("pong"));
+    }
+
+    #[test]
+    fn serve_lines_stops_on_shutdown() {
+        let svc = service();
+        let input = "{\"cmd\": \"shutdown\"}\n{\"cmd\": \"ping\"}\n";
+        let mut out = Vec::new();
+        serve_lines(&svc, Cursor::new(input), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(text.lines().count(), 1, "no output after shutdown");
+        assert!(text.contains("stopping"));
+    }
+
+    #[test]
+    fn tcp_round_trip_and_stop() {
+        let svc = service();
+        let mut handle = serve_tcp(Arc::clone(&svc), ("127.0.0.1", 0)).unwrap();
+        let addr = handle.local_addr();
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+        let request = r#"{"id": 9, "instance": [[0.7, 0.3]], "delay": 1}"#;
+        writeln!(writer, "{request}").unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let v = jsonio::parse(&line).unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(v.get("id").and_then(Value::as_i64), Some(9));
+        handle.stop();
+        assert!(handle.stopping());
+    }
+
+    #[test]
+    fn tcp_shutdown_command_stops_accept_loop() {
+        let svc = service();
+        let mut handle = serve_tcp(Arc::clone(&svc), ("127.0.0.1", 0)).unwrap();
+        let addr = handle.local_addr();
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+        let request = r#"{"cmd": "shutdown"}"#;
+        writeln!(writer, "{request}").unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("stopping"));
+        handle.join();
+        assert!(handle.stopping());
+    }
+}

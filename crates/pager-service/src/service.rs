@@ -1,0 +1,383 @@
+//! The planning service façade: cache → coalesce → plan.
+
+use std::sync::Arc;
+
+use pager_core::{Delay, Instance};
+
+use crate::cache::ShardedCache;
+use crate::metrics::Metrics;
+use crate::planner::{plan, Plan, PlanError, TierPolicy, Variant};
+use crate::pool::Dispatcher;
+
+/// The full cache key: quantised probabilities plus everything else
+/// that changes the answer. Two requests with equal keys are served
+/// the *same* strategy object.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    buckets: Vec<u32>,
+    devices: usize,
+    cells: usize,
+    delay: usize,
+    variant: Variant,
+    grid: u32,
+}
+
+/// Service configuration knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Planner threads consuming the request queue.
+    pub workers: usize,
+    /// Cache shards (independent locks).
+    pub shards: usize,
+    /// Total cached strategies across all shards.
+    pub capacity: usize,
+    /// Quantisation grid for cache keys: probabilities are bucketed
+    /// to multiples of `1/grid`. Coarser grids (smaller values) hit
+    /// more, at the cost of serving strategies planned for instances
+    /// up to `1/(2·grid)` away per entry.
+    pub grid: u32,
+    /// Exact-tier dispatch limits.
+    pub policy: TierPolicy,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            workers: std::thread::available_parallelism()
+                .map_or(4, usize::from)
+                .clamp(2, 16),
+            shards: 16,
+            capacity: 4096,
+            grid: 1000,
+            policy: TierPolicy::default(),
+        }
+    }
+}
+
+/// Per-request options.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanOptions {
+    /// What kind of plan to compute.
+    pub variant: Variant,
+    /// Whether this request may read/populate the strategy cache.
+    pub cache: bool,
+}
+
+impl Default for PlanOptions {
+    fn default() -> PlanOptions {
+        PlanOptions {
+            variant: Variant::Auto,
+            cache: true,
+        }
+    }
+}
+
+/// A served plan plus how it was served.
+#[derive(Debug, Clone)]
+pub struct PlanResponse {
+    /// The plan (shared with the cache and any coalesced waiters).
+    pub plan: Arc<Plan>,
+    /// Served straight from the cache.
+    pub cached: bool,
+    /// Joined an identical in-flight computation.
+    pub coalesced: bool,
+}
+
+/// A concurrent strategy-planning service.
+///
+/// Cheap to share: wrap in an [`Arc`] and call [`PagerService::plan`]
+/// from any number of threads.
+///
+/// # Examples
+///
+/// ```
+/// use pager_service::{PagerService, PlanOptions, ServiceConfig};
+/// use pager_core::{Delay, Instance};
+///
+/// let service = PagerService::new(ServiceConfig::default());
+/// let inst = Instance::from_rows(vec![vec![0.5, 0.3, 0.2]]).unwrap();
+/// let first = service.plan(&inst, Delay::new(2).unwrap(), PlanOptions::default()).unwrap();
+/// let again = service.plan(&inst, Delay::new(2).unwrap(), PlanOptions::default()).unwrap();
+/// assert!(!first.cached && again.cached);
+/// assert_eq!(first.plan.strategy, again.plan.strategy);
+/// ```
+pub struct PagerService {
+    config: ServiceConfig,
+    cache: Arc<ShardedCache<PlanKey, Plan>>,
+    metrics: Arc<Metrics>,
+    dispatcher: Dispatcher,
+}
+
+impl PagerService {
+    /// Builds a service and starts its worker pool.
+    #[must_use]
+    pub fn new(config: ServiceConfig) -> PagerService {
+        let cache = Arc::new(ShardedCache::new(config.capacity, config.shards));
+        let metrics = Arc::new(Metrics::default());
+        let dispatcher = Dispatcher::new(
+            config.workers,
+            Arc::clone(&cache),
+            Arc::clone(&metrics),
+            config.policy,
+        );
+        PagerService {
+            config,
+            cache,
+            metrics,
+            dispatcher,
+        }
+    }
+
+    /// The configuration the service was built with.
+    #[must_use]
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Live metrics (shared; read with `Metrics::get` or dump with
+    /// `Metrics::to_json`).
+    #[must_use]
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The cache key and shard fingerprint for a request, exposed so
+    /// tests and tools can reason about hit behaviour.
+    #[must_use]
+    pub fn cache_key(&self, instance: &Instance, delay: Delay, variant: Variant) -> PlanKey {
+        PlanKey {
+            buckets: instance.quantized_buckets(self.config.grid),
+            devices: instance.num_devices(),
+            cells: instance.num_cells(),
+            delay: delay.get(),
+            variant,
+            grid: self.config.grid,
+        }
+    }
+
+    fn fingerprint(&self, instance: &Instance, delay: Delay, variant: Variant) -> u64 {
+        let mut fp = instance.fingerprint64(self.config.grid);
+        // Fold the non-instance key parts in FNV-style.
+        for word in [delay.get() as u64, variant_tag(variant)] {
+            for byte in word.to_le_bytes() {
+                fp ^= u64::from(byte);
+                fp = fp.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+        fp
+    }
+
+    /// Plans a strategy, serving from the cache or an identical
+    /// in-flight computation when possible.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError`] on invalid variant parameters, solver limits, or
+    /// when called during shutdown.
+    pub fn plan(
+        &self,
+        instance: &Instance,
+        delay: Delay,
+        options: PlanOptions,
+    ) -> Result<PlanResponse, PlanError> {
+        Metrics::inc(&self.metrics.requests);
+        if !options.cache {
+            // Uncached path still runs on the caller thread: the pool
+            // exists to dedupe identical work, and uncacheable work
+            // cannot be deduped.
+            let fresh = plan(instance, delay, options.variant, &self.config.policy)
+                .inspect_err(|_| Metrics::inc(&self.metrics.errors))?;
+            self.metrics
+                .tier_latency(fresh.tier)
+                .record(fresh.planning_micros);
+            return Ok(PlanResponse {
+                plan: Arc::new(fresh),
+                cached: false,
+                coalesced: false,
+            });
+        }
+        let key = self.cache_key(instance, delay, options.variant);
+        let fingerprint = self.fingerprint(instance, delay, options.variant);
+        if let Some(hit) = self.cache.get(fingerprint, &key) {
+            Metrics::inc(&self.metrics.cache_hits);
+            return Ok(PlanResponse {
+                plan: hit,
+                cached: true,
+                coalesced: false,
+            });
+        }
+        Metrics::inc(&self.metrics.cache_misses);
+        let (rx, coalesced) =
+            self.dispatcher
+                .submit(key, fingerprint, instance.clone(), delay, options.variant)?;
+        if coalesced {
+            Metrics::inc(&self.metrics.coalesced);
+        }
+        let result = rx
+            .recv()
+            .map_err(|_| PlanError("worker pool dropped the request".into()))?;
+        result.map(|plan| PlanResponse {
+            plan,
+            cached: false,
+            coalesced,
+        })
+    }
+
+    /// Number of strategies currently cached.
+    #[must_use]
+    pub fn cached_strategies(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Total cache evictions so far.
+    #[must_use]
+    pub fn cache_evictions(&self) -> u64 {
+        self.cache.evictions()
+    }
+
+    /// Stops the worker pool. In-flight requests finish; later calls
+    /// to [`PagerService::plan`] on the cacheable path fail fast.
+    pub fn shutdown(&self) {
+        self.dispatcher.shutdown();
+    }
+}
+
+fn variant_tag(variant: Variant) -> u64 {
+    match variant {
+        Variant::Auto => 0,
+        Variant::Exact => 1 << 32,
+        Variant::Greedy => 2 << 32,
+        Variant::Bandwidth(b) => (3 << 32) | b as u64,
+        Variant::Signature(k) => (4 << 32) | k as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn service() -> PagerService {
+        PagerService::new(ServiceConfig {
+            workers: 4,
+            shards: 4,
+            capacity: 64,
+            grid: 1000,
+            policy: TierPolicy::default(),
+        })
+    }
+
+    fn inst() -> Instance {
+        Instance::from_rows(vec![vec![0.4, 0.3, 0.2, 0.1], vec![0.25, 0.25, 0.25, 0.25]]).unwrap()
+    }
+
+    #[test]
+    fn second_identical_request_hits_cache() {
+        let svc = service();
+        let d = Delay::new(2).unwrap();
+        let first = svc.plan(&inst(), d, PlanOptions::default()).unwrap();
+        assert!(!first.cached);
+        let second = svc.plan(&inst(), d, PlanOptions::default()).unwrap();
+        assert!(second.cached);
+        assert!(Arc::ptr_eq(&first.plan, &second.plan), "same shared plan");
+        assert_eq!(Metrics::get(&svc.metrics().cache_hits), 1);
+        assert_eq!(Metrics::get(&svc.metrics().cache_misses), 1);
+        assert_eq!(Metrics::get(&svc.metrics().requests), 2);
+    }
+
+    #[test]
+    fn nearby_instances_share_cache_entries() {
+        let svc = service();
+        let d = Delay::new(2).unwrap();
+        let a = Instance::from_rows(vec![vec![0.50001, 0.49999]]).unwrap();
+        let b = Instance::from_rows(vec![vec![0.49999, 0.50001]]).unwrap();
+        assert!(!svc.plan(&a, d, PlanOptions::default()).unwrap().cached);
+        assert!(svc.plan(&b, d, PlanOptions::default()).unwrap().cached);
+    }
+
+    #[test]
+    fn different_delay_or_variant_miss() {
+        let svc = service();
+        let d2 = Delay::new(2).unwrap();
+        let d3 = Delay::new(3).unwrap();
+        svc.plan(&inst(), d2, PlanOptions::default()).unwrap();
+        let other_delay = svc.plan(&inst(), d3, PlanOptions::default()).unwrap();
+        assert!(!other_delay.cached);
+        let forced_greedy = svc
+            .plan(
+                &inst(),
+                d2,
+                PlanOptions {
+                    variant: Variant::Greedy,
+                    cache: true,
+                },
+            )
+            .unwrap();
+        assert!(!forced_greedy.cached);
+    }
+
+    #[test]
+    fn uncached_requests_bypass_cache() {
+        let svc = service();
+        let d = Delay::new(2).unwrap();
+        let opts = PlanOptions {
+            variant: Variant::Auto,
+            cache: false,
+        };
+        svc.plan(&inst(), d, opts).unwrap();
+        svc.plan(&inst(), d, opts).unwrap();
+        assert_eq!(svc.cached_strategies(), 0);
+        assert_eq!(Metrics::get(&svc.metrics().cache_hits), 0);
+    }
+
+    #[test]
+    fn errors_are_counted_and_not_cached() {
+        let svc = service();
+        let d = Delay::new(2).unwrap();
+        let opts = PlanOptions {
+            variant: Variant::Signature(99),
+            cache: true,
+        };
+        assert!(svc.plan(&inst(), d, opts).is_err());
+        assert!(svc.plan(&inst(), d, opts).is_err());
+        assert_eq!(Metrics::get(&svc.metrics().errors), 2);
+        assert_eq!(svc.cached_strategies(), 0);
+    }
+
+    #[test]
+    fn concurrent_identical_requests_coalesce_or_hit() {
+        let svc = Arc::new(service());
+        let d = Delay::new(3).unwrap();
+        // A moderately expensive exact instance so requests overlap.
+        let heavy = Instance::uniform(3, 10).unwrap();
+        let handles: Vec<_> = (0..16)
+            .map(|_| {
+                let svc = Arc::clone(&svc);
+                let heavy = heavy.clone();
+                std::thread::spawn(move || svc.plan(&heavy, d, PlanOptions::default()).unwrap())
+            })
+            .collect();
+        let responses: Vec<PlanResponse> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let baseline = &responses[0].plan;
+        for r in &responses {
+            assert_eq!(r.plan.strategy, baseline.strategy);
+            assert_eq!(r.plan.expected_paging, baseline.expected_paging);
+        }
+        let m = svc.metrics();
+        assert_eq!(Metrics::get(&m.requests), 16);
+        // Every request either hit the cache or missed (and the
+        // misses were deduped down to one stored strategy).
+        assert_eq!(
+            Metrics::get(&m.cache_hits) + Metrics::get(&m.cache_misses),
+            16
+        );
+        assert_eq!(svc.cached_strategies(), 1);
+    }
+
+    #[test]
+    fn shutdown_fails_fast() {
+        let svc = service();
+        svc.shutdown();
+        let err = svc.plan(&inst(), Delay::new(2).unwrap(), PlanOptions::default());
+        assert!(err.is_err());
+    }
+}

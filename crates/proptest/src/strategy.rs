@@ -1,0 +1,227 @@
+//! The [`Strategy`] trait and combinators.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A recipe for generating values of one type.
+///
+/// Mirror of `proptest::strategy::Strategy`, minus shrinking: a
+/// strategy only knows how to draw a fresh value. `new_value` returns
+/// `Err(reason)` when the draw must be rejected (exhausted filter);
+/// the runner retries rejected cases without counting them.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: core::fmt::Debug;
+
+    /// Draws one value.
+    ///
+    /// # Errors
+    ///
+    /// `Err(reason)` rejects the case (does not fail the test).
+    fn new_value(&self, rng: &mut StdRng) -> Result<Self::Value, String>;
+
+    /// Transforms generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: core::fmt::Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then draws from a strategy built from it.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Keeps only values satisfying `pred`; other draws are retried a
+    /// bounded number of times before the case is rejected.
+    fn prop_filter<F>(self, reason: impl Into<String>, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason: reason.into(),
+            pred,
+        }
+    }
+
+    /// Boxes the strategy behind a trait object.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut StdRng) -> Result<Self::Value, String> {
+        (**self).new_value(rng)
+    }
+}
+
+/// A heap-allocated, type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T: core::fmt::Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut StdRng) -> Result<T, String> {
+        self.0.new_value(rng)
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + core::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut StdRng) -> Result<T, String> {
+        Ok(self.0.clone())
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: core::fmt::Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn new_value(&self, rng: &mut StdRng) -> Result<O, String> {
+        self.inner.new_value(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn new_value(&self, rng: &mut StdRng) -> Result<S2::Value, String> {
+        let first = self.inner.new_value(rng)?;
+        (self.f)(first).new_value(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    reason: String,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut StdRng) -> Result<S::Value, String> {
+        const MAX_LOCAL_TRIES: usize = 64;
+        for _ in 0..MAX_LOCAL_TRIES {
+            let v = self.inner.new_value(rng)?;
+            if (self.pred)(&v) {
+                return Ok(v);
+            }
+        }
+        Err(format!("filter exhausted: {}", self.reason))
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut StdRng) -> Result<$t, String> {
+                Ok(rng.gen_range(self.clone()))
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut StdRng) -> Result<$t, String> {
+                Ok(rng.gen_range(self.clone()))
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn new_value(&self, rng: &mut StdRng) -> Result<Self::Value, String> {
+                Ok(($(self.$idx.new_value(rng)?,)+))
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn combinators_compose() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = (1usize..4, 0u32..10)
+            .prop_map(|(a, b)| a + b as usize)
+            .prop_filter("nonzero", |&v| v > 0)
+            .prop_flat_map(|n| crate::collection::vec(0u8..=9, n..n + 1));
+        for _ in 0..200 {
+            let v = s.new_value(&mut rng).unwrap();
+            assert!((1..13).contains(&v.len()));
+            assert!(v.iter().all(|&b| b <= 9));
+        }
+    }
+
+    #[test]
+    fn filter_rejects_eventually() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let s = (0u32..10).prop_filter("impossible", |&v| v > 100);
+        assert!(s.new_value(&mut rng).is_err());
+    }
+
+    #[test]
+    fn boxed_strategy_works() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let s: BoxedStrategy<u32> = (0u32..5).boxed();
+        assert!(s.new_value(&mut rng).unwrap() < 5);
+    }
+}

@@ -299,15 +299,16 @@ impl BigInt {
                 Ordering::Greater => {
                     BigInt::from_sign_mag(self.sign, mag_sub(&self.mag, &other.mag))
                 }
-                Ordering::Less => {
-                    BigInt::from_sign_mag(other.sign, mag_sub(&other.mag, &self.mag))
-                }
+                Ordering::Less => BigInt::from_sign_mag(other.sign, mag_sub(&other.mag, &self.mag)),
             },
         }
     }
 
     fn mul_signed(&self, other: &BigInt) -> BigInt {
-        BigInt::from_sign_mag(self.sign.combine(other.sign), mag_mul(&self.mag, &other.mag))
+        BigInt::from_sign_mag(
+            self.sign.combine(other.sign),
+            mag_mul(&self.mag, &other.mag),
+        )
     }
 
     /// Divides with remainder, truncating toward zero (like Rust's `/`
@@ -322,12 +323,13 @@ impl BigInt {
         assert!(!other.is_zero(), "BigInt division by zero");
         let (q_mag, r_mag) = mag_divrem(&self.mag, &other.mag);
         let q_sign = self.sign.combine(other.sign);
-        let q = BigInt::from_sign_mag(
-            if q_mag.is_empty() { Sign::Zero } else { q_sign },
-            q_mag,
-        );
+        let q = BigInt::from_sign_mag(if q_mag.is_empty() { Sign::Zero } else { q_sign }, q_mag);
         let r = BigInt::from_sign_mag(
-            if r_mag.is_empty() { Sign::Zero } else { self.sign },
+            if r_mag.is_empty() {
+                Sign::Zero
+            } else {
+                self.sign
+            },
             r_mag,
         );
         q.debug_check();
@@ -388,7 +390,14 @@ impl BigInt {
     #[must_use]
     pub fn shr_bits(&self, bits: u64) -> BigInt {
         let mag = mag_shr(&self.mag, bits);
-        BigInt::from_sign_mag(if mag.is_empty() { Sign::Zero } else { self.sign }, mag)
+        BigInt::from_sign_mag(
+            if mag.is_empty() {
+                Sign::Zero
+            } else {
+                self.sign
+            },
+            mag,
+        )
     }
 }
 

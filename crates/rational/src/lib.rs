@@ -39,10 +39,9 @@
 mod bigint;
 mod bigint_ops;
 mod convert;
+mod json_impls;
 mod parse;
 mod ratio;
-#[cfg(feature = "serde")]
-mod serde_impls;
 
 pub use bigint::{BigInt, Sign};
 pub use parse::ParseBigIntError;

@@ -265,10 +265,7 @@ impl Ratio {
         let (int_part, frac_part) = if digits == 0 {
             (digits_str.clone(), String::new())
         } else if digits_str.len() <= digits {
-            (
-                "0".to_string(),
-                format!("{digits_str:0>digits$}"),
-            )
+            ("0".to_string(), format!("{digits_str:0>digits$}"))
         } else {
             let cut = digits_str.len() - digits;
             (digits_str[..cut].to_string(), digits_str[cut..].to_string())

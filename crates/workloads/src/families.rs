@@ -214,10 +214,16 @@ mod tests {
 
     #[test]
     fn generators_are_deterministic_per_seed() {
-        let a = InstanceGenerator::new(DistributionFamily::Dirichlet)
-            .generate(3, 6, &mut StdRng::seed_from_u64(11));
-        let b = InstanceGenerator::new(DistributionFamily::Dirichlet)
-            .generate(3, 6, &mut StdRng::seed_from_u64(11));
+        let a = InstanceGenerator::new(DistributionFamily::Dirichlet).generate(
+            3,
+            6,
+            &mut StdRng::seed_from_u64(11),
+        );
+        let b = InstanceGenerator::new(DistributionFamily::Dirichlet).generate(
+            3,
+            6,
+            &mut StdRng::seed_from_u64(11),
+        );
         assert_eq!(a, b);
     }
 }

@@ -38,7 +38,7 @@ fn main() {
                 .collect();
             let mut system = System::new(config, mobility, seed);
             let outcome = if greedy {
-                system.run(&GreedyPlanner)
+                system.run(&GreedyPlanner::default())
             } else {
                 system.run(&BlanketPlanner)
             };

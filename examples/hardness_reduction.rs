@@ -55,7 +55,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         lower_bound_instance::ratio(),
         lower_bound_instance::ratio().to_f64()
     );
-    assert_eq!(heuristic.expected_paging, lower_bound_instance::heuristic_ep());
+    assert_eq!(
+        heuristic.expected_paging,
+        lower_bound_instance::heuristic_ep()
+    );
     println!("\nThe heuristic is provably within e/(e-1) ~ 1.58198 of optimal,");
     println!("and this instance certifies it cannot be better than 320/317.");
     Ok(())

@@ -1,0 +1,109 @@
+//! `pager-serve` — the concurrent strategy-planning server.
+//!
+//! ```text
+//! USAGE:
+//!   pager-serve [--addr HOST:PORT] [--stdio] [--workers N] [--shards N]
+//!               [--capacity N] [--grid G] [--metrics-json]
+//! ```
+//!
+//! Speaks the `pager_service::proto` JSON-lines protocol: one request
+//! per line, one response line per request. By default it listens on
+//! `127.0.0.1:7878`; with `--stdio` it serves a single session over
+//! stdin/stdout instead (handy for tests and pipelines). In TCP mode
+//! the process runs until a client sends `{"cmd": "shutdown"}`. With
+//! `--metrics-json` the final metrics registry is dumped to stdout as
+//! one JSON object on exit.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use conference_call::service::{serve_lines, serve_tcp, PagerService, ServiceConfig};
+
+struct Options {
+    addr: String,
+    stdio: bool,
+    metrics_json: bool,
+    config: ServiceConfig,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: pager-serve [--addr HOST:PORT] [--stdio] [--workers N] [--shards N] [--capacity N] [--grid G] [--metrics-json]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args(mut args: std::env::Args) -> Result<Options, String> {
+    let _ = args.next();
+    let mut opts = Options {
+        addr: "127.0.0.1:7878".into(),
+        stdio: false,
+        metrics_json: false,
+        config: ServiceConfig::default(),
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => opts.addr = args.next().ok_or("--addr needs HOST:PORT")?,
+            "--stdio" => opts.stdio = true,
+            "--metrics-json" => opts.metrics_json = true,
+            "--workers" => {
+                opts.config.workers = parse_positive(args.next(), "--workers")?;
+            }
+            "--shards" => {
+                opts.config.shards = parse_positive(args.next(), "--shards")?;
+            }
+            "--capacity" => {
+                opts.config.capacity = parse_positive(args.next(), "--capacity")?;
+            }
+            "--grid" => {
+                let grid: usize = parse_positive(args.next(), "--grid")?;
+                opts.config.grid =
+                    u32::try_from(grid).map_err(|_| "--grid is too large".to_string())?;
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn parse_positive(value: Option<String>, flag: &str) -> Result<usize, String> {
+    value
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .ok_or_else(|| format!("{flag} needs a positive integer"))
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args(std::env::args()) {
+        Ok(opts) => opts,
+        Err(message) => {
+            eprintln!("pager-serve: {message}");
+            return usage();
+        }
+    };
+    let service = Arc::new(PagerService::new(opts.config));
+    if opts.stdio {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        if let Err(e) = serve_lines(&service, stdin.lock(), stdout.lock()) {
+            eprintln!("pager-serve: I/O error: {e}");
+            return ExitCode::FAILURE;
+        }
+    } else {
+        let mut handle = match serve_tcp(Arc::clone(&service), opts.addr.as_str()) {
+            Ok(handle) => handle,
+            Err(e) => {
+                eprintln!("pager-serve: cannot bind {}: {e}", opts.addr);
+                return ExitCode::FAILURE;
+            }
+        };
+        eprintln!("pager-serve: listening on {}", handle.local_addr());
+        handle.join();
+        eprintln!("pager-serve: shutting down");
+    }
+    service.shutdown();
+    if opts.metrics_json {
+        println!("{}", service.metrics().to_json());
+    }
+    ExitCode::SUCCESS
+}

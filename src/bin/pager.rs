@@ -119,22 +119,45 @@ fn run(opts: &Options) -> Result<(), String> {
 
     if opts.compare {
         println!();
-        println!("{:>10} {:>14} {:>30}", "algorithm", "expected EP", "strategy");
+        println!(
+            "{:>10} {:>14} {:>30}",
+            "algorithm", "expected EP", "strategy"
+        );
         let mut rows: Vec<(String, f64, String)> = Vec::new();
         let greedy = greedy_strategy_planned(&instance, delay);
-        rows.push(("greedy".into(), greedy.expected_paging, greedy.strategy.to_string()));
+        rows.push((
+            "greedy".into(),
+            greedy.expected_paging,
+            greedy.strategy.to_string(),
+        ));
         let f = fig1::approximation(&instance, delay);
-        rows.push(("fig1".into(), f.expected_paging, String::from("(same family)")));
+        rows.push((
+            "fig1".into(),
+            f.expected_paging,
+            String::from("(same family)"),
+        ));
         if instance.num_cells() <= optimal::SUBSET_DP_MAX_CELLS {
             if let Ok(opt) = optimal::optimal_subset_dp(&instance, delay) {
-                rows.push(("optimal".into(), opt.expected_paging, opt.strategy.to_string()));
+                rows.push((
+                    "optimal".into(),
+                    opt.expected_paging,
+                    opt.strategy.to_string(),
+                ));
             }
         }
         if let Ok(types) = cell_types::optimal_by_types(&instance, delay) {
-            rows.push(("types".into(), types.expected_paging, types.strategy.to_string()));
+            rows.push((
+                "types".into(),
+                types.expected_paging,
+                types.strategy.to_string(),
+            ));
         }
         if let Ok(adaptive) = adaptive_expected_paging(&instance, delay) {
-            rows.push(("adaptive".into(), adaptive, String::from("(replans per round)")));
+            rows.push((
+                "adaptive".into(),
+                adaptive,
+                String::from("(replans per round)"),
+            ));
         }
         for (name, ep, strat) in rows {
             println!("{name:>10} {ep:>14.6} {strat:>30}");
@@ -194,7 +217,11 @@ fn run(opts: &Options) -> Result<(), String> {
         other => return Err(format!("unknown algorithm {other:?}")),
     };
 
-    println!("strategy ({} rounds)     : {}", plan.strategy.rounds(), plan.strategy);
+    println!(
+        "strategy ({} rounds)     : {}",
+        plan.strategy.rounds(),
+        plan.strategy
+    );
     println!("expected cells paged     : {:.6}", plan.expected_paging);
     println!(
         "blanket paging baseline  : {:.6}",

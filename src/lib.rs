@@ -14,6 +14,9 @@
 //! * [`pager`] — the Conference Call problem, the e/(e−1)-approximation
 //!   heuristic (Fig. 1 of the paper), optimal solvers, and the adaptive /
 //!   bandwidth-limited / yellow-pages / signature extensions;
+//! * [`service`] — a concurrent strategy-planning server with a
+//!   sharded quantised-fingerprint cache, batch dispatch, and a
+//!   JSON-lines wire protocol (the `pager-serve` binary);
 //! * [`hardness`] — the NP-hardness reduction pipeline of Section 3;
 //! * [`net`] — a cellular-network simulator grounding the model
 //!   (location areas, mobility, distribution estimation, link costs);
@@ -40,6 +43,7 @@
 pub use cellnet as net;
 pub use pager_core as pager;
 pub use pager_hardness as hardness;
+pub use pager_service as service;
 pub use rational as exact;
 pub use workloads as gen;
 
@@ -48,8 +52,6 @@ pub mod textio;
 
 /// Convenience re-exports for the common planning workflow.
 pub mod prelude {
-    pub use pager_core::{
-        greedy_strategy, single_user_optimal, Delay, Instance, Strategy,
-    };
+    pub use pager_core::{greedy_strategy, single_user_optimal, Delay, Instance, Strategy};
     pub use rational::{BigInt, Ratio};
 }

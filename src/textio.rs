@@ -143,7 +143,10 @@ mod tests {
 
     #[test]
     fn rejects_empty_and_invalid() {
-        assert_eq!(parse_instance("# only comments\n"), Err(ParseInstanceError::Empty));
+        assert_eq!(
+            parse_instance("# only comments\n"),
+            Err(ParseInstanceError::Empty)
+        );
         assert!(matches!(
             parse_instance("0.5 0.4\n"),
             Err(ParseInstanceError::Invalid(_))

@@ -24,8 +24,8 @@ use conference_call::pager::bandwidth::greedy_strategy_bounded;
 use conference_call::pager::cell_types::optimal_by_types;
 use conference_call::pager::signature::{expected_paging_signature, greedy_signature};
 use conference_call::pager::yellow_pages::{expected_paging_yellow, greedy_yellow};
-use conference_call::pager::{fig1, greedy_strategy_planned, optimal, two_device_two_round};
 use conference_call::pager::ExactInstance;
+use conference_call::pager::{fig1, greedy_strategy_planned, optimal, two_device_two_round};
 use conference_call::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -116,7 +116,9 @@ fn float_vs_exact_exhaustive() {
             .map(|_| {
                 let w: Vec<i64> = (0..c).map(|_| rng.gen_range(1..=9)).collect();
                 let total: i64 = w.iter().sum();
-                w.into_iter().map(|x| Ratio::from_fraction(x, total)).collect()
+                w.into_iter()
+                    .map(|x| Ratio::from_fraction(x, total))
+                    .collect()
             })
             .collect();
         let exact = ExactInstance::from_rows(rows_exact).unwrap();

@@ -65,7 +65,7 @@ fn greedy_beats_blanket_in_system_simulation() {
         System::new(config, mobility, seed)
     };
     let blanket = build(2002).run(&BlanketPlanner);
-    let greedy = build(2002).run(&GreedyPlanner);
+    let greedy = build(2002).run(&GreedyPlanner::default());
     assert!(blanket.calls.len() > 20, "need a meaningful sample");
     assert_eq!(blanket.usage.reports, greedy.usage.reports);
     assert_eq!(blanket.usage.searches, greedy.usage.searches);

@@ -30,9 +30,7 @@ fn signature_interpolates_between_yellow_pages_and_conference() {
             last = sig;
         }
         assert!((last - cc).abs() < 1e-9, "k = m must equal conference call");
-        assert!(
-            (expected_paging_signature(&inst, &plan.strategy, 1).unwrap() - yp).abs() < 1e-12
-        );
+        assert!((expected_paging_signature(&inst, &plan.strategy, 1).unwrap() - yp).abs() < 1e-12);
     }
 }
 
@@ -41,8 +39,7 @@ fn signature_interpolates_between_yellow_pages_and_conference() {
 #[test]
 fn greedy_signature_consistency() {
     let mut rng = StdRng::seed_from_u64(14);
-    let inst =
-        InstanceGenerator::new(DistributionFamily::Hotspot).generate(3, 9, &mut rng);
+    let inst = InstanceGenerator::new(DistributionFamily::Hotspot).generate(3, 9, &mut rng);
     for k in 1..=3 {
         let plan = greedy_signature(&inst, Delay::new(3).unwrap(), k).unwrap();
         let ep = expected_paging_signature(&inst, &plan.strategy, k).unwrap();
@@ -69,10 +66,8 @@ fn yellow_pages_m_approximation() {
             let inst = gen.generate(m, 7, &mut rng);
             let delay = Delay::new(3).unwrap();
             let single = best_single_device(&inst, delay).unwrap();
-            let opt = conference_call::pager::yellow_pages::optimal_yellow_exhaustive(
-                &inst, delay,
-            )
-            .unwrap();
+            let opt = conference_call::pager::yellow_pages::optimal_yellow_exhaustive(&inst, delay)
+                .unwrap();
             assert!(
                 single.expected_paging <= m as f64 * opt.expected_paging + 1e-9,
                 "{family:?}: {} vs m*{}",
@@ -110,13 +105,15 @@ fn adaptive_no_worse_than_oblivious_on_random_instances() {
 #[test]
 fn bandwidth_sandwich() {
     let mut rng = StdRng::seed_from_u64(17);
-    let inst =
-        InstanceGenerator::new(DistributionFamily::Geometric).generate(2, 10, &mut rng);
+    let inst = InstanceGenerator::new(DistributionFamily::Geometric).generate(2, 10, &mut rng);
     let delay = Delay::new(4).unwrap();
     let free = greedy_strategy_planned(&inst, delay);
     for b in 3..=10 {
         let capped = greedy_strategy_bounded(&inst, delay, b).unwrap();
-        assert!(capped.expected_paging >= free.expected_paging - 1e-9, "b={b}");
+        assert!(
+            capped.expected_paging >= free.expected_paging - 1e-9,
+            "b={b}"
+        );
         assert!(capped.expected_paging <= 10.0 + 1e-9, "b={b}");
     }
 }
@@ -132,6 +129,9 @@ fn bandwidth_capped_vs_uncapped_optimum() {
     let opt = optimal::optimal_subset_dp(&inst, delay).unwrap();
     for b in 2..=8 {
         let capped = greedy_strategy_bounded(&inst, delay, b).unwrap();
-        assert!(capped.expected_paging >= opt.expected_paging - 1e-9, "b={b}");
+        assert!(
+            capped.expected_paging >= opt.expected_paging - 1e-9,
+            "b={b}"
+        );
     }
 }

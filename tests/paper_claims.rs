@@ -20,7 +20,10 @@ fn uniform_halving_example() {
         let inst = Instance::uniform(1, c).unwrap();
         let plan = single_user_optimal(&inst, Delay::new(2).unwrap()).unwrap();
         assert_eq!(plan.strategy.group_sizes(), vec![c / 2, c / 2]);
-        assert!((plan.expected_paging - 0.75 * c as f64).abs() < 1e-9, "c={c}");
+        assert!(
+            (plan.expected_paging - 0.75 * c as f64).abs() < 1e-9,
+            "c={c}"
+        );
     }
 }
 

@@ -6,7 +6,9 @@ use conference_call::prelude::*;
 use proptest::prelude::*;
 // `conference_call::Strategy` (the paging strategy) collides with
 // `proptest::strategy::Strategy` (the generator trait) under glob
-// imports; bring the trait's methods in anonymously.
+// imports; name the struct explicitly and bring the trait's methods
+// in anonymously.
+use conference_call::pager::Strategy;
 use proptest::strategy::Strategy as _;
 
 /// A strategy for generating valid probability rows of length `c`.

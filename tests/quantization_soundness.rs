@@ -1,0 +1,147 @@
+//! Property test: serving a cached strategy to any instance that
+//! *quantizes to the same cache key* is sound — its expected paging
+//! cost is within a configurable bound of the strategy that would
+//! have been planned for the instance directly.
+//!
+//! This is the correctness contract of `pager-service`'s quantized
+//! fingerprint cache: a key collision only ever substitutes a
+//! strategy planned for an instance at most `1/grid` away per entry,
+//! and expected paging is Lipschitz in the probabilities (each entry
+//! perturbs EP by at most `c`, the cost of paging every cell).
+
+use conference_call::pager::fingerprint::quantize_row;
+use conference_call::prelude::*;
+use conference_call::service::{plan, TierPolicy, Variant};
+use proptest::prelude::*;
+use proptest::strategy::Strategy as _;
+
+/// Quantisation grid under test (the service default).
+const GRID: u32 = 1000;
+
+/// EP-difference budget for two instances sharing a cache key:
+/// `FACTOR · m · c² / GRID`. Each of the `m·c` entries may differ by
+/// ~`2/GRID` after renormalisation, and an entry perturbation of δ
+/// moves EP by at most `c·δ`; the factor absorbs renormalisation and
+/// the round trip through both instances.
+const FACTOR: f64 = 8.0;
+
+fn ep_bound(m: usize, c: usize) -> f64 {
+    FACTOR * m as f64 * (c * c) as f64 / f64::from(GRID)
+}
+
+/// A valid probability row of length `c` built from integer weights.
+fn row_strategy(c: usize) -> impl proptest::strategy::Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(1u32..1000, c).prop_map(|weights| {
+        let total: f64 = weights.iter().map(|&w| f64::from(w)).sum();
+        weights.into_iter().map(|w| f64::from(w) / total).collect()
+    })
+}
+
+/// An instance plus a jittered twin. The jitter is well below the
+/// bucket width `1/GRID`, so the twin usually (not always — bucket
+/// edges exist) lands on the same cache key; cases where it does not
+/// are discarded with `prop_assume`.
+fn twin_strategy(
+    m: core::ops::Range<usize>,
+    c: core::ops::Range<usize>,
+) -> impl proptest::strategy::Strategy<Value = (Instance, Instance)> {
+    (m, c).prop_flat_map(|(m, c)| {
+        (
+            proptest::collection::vec(row_strategy(c), m),
+            proptest::collection::vec(proptest::collection::vec(-1.0e-4..1.0e-4f64, c), m),
+        )
+            .prop_map(|(rows, jitter)| {
+                let twin_rows: Vec<Vec<f64>> = rows
+                    .iter()
+                    .zip(&jitter)
+                    .map(|(row, noise)| {
+                        let bumped: Vec<f64> = row
+                            .iter()
+                            .zip(noise)
+                            .map(|(p, n)| (p + n).max(1e-9))
+                            .collect();
+                        let total: f64 = bumped.iter().sum();
+                        bumped.into_iter().map(|p| p / total).collect()
+                    })
+                    .collect();
+                (
+                    Instance::from_rows(rows).expect("rows are valid"),
+                    Instance::from_rows(twin_rows).expect("twin rows are valid"),
+                )
+            })
+    })
+}
+
+fn same_key(a: &Instance, b: &Instance) -> bool {
+    a.quantized_buckets(GRID) == b.quantized_buckets(GRID)
+}
+
+fn quantize_instance(inst: &Instance) -> Vec<Vec<u32>> {
+    (0..inst.num_devices())
+        .map(|i| {
+            let row: Vec<f64> = (0..inst.num_cells()).map(|j| inst.prob(i, j)).collect();
+            quantize_row(&row, GRID)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Exact tier: the optimum planned for a key-sharing twin stays
+    /// within the quantisation bound of the instance's own optimum.
+    #[test]
+    fn exact_cache_hits_are_sound(pair in twin_strategy(1..4, 3..9), d in 2usize..4) {
+        let (original, twin) = pair;
+        prop_assume!(same_key(&original, &twin));
+        let delay = Delay::new(d.min(original.num_cells())).unwrap();
+        let policy = TierPolicy::default();
+        // What the cache would serve the twin (planned for the
+        // original) vs what the twin would get on a cold miss.
+        let served = plan(&original, delay, Variant::Exact, &policy).unwrap();
+        let own = plan(&twin, delay, Variant::Exact, &policy).unwrap();
+        let served_ep = twin.expected_paging(&served.strategy).unwrap();
+        let own_ep = twin.expected_paging(&own.strategy).unwrap();
+        // The twin's own plan is optimal for it, so the served plan
+        // can only be worse — but no worse than the bound.
+        prop_assert!(served_ep >= own_ep - 1e-9);
+        let bound = ep_bound(twin.num_devices(), twin.num_cells());
+        prop_assert!(
+            served_ep - own_ep <= bound,
+            "served EP {served_ep} vs own EP {own_ep}: gap {} over bound {bound}",
+            served_ep - own_ep
+        );
+    }
+
+    /// Greedy tier: same contract on instances past the exact tier's
+    /// reach (the bound also covers heuristic tie-break flips, which
+    /// quantisation makes rare but not impossible).
+    #[test]
+    fn greedy_cache_hits_are_sound(pair in twin_strategy(2..4, 12..20), d in 2usize..5) {
+        let (original, twin) = pair;
+        prop_assume!(same_key(&original, &twin));
+        let delay = Delay::new(d).unwrap();
+        let policy = TierPolicy::default();
+        let served = plan(&original, delay, Variant::Greedy, &policy).unwrap();
+        let own = plan(&twin, delay, Variant::Greedy, &policy).unwrap();
+        let served_ep = twin.expected_paging(&served.strategy).unwrap();
+        let own_ep = twin.expected_paging(&own.strategy).unwrap();
+        let bound = ep_bound(twin.num_devices(), twin.num_cells());
+        prop_assert!(
+            (served_ep - own_ep).abs() <= bound,
+            "served EP {served_ep} vs own EP {own_ep} over bound {bound}"
+        );
+    }
+
+    /// The fingerprint helpers agree: two instances share a cache key
+    /// exactly when every row quantizes identically.
+    #[test]
+    fn buckets_match_rowwise_quantisation(pair in twin_strategy(1..4, 3..10)) {
+        let (original, twin) = pair;
+        let rowwise_equal = quantize_instance(&original) == quantize_instance(&twin);
+        prop_assert_eq!(same_key(&original, &twin), rowwise_equal);
+        if same_key(&original, &twin) {
+            prop_assert_eq!(original.fingerprint64(GRID), twin.fingerprint64(GRID));
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! End-to-end test of the `pager-serve` binary: spawn the real
+//! server process, hammer it with ≥1k concurrent TCP requests mixing
+//! repeated and fresh instances, and check correctness, cache
+//! behaviour, and the metrics dump.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+
+use jsonio::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const CLIENT_THREADS: usize = 16;
+const REQUESTS_PER_CLIENT: usize = 64; // 16 × 64 = 1024 ≥ 1k
+const POOL_SIZE: usize = 8;
+
+struct Server {
+    child: Option<Child>,
+    port: u16,
+}
+
+impl Server {
+    fn spawn() -> Server {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_pager-serve"))
+            .args(["--addr", "127.0.0.1:0", "--workers", "4", "--metrics-json"])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn pager-serve");
+        // The server announces its bound address on stderr.
+        let stderr = child.stderr.take().expect("child stderr");
+        let mut lines = BufReader::new(stderr).lines();
+        let banner = lines
+            .next()
+            .expect("server banner")
+            .expect("read server banner");
+        let port: u16 = banner
+            .rsplit(':')
+            .next()
+            .and_then(|p| p.trim().parse().ok())
+            .unwrap_or_else(|| panic!("no port in banner {banner:?}"));
+        // Keep draining stderr so the child never blocks on a full pipe.
+        std::thread::spawn(move || for _ in lines {});
+        Server {
+            child: Some(child),
+            port,
+        }
+    }
+
+    fn connect(&self) -> Connection {
+        let stream = TcpStream::connect(("127.0.0.1", self.port)).expect("connect");
+        Connection {
+            reader: BufReader::new(stream.try_clone().expect("clone stream")),
+            writer: BufWriter::new(stream),
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if let Some(child) = self.child.as_mut() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+struct Connection {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Connection {
+    fn round_trip(&mut self, request: &str) -> Value {
+        writeln!(self.writer, "{request}").expect("send request");
+        self.writer.flush().expect("flush request");
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("read response");
+        jsonio::parse(&line).unwrap_or_else(|e| panic!("bad response {line:?}: {e}"))
+    }
+}
+
+fn rows_to_json(rows: &[Vec<f64>]) -> String {
+    Value::Array(
+        rows.iter()
+            .map(|row| Value::Array(row.iter().map(|&p| Value::Float(p)).collect()))
+            .collect(),
+    )
+    .to_string()
+}
+
+fn random_rows(rng: &mut StdRng, devices: usize, cells: usize) -> Vec<Vec<f64>> {
+    (0..devices)
+        .map(|_| {
+            let raw: Vec<f64> = (0..cells).map(|_| rng.gen::<f64>() + 0.01).collect();
+            let total: f64 = raw.iter().sum();
+            raw.into_iter().map(|p| p / total).collect()
+        })
+        .collect()
+}
+
+#[test]
+fn thousand_concurrent_requests_over_tcp() {
+    let server = Arc::new(Server::spawn());
+
+    // A fixed pool of instances that every client repeats (these must
+    // hit the cache and must all be served the same strategy), plus
+    // per-client fresh instances (these mostly miss).
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    let pool: Vec<String> = (0..POOL_SIZE)
+        .map(|_| rows_to_json(&random_rows(&mut rng, 2, 6)))
+        .collect();
+    let pool = Arc::new(pool);
+
+    let clients: Vec<_> = (0..CLIENT_THREADS)
+        .map(|t| {
+            let server = Arc::clone(&server);
+            let pool = Arc::clone(&pool);
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(1000 + t as u64);
+                let mut conn = server.connect();
+                // (pool index, strategy JSON, ep, cached) per pool hit.
+                let mut observed: Vec<(usize, String, f64, bool)> = Vec::new();
+                for i in 0..REQUESTS_PER_CLIENT {
+                    let use_pool = i % 2 == 0;
+                    let (pool_idx, instance) = if use_pool {
+                        let idx = rng.gen_range(0..POOL_SIZE);
+                        (Some(idx), pool[idx].clone())
+                    } else {
+                        (None, rows_to_json(&random_rows(&mut rng, 2, 6)))
+                    };
+                    let id = t * REQUESTS_PER_CLIENT + i;
+                    let request = format!(r#"{{"id": {id}, "instance": {instance}, "delay": 3}}"#);
+                    let response = conn.round_trip(&request);
+                    assert_eq!(
+                        response.get("ok").and_then(Value::as_bool),
+                        Some(true),
+                        "request {id} failed: {response}"
+                    );
+                    assert_eq!(response.get("id").and_then(Value::as_usize), Some(id));
+                    let strategy = response.get("strategy").expect("strategy");
+                    let cells: usize = strategy
+                        .as_array()
+                        .expect("strategy array")
+                        .iter()
+                        .map(|g| g.as_array().expect("group array").len())
+                        .sum();
+                    assert_eq!(cells, 6, "strategy must partition all cells");
+                    let ep = response.get("ep").and_then(Value::as_f64).expect("ep");
+                    assert!(ep > 0.0 && ep <= 12.0, "EP {ep} out of range");
+                    if let Some(idx) = pool_idx {
+                        observed.push((
+                            idx,
+                            strategy.to_string(),
+                            ep,
+                            response.get("cached").and_then(Value::as_bool) == Some(true),
+                        ));
+                    }
+                }
+                observed
+            })
+        })
+        .collect();
+
+    let mut by_pool_idx: Vec<Vec<(String, f64, bool)>> = vec![Vec::new(); POOL_SIZE];
+    let mut completed = 0usize;
+    for client in clients {
+        let observed = client.join().expect("client thread");
+        completed += REQUESTS_PER_CLIENT;
+        for (idx, strategy, ep, cached) in observed {
+            by_pool_idx[idx].push((strategy, ep, cached));
+        }
+    }
+    assert!(completed >= 1000, "only {completed} requests completed");
+
+    // Identical fingerprints ⇒ byte-identical strategies and EPs,
+    // whether the response was cached, coalesced, or freshly planned.
+    let mut cached_seen = 0usize;
+    for (idx, responses) in by_pool_idx.iter().enumerate() {
+        assert!(!responses.is_empty(), "pool instance {idx} never requested");
+        let (baseline_strategy, baseline_ep, _) = &responses[0];
+        for (strategy, ep, cached) in responses {
+            assert_eq!(
+                strategy, baseline_strategy,
+                "pool instance {idx}: cached and fresh strategies differ"
+            );
+            assert!(
+                (ep - baseline_ep).abs() < f64::EPSILON,
+                "pool instance {idx}: EP drifted: {ep} vs {baseline_ep}"
+            );
+            cached_seen += usize::from(*cached);
+        }
+    }
+    assert!(cached_seen > 0, "repeated instances never hit the cache");
+
+    // The metrics registry agrees.
+    let mut conn = server.connect();
+    let metrics_response = conn.round_trip(r#"{"cmd": "metrics"}"#);
+    let metrics = metrics_response.get("metrics").expect("metrics payload");
+    let requests = metrics.get("requests").and_then(Value::as_u64).unwrap();
+    assert!(requests >= 1024, "server saw only {requests} requests");
+    let hits = metrics.get("cache_hits").and_then(Value::as_u64).unwrap();
+    let misses = metrics.get("cache_misses").and_then(Value::as_u64).unwrap();
+    assert!(hits > 0, "cache hit rate must be nonzero");
+    assert_eq!(hits + misses, requests, "every request hits or misses");
+    assert!(
+        metrics
+            .get("tier_latency")
+            .and_then(|t| t.get("exact"))
+            .and_then(|t| t.get("count"))
+            .and_then(Value::as_u64)
+            .unwrap_or(0)
+            > 0,
+        "2×6 instances should be planned by the exact tier: {metrics}"
+    );
+
+    // Shut the server down over the wire and collect the final
+    // metrics dump from stdout (--metrics-json).
+    let stop = conn.round_trip(r#"{"cmd": "shutdown"}"#);
+    assert_eq!(stop.get("stopping").and_then(Value::as_bool), Some(true));
+    drop(conn);
+    let mut server = Arc::into_inner(server).expect("all clients finished");
+    let mut child = server.child.take().expect("child still running");
+    // The metrics dump is tiny, so it fits the pipe buffer and the
+    // child can exit before we read it.
+    let status = child.wait().expect("server exit");
+    assert!(status.success(), "server exited with {status}");
+    let stdout = child.stdout.take().expect("child stdout");
+    let dump: Vec<String> = BufReader::new(stdout)
+        .lines()
+        .map(|l| l.expect("read metrics dump"))
+        .collect();
+    let final_metrics = jsonio::parse(dump.last().expect("metrics line")).unwrap();
+    assert!(
+        final_metrics
+            .get("requests")
+            .and_then(Value::as_u64)
+            .unwrap()
+            >= 1024
+    );
+}
