@@ -1,0 +1,126 @@
+//! Profile-store benchmarks: the cost of keeping plans fresh.
+//!
+//! The interesting numbers are sighting-ingest throughput (the hot
+//! write path: shard lock + history push + version bump), the
+//! per-estimator cost of materialising a distribution (Markov pays a
+//! matrix power, Laplace a single normalisation), and the
+//! `plan_devices` hit path where profile versions key the strategy
+//! cache.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pager_core::Delay;
+use pager_profiles::{Estimator, ProfileStore, Sighting, StoreConfig};
+use pager_service::{PagerService, PlanOptions, ServiceConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const CELLS: usize = 16;
+
+fn sightings(devices: usize, per_device: usize, seed: u64) -> Vec<Sighting> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(devices * per_device);
+    for t in 0..per_device {
+        for d in 0..devices {
+            out.push(Sighting {
+                device: format!("dev{d}"),
+                cell: rng.gen_range(0..CELLS),
+                #[allow(clippy::cast_precision_loss)]
+                time: t as f64,
+            });
+        }
+    }
+    out
+}
+
+fn bench_ingest(crit: &mut Criterion) {
+    let mut group = crit.benchmark_group("profiles_ingest");
+    group.sample_size(20);
+    for devices in [8usize, 64] {
+        let batch = sightings(devices, 64, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(devices), &batch, |b, batch| {
+            b.iter(|| {
+                let store = ProfileStore::new(StoreConfig::default()).unwrap();
+                black_box(store.observe_batch(CELLS, batch).unwrap());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_distribution(crit: &mut Criterion) {
+    let mut group = crit.benchmark_group("profiles_distribution");
+    let store = ProfileStore::new(StoreConfig::default()).unwrap();
+    store.observe_batch(CELLS, &sightings(4, 512, 9)).unwrap();
+    let now = store.latest_time().unwrap();
+    for (label, estimator) in [
+        ("empirical", Estimator::Empirical),
+        ("recency", Estimator::Recency),
+        ("markov", Estimator::Markov),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| black_box(store.distribution("dev0", estimator, now).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_plan_devices(crit: &mut Criterion) {
+    let mut group = crit.benchmark_group("profiles_plan_devices");
+    let service = PagerService::new(ServiceConfig::default());
+    service
+        .profiles()
+        .observe_batch(CELLS, &sightings(3, 256, 21))
+        .unwrap();
+    let delay = Delay::new(3).unwrap();
+    let devices = ["dev0", "dev1", "dev2"];
+    let now = service.profiles().latest_time();
+    // Warm the strategy cache, then measure the version-keyed hit path
+    // against the uncached build-and-plan path.
+    service
+        .plan_devices(
+            &devices,
+            delay,
+            Estimator::Empirical,
+            now,
+            PlanOptions::default(),
+        )
+        .unwrap();
+    group.bench_function(BenchmarkId::new("hit", "empirical_3x16"), |b| {
+        b.iter(|| {
+            black_box(
+                service
+                    .plan_devices(
+                        &devices,
+                        delay,
+                        Estimator::Empirical,
+                        now,
+                        PlanOptions::default(),
+                    )
+                    .unwrap(),
+            )
+        });
+    });
+    let cold = PlanOptions {
+        cache: false,
+        ..PlanOptions::default()
+    };
+    group.bench_function(BenchmarkId::new("cold", "empirical_3x16"), |b| {
+        b.iter(|| {
+            black_box(
+                service
+                    .plan_devices(&devices, delay, Estimator::Empirical, now, cold)
+                    .unwrap(),
+            )
+        });
+    });
+    group.finish();
+    service.shutdown();
+}
+
+criterion_group!(
+    benches,
+    bench_ingest,
+    bench_distribution,
+    bench_plan_devices
+);
+criterion_main!(benches);

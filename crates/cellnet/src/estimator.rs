@@ -1,77 +1,13 @@
 //! Location-probability estimation from movement histories.
 //!
 //! The paper's model takes per-device probability vectors as input,
-//! citing [15, 16] for how systems approximate them. Two standard
-//! estimators are implemented: a Laplace-smoothed empirical frequency
-//! estimator and an exponential-recency-weighted estimator (recent
-//! sightings matter more for mobile terminals).
+//! citing [15, 16] for how systems approximate them. The estimator
+//! math itself lives in `pager_profiles::estimators` — the online
+//! profile store and this offline trace path must agree exactly, so
+//! there is exactly one implementation and this module re-exports it
+//! under the historical `cellnet` names.
 
-use crate::topology::CellId;
-
-/// Laplace-smoothed empirical distribution of a history over `c` cells:
-/// `p_j = (count_j + α) / (len + c·α)`.
-///
-/// With `α > 0` every probability is positive, as the paper's model
-/// requires.
-///
-/// # Panics
-///
-/// Panics if `c == 0`, if `alpha < 0`, if the history is empty and
-/// `alpha == 0`, or if a history entry is out of range.
-#[must_use]
-pub fn empirical(history: &[CellId], c: usize, alpha: f64) -> Vec<f64> {
-    assert!(c > 0, "need at least one cell");
-    assert!(alpha >= 0.0, "smoothing must be non-negative");
-    assert!(
-        !history.is_empty() || alpha > 0.0,
-        "empty history needs positive smoothing"
-    );
-    let mut counts = vec![0.0f64; c];
-    for &cell in history {
-        assert!(cell < c, "history cell {cell} out of range");
-        counts[cell] += 1.0;
-    }
-    let denom = history.len() as f64 + c as f64 * alpha;
-    counts.into_iter().map(|n| (n + alpha) / denom).collect()
-}
-
-/// Exponential-recency-weighted distribution: observation `t` steps ago
-/// carries weight `decay^t`, plus `alpha` smoothing mass per cell.
-///
-/// # Panics
-///
-/// Panics if `c == 0`, `decay` is outside `(0, 1]`, `alpha < 0`, the
-/// history is empty with `alpha == 0`, or an entry is out of range.
-#[must_use]
-pub fn recency_weighted(history: &[CellId], c: usize, decay: f64, alpha: f64) -> Vec<f64> {
-    assert!(c > 0, "need at least one cell");
-    assert!(decay > 0.0 && decay <= 1.0, "decay must be in (0, 1]");
-    assert!(alpha >= 0.0, "smoothing must be non-negative");
-    assert!(
-        !history.is_empty() || alpha > 0.0,
-        "empty history needs positive smoothing"
-    );
-    let mut weights = vec![alpha; c];
-    let mut w = 1.0f64;
-    for &cell in history.iter().rev() {
-        assert!(cell < c, "history cell {cell} out of range");
-        weights[cell] += w;
-        w *= decay;
-    }
-    let total: f64 = weights.iter().sum();
-    weights.into_iter().map(|x| x / total).collect()
-}
-
-/// Total-variation distance between two distributions.
-///
-/// # Panics
-///
-/// Panics if the lengths differ.
-#[must_use]
-pub fn total_variation(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len(), "distributions must share support");
-    0.5 * a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum::<f64>()
-}
+pub use pager_profiles::estimators::{empirical, recency_weighted, total_variation};
 
 #[cfg(test)]
 mod tests {

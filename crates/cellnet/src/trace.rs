@@ -100,6 +100,19 @@ impl Trace {
             .collect()
     }
 
+    /// The cell histories of **all** terminals (each in time order),
+    /// built in a single pass over the sightings. Prefer this to
+    /// calling [`Trace::history_of`] per terminal, which re-scans the
+    /// whole trace each time (`O(sightings × terminals)`).
+    #[must_use]
+    pub fn histories(&self) -> Vec<Vec<CellId>> {
+        let mut histories = vec![Vec::new(); self.num_terminals];
+        for s in &self.sightings {
+            histories[s.terminal].push(s.cell);
+        }
+        histories
+    }
+
     /// Estimates every terminal's location distribution from the trace
     /// (Laplace-smoothed empirical frequencies). Rows are valid
     /// probability vectors even for unseen terminals (uniform).
@@ -110,11 +123,9 @@ impl Trace {
     #[must_use]
     pub fn estimate_all(&self, alpha: f64) -> Vec<Vec<f64>> {
         assert!(alpha > 0.0, "smoothing must be positive");
-        (0..self.num_terminals)
-            .map(|t| {
-                let history = self.history_of(t);
-                estimator::empirical(&history, self.num_cells, alpha)
-            })
+        self.histories()
+            .into_iter()
+            .map(|history| estimator::empirical(&history, self.num_cells, alpha))
             .collect()
     }
 
@@ -173,6 +184,16 @@ mod tests {
         assert_eq!(trace.len(), 3);
         assert_eq!(trace.history_of(0), vec![1, 2]);
         assert_eq!(trace.history_of(1), vec![3]);
+        // The single-pass form agrees with the per-terminal scans.
+        assert_eq!(trace.histories(), vec![vec![1, 2], vec![3]]);
+    }
+
+    #[test]
+    fn histories_covers_unseen_terminals() {
+        let mut trace = Trace::new(3, 4);
+        trace.record(0.0, 2, 1);
+        let all = trace.histories();
+        assert_eq!(all, vec![vec![], vec![], vec![1]]);
     }
 
     #[test]

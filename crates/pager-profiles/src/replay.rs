@@ -1,0 +1,355 @@
+//! Replay harness: closes the sightings → profiles → plans →
+//! simulation loop.
+//!
+//! The harness walks a ground-truth mobility trace, feeds sightings
+//! into a [`ProfileStore`] on a configurable cadence, periodically
+//! places a conference call by handing the store's planner-ready
+//! [`Instance`] to a caller-supplied planner, and then *measures* the
+//! plan against the truth with [`pager_core::simulation::run_search`].
+//! Each call records the Lemma 2.1 expected paging of the served
+//! strategy next to the realised paging cost, so the whole pipeline —
+//! estimation quality included — is validated end to end, not just the
+//! planner in isolation.
+//!
+//! The harness is deliberately generic: it knows nothing about how
+//! the truth was generated (the root crate wires `cellnet` mobility
+//! in) or how plans are produced (closures wrap `pager-service`, a
+//! bare greedy call, or a blanket baseline equally well).
+
+use pager_core::simulation::run_search;
+use pager_core::{Instance, Strategy};
+
+use crate::profile::{Estimator, Time};
+use crate::store::ProfileStore;
+
+/// One step of ground truth: where every device truly is at `time`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Step {
+    /// The step's timestamp (non-decreasing across a trace).
+    pub time: Time,
+    /// True cell of each device, indexed by device.
+    pub cells: Vec<usize>,
+}
+
+/// Replay cadence and estimation knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayConfig {
+    /// Estimator the store should answer plans with.
+    pub estimator: Estimator,
+    /// Ingest sightings every this-many steps (1 = every step).
+    pub observe_every: usize,
+    /// Place a conference call every this-many steps.
+    pub call_every: usize,
+    /// Steps to ingest before the first call (profiles need history).
+    pub warmup: usize,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> ReplayConfig {
+        ReplayConfig {
+            estimator: Estimator::Markov,
+            observe_every: 1,
+            call_every: 5,
+            warmup: 20,
+        }
+    }
+}
+
+/// One conference call placed during a replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CallRecord {
+    /// Index of the truth step the call was placed at.
+    pub step: usize,
+    /// Its timestamp.
+    pub time: Time,
+    /// Lemma 2.1 expected paging of the served strategy under the
+    /// profile-derived instance.
+    pub expected_paging: f64,
+    /// Cells actually paged against the ground-truth placements.
+    pub realized_paging: usize,
+    /// Rounds the search used.
+    pub rounds_used: usize,
+    /// Profile versions the plan was built from (one per device).
+    pub versions: Vec<u64>,
+}
+
+/// Outcome of a full replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayReport {
+    /// Truth steps walked.
+    pub steps: usize,
+    /// Sightings ingested into the store.
+    pub sightings_ingested: u64,
+    /// Every call placed, in order.
+    pub calls: Vec<CallRecord>,
+}
+
+impl ReplayReport {
+    /// Mean Lemma 2.1 expected paging across calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no calls were placed.
+    #[must_use]
+    pub fn mean_expected_paging(&self) -> f64 {
+        assert!(!self.calls.is_empty(), "no calls were placed");
+        #[allow(clippy::cast_precision_loss)]
+        let n = self.calls.len() as f64;
+        self.calls.iter().map(|c| c.expected_paging).sum::<f64>() / n
+    }
+
+    /// Mean realised paging cost across calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no calls were placed.
+    #[must_use]
+    pub fn mean_realized_paging(&self) -> f64 {
+        assert!(!self.calls.is_empty(), "no calls were placed");
+        #[allow(clippy::cast_precision_loss)]
+        let n = self.calls.len() as f64;
+        self.calls
+            .iter()
+            .map(|c| c.realized_paging as f64)
+            .sum::<f64>()
+            / n
+    }
+
+    /// Realised over expected mean paging — near 1 when the profiles
+    /// track the true mobility, above 1 when they have drifted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no calls were placed.
+    #[must_use]
+    pub fn realized_over_expected(&self) -> f64 {
+        self.mean_realized_paging() / self.mean_expected_paging()
+    }
+
+    /// Renders the report as a JSON object (for the example binary).
+    #[must_use]
+    pub fn to_json(&self) -> jsonio::Value {
+        jsonio::Value::object(vec![
+            ("steps", jsonio::Value::from(self.steps)),
+            (
+                "sightings_ingested",
+                jsonio::Value::from(self.sightings_ingested),
+            ),
+            ("calls", jsonio::Value::from(self.calls.len())),
+            (
+                "mean_expected_paging",
+                jsonio::Value::Float(self.mean_expected_paging()),
+            ),
+            (
+                "mean_realized_paging",
+                jsonio::Value::Float(self.mean_realized_paging()),
+            ),
+            (
+                "realized_over_expected",
+                jsonio::Value::Float(self.realized_over_expected()),
+            ),
+        ])
+    }
+}
+
+/// Walks `truth`, ingesting sightings into `store` and placing calls
+/// through `plan`, and reports predicted versus realised paging.
+///
+/// Devices are named `dev0..devN-1` in the store, where `N` is the
+/// width of the first truth step. On a step that is both an observe
+/// and a call step, sightings are ingested *first* — the freshest
+/// profile serves the call, which is the deployment ordering.
+///
+/// # Errors
+///
+/// A message on malformed truth (empty, ragged widths, out-of-range
+/// cells, time regressions), a store or planner failure, or a trace
+/// that yields no calls.
+pub fn replay<F>(
+    store: &ProfileStore,
+    cells: usize,
+    truth: &[Step],
+    config: &ReplayConfig,
+    mut plan: F,
+) -> Result<ReplayReport, String>
+where
+    F: FnMut(&Instance) -> Result<Strategy, String>,
+{
+    if truth.is_empty() {
+        return Err("truth trace is empty".to_string());
+    }
+    if config.observe_every == 0 || config.call_every == 0 {
+        return Err("observe_every and call_every must be positive".to_string());
+    }
+    let devices = truth[0].cells.len();
+    if devices == 0 {
+        return Err("truth trace has no devices".to_string());
+    }
+    let names: Vec<String> = (0..devices).map(|i| format!("dev{i}")).collect();
+    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let mut ingested = 0u64;
+    let mut calls = Vec::new();
+    for (i, step) in truth.iter().enumerate() {
+        if step.cells.len() != devices {
+            return Err(format!(
+                "step {i} has {} devices, expected {devices}",
+                step.cells.len()
+            ));
+        }
+        if i % config.observe_every == 0 {
+            for (d, &cell) in step.cells.iter().enumerate() {
+                store
+                    .observe(&names[d], cells, step.time, cell)
+                    .map_err(|e| format!("step {i}: {e}"))?;
+                ingested += 1;
+            }
+        }
+        if i >= config.warmup && i % config.call_every == 0 {
+            let (instance, versions, _) = store
+                .instance_for(&name_refs, config.estimator, Some(step.time))
+                .map_err(|e| format!("step {i}: {e}"))?;
+            let strategy = plan(&instance).map_err(|e| format!("step {i}: planner: {e}"))?;
+            let expected = instance
+                .expected_paging(&strategy)
+                .map_err(|e| format!("step {i}: {e}"))?;
+            let outcome = run_search(&strategy, &step.cells);
+            calls.push(CallRecord {
+                step: i,
+                time: step.time,
+                expected_paging: expected,
+                realized_paging: outcome.cells_paged,
+                rounds_used: outcome.rounds_used,
+                versions,
+            });
+        }
+    }
+    if calls.is_empty() {
+        return Err(format!(
+            "no calls placed over {} steps (warmup {}, call_every {})",
+            truth.len(),
+            config.warmup,
+            config.call_every
+        ));
+    }
+    Ok(ReplayReport {
+        steps: truth.len(),
+        sightings_ingested: ingested,
+        calls,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreConfig;
+    use pager_core::{greedy_strategy, Delay};
+
+    fn cyclic_truth(steps: usize, devices: usize, cells: usize) -> Vec<Step> {
+        (0..steps)
+            .map(|i| Step {
+                #[allow(clippy::cast_precision_loss)]
+                time: i as f64,
+                cells: (0..devices).map(|d| (i + d) % cells).collect(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn blanket_replay_pages_everything() {
+        let store = ProfileStore::new(StoreConfig::default()).unwrap();
+        let truth = cyclic_truth(40, 2, 3);
+        let cfg = ReplayConfig {
+            warmup: 10,
+            call_every: 5,
+            ..ReplayConfig::default()
+        };
+        let report = replay(&store, 3, &truth, &cfg, |_| Ok(Strategy::blanket(3))).unwrap();
+        assert_eq!(report.steps, 40);
+        assert_eq!(report.sightings_ingested, 80);
+        assert!(!report.calls.is_empty());
+        // Blanket pages every cell: expected == realised == c exactly.
+        assert!((report.mean_expected_paging() - 3.0).abs() < 1e-9);
+        assert!((report.mean_realized_paging() - 3.0).abs() < 1e-9);
+        assert!((report.realized_over_expected() - 1.0).abs() < 1e-9);
+        let json = report.to_json().to_string();
+        assert!(json.contains("realized_over_expected"), "{json}");
+    }
+
+    #[test]
+    fn greedy_tracks_predictable_mobility() {
+        // Deterministic cyclic walk: the Markov profile nails the next
+        // cell, so greedy paging beats blanket and realised cost stays
+        // close to the Lemma 2.1 prediction.
+        let mut store_cfg = StoreConfig::default();
+        // Light smoothing: the mobility is deterministic, so heavy
+        // Laplace mass would make Lemma 2.1 needlessly conservative.
+        store_cfg.profile.alpha = 0.1;
+        let store = ProfileStore::new(store_cfg).unwrap();
+        let truth = cyclic_truth(120, 2, 4);
+        let cfg = ReplayConfig {
+            estimator: Estimator::Markov,
+            warmup: 40,
+            call_every: 7,
+            observe_every: 1,
+        };
+        let delay = Delay::new(2).unwrap();
+        let report = replay(&store, 4, &truth, &cfg, |inst| {
+            Ok(greedy_strategy(inst, delay))
+        })
+        .unwrap();
+        assert!(report.mean_realized_paging() < 4.0, "beats blanket");
+        // Smoothing keeps the prediction conservative (realised ≤
+        // expected for deterministic motion), but not wildly so.
+        let ratio = report.realized_over_expected();
+        assert!((0.6..=1.2).contains(&ratio), "ratio {ratio}");
+        // Versions are monotone across successive calls.
+        for pair in report.calls.windows(2) {
+            assert!(pair[1].versions[0] > pair[0].versions[0]);
+        }
+    }
+
+    #[test]
+    fn replay_validates_input() {
+        let store = ProfileStore::new(StoreConfig::default()).unwrap();
+        let cfg = ReplayConfig::default();
+        let blanket = |_: &Instance| Ok(Strategy::blanket(3));
+        assert!(replay(&store, 3, &[], &cfg, blanket).is_err());
+        let ragged = vec![
+            Step {
+                time: 0.0,
+                cells: vec![0, 1],
+            },
+            Step {
+                time: 1.0,
+                cells: vec![0],
+            },
+        ];
+        assert!(replay(&store, 3, &ragged, &cfg, blanket)
+            .unwrap_err()
+            .contains("step 1"));
+        // warmup beyond the trace: no calls.
+        let truth = vec![
+            Step {
+                time: 0.0,
+                cells: vec![0],
+            };
+            5
+        ];
+        let no_calls = ReplayConfig { warmup: 50, ..cfg };
+        assert!(replay(&store, 3, &truth, &no_calls, blanket)
+            .unwrap_err()
+            .contains("no calls"));
+        // Planner failures propagate.
+        let fresh = ProfileStore::new(StoreConfig::default()).unwrap();
+        let eager = ReplayConfig {
+            warmup: 0,
+            call_every: 1,
+            ..cfg
+        };
+        assert!(
+            replay(&fresh, 3, &truth, &eager, |_| { Err("nope".to_string()) })
+                .unwrap_err()
+                .contains("planner")
+        );
+    }
+}

@@ -1,0 +1,170 @@
+//! Property-based tests for the profile subsystem.
+//!
+//! The paper's model (§1.2) requires every device row to be a strictly
+//! positive probability vector; the whole point of this crate is that
+//! *any* ingest history yields planner-legal rows. These properties
+//! pin that down, plus the two structural facts the estimators rely
+//! on: the Markov predictor degenerates to the empirical distribution
+//! under i.i.d. movement, and staleness decay moves distributions
+//! monotonically toward uniform.
+
+use pager_profiles::estimators::{total_variation, uniform};
+use pager_profiles::{DeviceProfile, Estimator, ProfileConfig, ProfileStore, StoreConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const ESTIMATORS: [Estimator; 3] = [Estimator::Empirical, Estimator::Recency, Estimator::Markov];
+
+/// Ingests a history of cells at unit intervals; returns the profile.
+fn profile_from(history: &[usize], cells: usize, config: &ProfileConfig) -> DeviceProfile {
+    let mut profile = DeviceProfile::new(cells);
+    for (i, &cell) in history.iter().enumerate() {
+        profile
+            .observe(i as f64, cell, (i + 1) as u64, config)
+            .expect("valid sighting");
+    }
+    profile
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every produced row is strictly positive and sums to 1 within
+    /// 1e-12 — for every estimator, any history (including empty),
+    /// and any query time.
+    #[test]
+    fn rows_are_always_planner_legal(
+        cells in 1usize..8,
+        raw_history in proptest::collection::vec(0usize..64, 0..60),
+        elapsed in 0.0f64..5000.0,
+        alpha in 0.01f64..4.0,
+        decay in 0.05f64..1.0,
+        half_life in 1.0f64..2000.0,
+    ) {
+        let config = ProfileConfig {
+            alpha,
+            decay,
+            staleness_half_life: half_life,
+            markov_horizon: 32,
+        };
+        let history: Vec<usize> = raw_history.iter().map(|&x| x % cells).collect();
+        let profile = profile_from(&history, cells, &config);
+        let now = history.len() as f64 + elapsed;
+        for est in ESTIMATORS {
+            let row = profile.distribution(est, now, &config);
+            prop_assert_eq!(row.len(), cells);
+            let sum: f64 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-12, "{:?} sums to {}", est, sum);
+            prop_assert!(row.iter().all(|&p| p > 0.0), "{:?} row {:?}", est, row);
+        }
+    }
+
+    /// Under i.i.d. movement the cell→cell transition rows all equal
+    /// the marginal, so the Markov prediction converges to the
+    /// empirical distribution as the history grows.
+    #[test]
+    fn markov_converges_to_empirical_under_iid(
+        seed in any::<u64>(),
+        cells in 2usize..6,
+        steps in 1usize..20,
+    ) {
+        let config = ProfileConfig {
+            alpha: 0.05,
+            ..ProfileConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        // A random (strictly positive) sampling distribution.
+        let weights: Vec<f64> = (0..cells).map(|_| rng.gen_range(0.2..1.0)).collect();
+        let total: f64 = weights.iter().sum();
+        let n = 600usize;
+        let history: Vec<usize> = (0..n)
+            .map(|_| {
+                let mut u: f64 = rng.gen::<f64>() * total;
+                for (j, &w) in weights.iter().enumerate() {
+                    if u < w {
+                        return j;
+                    }
+                    u -= w;
+                }
+                cells - 1
+            })
+            .collect();
+        let profile = profile_from(&history, cells, &config);
+        let now = history.len() as f64 - 1.0 + steps as f64;
+        let markov = profile.distribution(Estimator::Markov, now, &config);
+        let empirical = profile.distribution(Estimator::Empirical, history.len() as f64, &config);
+        let tv = total_variation(&markov, &empirical);
+        prop_assert!(tv < 0.12, "TV {} after {} steps: {:?} vs {:?}", tv, steps, markov, empirical);
+    }
+
+    /// Staleness decay is monotone: the longer a device goes
+    /// unsighted, the closer its distribution is to uniform.
+    #[test]
+    fn staleness_decay_is_monotone_toward_uniform(
+        cells in 2usize..8,
+        raw_history in proptest::collection::vec(0usize..64, 1..40),
+        gaps in proptest::collection::vec(0.1f64..300.0, 2..12),
+        half_life in 1.0f64..500.0,
+    ) {
+        let config = ProfileConfig {
+            staleness_half_life: half_life,
+            ..ProfileConfig::default()
+        };
+        let history: Vec<usize> = raw_history.iter().map(|&x| x % cells).collect();
+        let profile = profile_from(&history, cells, &config);
+        let last = history.len() as f64 - 1.0;
+        let u = uniform(cells);
+        // Strictly increasing query times via a running sum of gaps.
+        for est in [Estimator::Empirical, Estimator::Recency] {
+            let mut elapsed = 0.0;
+            let mut prev = total_variation(&profile.distribution(est, last, &config), &u);
+            for &gap in &gaps {
+                elapsed += gap;
+                let d = total_variation(&profile.distribution(est, last + elapsed, &config), &u);
+                prop_assert!(d <= prev + 1e-12, "{:?}: {} then {}", est, prev, d);
+                prev = d;
+            }
+        }
+    }
+
+    /// The store's planner-ready instances inherit row legality, and
+    /// versions strictly increase across interleaved ingest.
+    #[test]
+    fn store_instances_are_planner_legal(
+        seed in any::<u64>(),
+        cells in 2usize..6,
+        devices in 1usize..5,
+        sightings in 10usize..80,
+    ) {
+        let store = ProfileStore::new(StoreConfig::default()).expect("valid config");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let names: Vec<String> = (0..devices).map(|d| format!("dev{d}")).collect();
+        let mut last_version = 0u64;
+        for t in 0..sightings {
+            let d = rng.gen_range(0..devices);
+            let cell = rng.gen_range(0..cells);
+            let v = store
+                .observe(&names[d], cells, t as f64, cell)
+                .expect("valid sighting");
+            prop_assert!(v > last_version, "version must strictly increase");
+            last_version = v;
+        }
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        for est in ESTIMATORS {
+            let (instance, versions, staleness) = store
+                .instance_for(&refs, est, None)
+                .expect("all devices known");
+            prop_assert_eq!(instance.num_devices(), devices);
+            prop_assert_eq!(instance.num_cells(), cells);
+            prop_assert_eq!(versions.len(), devices);
+            prop_assert!(staleness.iter().all(|&l| (0.0..=1.0).contains(&l)));
+            for i in 0..devices {
+                let row = instance.device_row(i);
+                let sum: f64 = row.iter().sum();
+                prop_assert!((sum - 1.0).abs() < 1e-12);
+                prop_assert!(row.iter().all(|&p| p > 0.0));
+            }
+        }
+    }
+}

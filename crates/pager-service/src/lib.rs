@@ -23,6 +23,11 @@
 //!   computation whose result fans out to every waiter.
 //! * **Metrics** ([`metrics`]) — atomic counters and log-bucketed
 //!   per-tier latency histograms, dumpable as JSON.
+//! * **Profile store** ([`pager_profiles`], wired in via
+//!   [`PagerService::observe`] / [`PagerService::plan_devices`]) —
+//!   devices stream in sightings and plans are requested by device
+//!   *name*; profile versions join the cache key so an update can
+//!   never be answered with a strategy planned from older data.
 //! * **Wire protocol** ([`proto`], [`server`]) — a JSON-lines
 //!   request/response protocol served over TCP or stdio by the
 //!   `pager-serve` binary.
@@ -52,4 +57,6 @@ pub use metrics::{LatencyHistogram, Metrics};
 pub use planner::{plan, Plan, PlanError, Tier, TierPolicy, Variant};
 pub use proto::{handle_line, parse_request, LineOutcome, Request};
 pub use server::{serve_lines, serve_tcp, ServerHandle};
-pub use service::{PagerService, PlanKey, PlanOptions, PlanResponse, ServiceConfig};
+pub use service::{
+    DevicePlanResponse, PagerService, PlanKey, PlanOptions, PlanResponse, ServiceConfig,
+};

@@ -107,6 +107,15 @@ pub struct Metrics {
     pub errors: AtomicU64,
     /// Cache entries evicted to make room.
     pub evictions: AtomicU64,
+    /// Sightings ingested into the profile store (mirrors the store's
+    /// own counter; synced on every `observe`).
+    pub sightings_ingested: AtomicU64,
+    /// Device profiles evicted from the store's capacity bound
+    /// (mirrors the store's own counter; synced on every `observe`).
+    pub profile_evictions: AtomicU64,
+    /// Profiles that served a `plan_devices` request while stale
+    /// (staleness weight below ½ — mostly decayed toward uniform).
+    pub stale_profiles_served: AtomicU64,
     /// Planning latency per solver tier.
     pub exact_latency: LatencyHistogram,
     /// Fig. 1 greedy tier latency.
@@ -148,6 +157,18 @@ impl Metrics {
             ("coalesced", Value::from(Self::get(&self.coalesced))),
             ("errors", Value::from(Self::get(&self.errors))),
             ("evictions", Value::from(Self::get(&self.evictions))),
+            (
+                "sightings_ingested",
+                Value::from(Self::get(&self.sightings_ingested)),
+            ),
+            (
+                "profile_evictions",
+                Value::from(Self::get(&self.profile_evictions)),
+            ),
+            (
+                "stale_profiles_served",
+                Value::from(Self::get(&self.stale_profiles_served)),
+            ),
             (
                 "tier_latency",
                 Value::object(vec![

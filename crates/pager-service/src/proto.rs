@@ -24,9 +24,28 @@
 //! `{"cmd": "ping"}` answers `{"ok": true, "pong": true}`, and
 //! `{"cmd": "shutdown"}` asks the server to stop accepting
 //! connections (it answers `{"ok": true, "stopping": true}` first).
+//!
+//! Profile ops close the sightings→plans loop:
+//!
+//! ```json
+//! {"cmd": "observe", "cells": 4,
+//!  "sightings": [{"device": "a", "cell": 1, "time": 3.5}]}
+//! {"cmd": "plan_devices", "id": 9, "devices": ["a", "b"], "delay": 2,
+//!  "estimator": "markov", "now": 4.0}
+//! {"cmd": "profile_stats"}
+//! ```
+//!
+//! `observe` answers `{"ok": true, "ingested": n, "versions": {...}}`
+//! with each device's new profile version. `plan_devices` answers like
+//! a plan response plus `"profile_versions"`, `"stale_profiles"` and
+//! `"now"`; the versions key the strategy cache, so a profile updated
+//! between two identical requests always gets a fresh plan.
+//! `estimator` is `"empirical"`, `"recency"` or `"markov"` (default);
+//! `now` defaults to the latest ingested sighting time.
 
 use jsonio::Value;
 use pager_core::{Delay, Instance};
+use pager_profiles::{Estimator, Sighting};
 use rational::Ratio;
 
 use crate::planner::Variant;
@@ -46,6 +65,31 @@ pub enum Request {
         /// Per-request options (variant + cache opt-out).
         options: PlanOptions,
     },
+    /// Ingest a batch of device sightings into the profile store.
+    Observe {
+        /// Number of cells the sighted area has.
+        cells: usize,
+        /// The sightings, in order.
+        sightings: Vec<Sighting>,
+    },
+    /// Plan a strategy for named devices out of the profile store.
+    PlanDevices {
+        /// Opaque id echoed back in the response.
+        id: Value,
+        /// Device ids to establish the call for.
+        devices: Vec<String>,
+        /// Maximum paging rounds.
+        delay: Delay,
+        /// Which estimator turns profiles into rows.
+        estimator: Estimator,
+        /// Clock to evaluate distributions at (default: latest
+        /// ingested sighting time).
+        now: Option<f64>,
+        /// Per-request options (variant + cache opt-out).
+        options: PlanOptions,
+    },
+    /// Dump the profile store's counters.
+    ProfileStats,
     /// Dump the metrics registry.
     Metrics,
     /// Liveness probe.
@@ -67,6 +111,9 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             Some("metrics") => Ok(Request::Metrics),
             Some("ping") => Ok(Request::Ping),
             Some("shutdown") => Ok(Request::Shutdown),
+            Some("observe") => parse_observe(&value),
+            Some("plan_devices") => parse_plan_devices(&value),
+            Some("profile_stats") => Ok(Request::ProfileStats),
             _ => Err(format!("unknown cmd {cmd}")),
         };
     }
@@ -91,6 +138,91 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         id,
         instance,
         delay,
+        options: PlanOptions { variant, cache },
+    })
+}
+
+fn parse_observe(value: &Value) -> Result<Request, String> {
+    let cells = value
+        .get("cells")
+        .and_then(Value::as_usize)
+        .filter(|&c| c > 0)
+        .ok_or_else(|| "\"observe\" needs a positive integer \"cells\"".to_string())?;
+    let raw = value
+        .get("sightings")
+        .and_then(Value::as_array)
+        .ok_or_else(|| "\"observe\" needs a \"sightings\" array".to_string())?;
+    let mut sightings = Vec::with_capacity(raw.len());
+    for (i, s) in raw.iter().enumerate() {
+        let device = s
+            .get("device")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("sighting {i} needs a string \"device\""))?;
+        let cell = s
+            .get("cell")
+            .and_then(Value::as_usize)
+            .ok_or_else(|| format!("sighting {i} needs an integer \"cell\""))?;
+        let time = s
+            .get("time")
+            .and_then(Value::as_f64)
+            .filter(|t| t.is_finite())
+            .ok_or_else(|| format!("sighting {i} needs a finite \"time\""))?;
+        sightings.push(Sighting {
+            device: device.to_string(),
+            cell,
+            time,
+        });
+    }
+    Ok(Request::Observe { cells, sightings })
+}
+
+fn parse_plan_devices(value: &Value) -> Result<Request, String> {
+    let id = value.get("id").cloned().unwrap_or(Value::Null);
+    let raw = value
+        .get("devices")
+        .and_then(Value::as_array)
+        .ok_or_else(|| "\"plan_devices\" needs a \"devices\" array".to_string())?;
+    let mut devices = Vec::with_capacity(raw.len());
+    for (i, d) in raw.iter().enumerate() {
+        devices.push(
+            d.as_str()
+                .ok_or_else(|| format!("device {i} must be a string"))?
+                .to_string(),
+        );
+    }
+    let delay = Delay::from_json(
+        value
+            .get("delay")
+            .ok_or_else(|| "missing \"delay\"".to_string())?,
+    )?;
+    let estimator = match value.get("estimator") {
+        None => Estimator::Markov,
+        Some(e) => Estimator::parse(
+            e.as_str()
+                .ok_or_else(|| "\"estimator\" must be a string".to_string())?,
+        )?,
+    };
+    let now = match value.get("now") {
+        None | Some(Value::Null) => None,
+        Some(t) => Some(
+            t.as_f64()
+                .filter(|t| t.is_finite())
+                .ok_or_else(|| "\"now\" must be a finite number".to_string())?,
+        ),
+    };
+    let variant = parse_variant(value)?;
+    let cache = match value.get("cache") {
+        None => true,
+        Some(flag) => flag
+            .as_bool()
+            .ok_or_else(|| "\"cache\" must be a boolean".to_string())?,
+    };
+    Ok(Request::PlanDevices {
+        id,
+        devices,
+        delay,
+        estimator,
+        now,
         options: PlanOptions { variant, cache },
     })
 }
@@ -196,6 +328,98 @@ pub fn handle_line(service: &PagerService, line: &str) -> LineOutcome {
             .to_string(),
             shutdown: true,
         },
+        Ok(Request::Observe { cells, sightings }) => match service.observe(cells, &sightings) {
+            Err(message) => LineOutcome {
+                response: error_response(&Value::Null, &message),
+                shutdown: false,
+            },
+            Ok(versions) => {
+                // Last version per device (a device may appear several
+                // times in one batch).
+                let mut latest: Vec<(String, Value)> = Vec::new();
+                for (device, version) in versions.iter() {
+                    match latest.iter_mut().find(|(d, _)| d == device) {
+                        Some(entry) => entry.1 = Value::from(*version),
+                        None => latest.push((device.clone(), Value::from(*version))),
+                    }
+                }
+                LineOutcome {
+                    response: Value::object(vec![
+                        ("ok", Value::Bool(true)),
+                        ("ingested", Value::from(versions.len())),
+                        ("versions", Value::Object(latest)),
+                    ])
+                    .to_string(),
+                    shutdown: false,
+                }
+            }
+        },
+        Ok(Request::ProfileStats) => {
+            let stats = service.profiles().stats();
+            LineOutcome {
+                response: Value::object(vec![
+                    ("ok", Value::Bool(true)),
+                    (
+                        "profiles",
+                        Value::object(vec![
+                            ("devices", Value::from(stats.devices)),
+                            ("sightings", Value::from(stats.sightings)),
+                            ("evictions", Value::from(stats.evictions)),
+                            ("version", Value::from(stats.version)),
+                            (
+                                "latest_time",
+                                match service.profiles().latest_time() {
+                                    Some(t) => Value::Float(t),
+                                    None => Value::Null,
+                                },
+                            ),
+                        ]),
+                    ),
+                ])
+                .to_string(),
+                shutdown: false,
+            }
+        }
+        Ok(Request::PlanDevices {
+            id,
+            devices,
+            delay,
+            estimator,
+            now,
+            options,
+        }) => {
+            let refs: Vec<&str> = devices.iter().map(String::as_str).collect();
+            match service.plan_devices(&refs, delay, estimator, now, options) {
+                Err(error) => LineOutcome {
+                    response: error_response(&id, &error.to_string()),
+                    shutdown: false,
+                },
+                Ok(served) => LineOutcome {
+                    response: Value::object(vec![
+                        ("id", id),
+                        ("ok", Value::Bool(true)),
+                        ("strategy", served.response.plan.strategy.to_json()),
+                        ("ep", Value::Float(served.response.plan.expected_paging)),
+                        ("tier", Value::from(served.response.plan.tier.name())),
+                        ("cached", Value::Bool(served.response.cached)),
+                        ("coalesced", Value::Bool(served.response.coalesced)),
+                        (
+                            "planning_micros",
+                            Value::from(served.response.plan.planning_micros),
+                        ),
+                        ("estimator", Value::from(estimator.name())),
+                        ("now", Value::Float(served.now)),
+                        (
+                            "profile_versions",
+                            Value::Array(served.versions.iter().map(|&v| Value::from(v)).collect()),
+                        ),
+                        ("stale_profiles", Value::from(served.stale_profiles)),
+                    ])
+                    .to_string(),
+                    shutdown: false,
+                },
+            }
+        }
         Ok(Request::Plan {
             id,
             instance,
@@ -310,6 +534,71 @@ mod tests {
             let v = jsonio::parse(&out.response).unwrap();
             assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false), "{bad}");
             assert!(v.get("error").is_some(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn observe_and_plan_devices_round_trip() {
+        let svc = service();
+        // Ingest a short history for two devices.
+        for t in 0..25 {
+            let line = format!(
+                r#"{{"cmd": "observe", "cells": 3, "sightings": [
+                    {{"device": "a", "cell": {}, "time": {t}.0}},
+                    {{"device": "b", "cell": 1, "time": {t}.0}}]}}"#,
+                t % 3
+            );
+            let v = jsonio::parse(&handle_line(&svc, &line).response).unwrap();
+            assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "{v}");
+            assert_eq!(v.get("ingested").and_then(Value::as_u64), Some(2));
+        }
+        // Stats reflect the ingest.
+        let stats = handle_line(&svc, r#"{"cmd": "profile_stats"}"#);
+        let v = jsonio::parse(&stats.response).unwrap();
+        let profiles = v.get("profiles").unwrap();
+        assert_eq!(profiles.get("devices").and_then(Value::as_u64), Some(2));
+        assert_eq!(profiles.get("sightings").and_then(Value::as_u64), Some(50));
+        assert_eq!(
+            profiles.get("latest_time").and_then(Value::as_f64),
+            Some(24.0)
+        );
+        // Plan for the named devices.
+        let line = r#"{"cmd": "plan_devices", "id": 5, "devices": ["a", "b"], "delay": 2, "estimator": "empirical"}"#;
+        let v = jsonio::parse(&handle_line(&svc, line).response).unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "{v}");
+        assert_eq!(v.get("id").and_then(Value::as_i64), Some(5));
+        assert_eq!(
+            v.get("estimator").and_then(Value::as_str),
+            Some("empirical")
+        );
+        assert_eq!(v.get("now").and_then(Value::as_f64), Some(24.0));
+        let versions = v.get("profile_versions").and_then(Value::as_array).unwrap();
+        assert_eq!(versions.len(), 2);
+        assert_eq!(v.get("stale_profiles").and_then(Value::as_u64), Some(0));
+        // Identical request hits the cache; an observe in between
+        // bumps a version and forces a fresh plan.
+        let v2 = jsonio::parse(&handle_line(&svc, line).response).unwrap();
+        assert_eq!(v2.get("cached").and_then(Value::as_bool), Some(true));
+        let bump = r#"{"cmd": "observe", "cells": 3, "sightings": [{"device": "a", "cell": 2, "time": 30.0}]}"#;
+        assert!(handle_line(&svc, bump).response.contains("true"));
+        let v3 = jsonio::parse(&handle_line(&svc, line).response).unwrap();
+        assert_eq!(v3.get("cached").and_then(Value::as_bool), Some(false));
+    }
+
+    #[test]
+    fn profile_ops_validate() {
+        let svc = service();
+        for bad in [
+            r#"{"cmd": "observe"}"#,
+            r#"{"cmd": "observe", "cells": 0, "sightings": []}"#,
+            r#"{"cmd": "observe", "cells": 3, "sightings": [{"device": "a"}]}"#,
+            r#"{"cmd": "observe", "cells": 3, "sightings": [{"device": "a", "cell": 9, "time": 0.0}]}"#,
+            r#"{"cmd": "plan_devices", "devices": ["nobody"], "delay": 2}"#,
+            r#"{"cmd": "plan_devices", "devices": [], "delay": 2}"#,
+            r#"{"cmd": "plan_devices", "devices": ["a"], "delay": 2, "estimator": "psychic"}"#,
+        ] {
+            let v = jsonio::parse(&handle_line(&svc, bad).response).unwrap();
+            assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false), "{bad}");
         }
     }
 

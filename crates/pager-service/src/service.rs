@@ -1,8 +1,10 @@
 //! The planning service façade: cache → coalesce → plan.
 
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use pager_core::{Delay, Instance};
+use pager_profiles::{Estimator, ProfileStore, Sighting, StoreConfig, Time};
 
 use crate::cache::ShardedCache;
 use crate::metrics::Metrics;
@@ -12,6 +14,12 @@ use crate::pool::Dispatcher;
 /// The full cache key: quantised probabilities plus everything else
 /// that changes the answer. Two requests with equal keys are served
 /// the *same* strategy object.
+///
+/// For profile-driven requests the key carries the estimator and the
+/// per-device profile versions: ingesting a sighting bumps a version,
+/// so the updated device can never be answered with a strategy planned
+/// from its older profile, even when the quantised probabilities
+/// happen to coincide.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct PlanKey {
     buckets: Vec<u32>,
@@ -20,6 +28,11 @@ pub struct PlanKey {
     delay: usize,
     variant: Variant,
     grid: u32,
+    /// Estimator tag for profile-driven plans (0 for matrix requests).
+    estimator: u64,
+    /// Profile versions for profile-driven plans (empty for matrix
+    /// requests).
+    profile_versions: Vec<u64>,
 }
 
 /// Service configuration knobs.
@@ -38,6 +51,9 @@ pub struct ServiceConfig {
     pub grid: u32,
     /// Exact-tier dispatch limits.
     pub policy: TierPolicy,
+    /// Profile-store sizing and estimation knobs (capacity, shards,
+    /// smoothing, staleness half-life).
+    pub profiles: StoreConfig,
 }
 
 impl Default for ServiceConfig {
@@ -50,6 +66,7 @@ impl Default for ServiceConfig {
             capacity: 4096,
             grid: 1000,
             policy: TierPolicy::default(),
+            profiles: StoreConfig::default(),
         }
     }
 }
@@ -83,6 +100,22 @@ pub struct PlanResponse {
     pub coalesced: bool,
 }
 
+/// A plan served for named devices out of the profile store.
+#[derive(Debug, Clone)]
+pub struct DevicePlanResponse {
+    /// The plan, as for a matrix request.
+    pub response: PlanResponse,
+    /// The profile version each device's row was built from (same
+    /// order as the requested devices). These are part of the cache
+    /// key: a later sighting bumps them and forces a re-plan.
+    pub versions: Vec<u64>,
+    /// How many of the devices were stale (staleness weight below ½)
+    /// when the plan was built.
+    pub stale_profiles: usize,
+    /// The clock the distributions were evaluated at.
+    pub now: Time,
+}
+
 /// A concurrent strategy-planning service.
 ///
 /// Cheap to share: wrap in an [`Arc`] and call [`PagerService::plan`]
@@ -106,10 +139,16 @@ pub struct PagerService {
     cache: Arc<ShardedCache<PlanKey, Plan>>,
     metrics: Arc<Metrics>,
     dispatcher: Dispatcher,
+    profiles: Arc<ProfileStore>,
 }
 
 impl PagerService {
     /// Builds a service and starts its worker pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the profile knobs in `config.profiles` are invalid
+    /// (non-positive smoothing, decay outside `(0, 1]`, ...).
     #[must_use]
     pub fn new(config: ServiceConfig) -> PagerService {
         let cache = Arc::new(ShardedCache::new(config.capacity, config.shards));
@@ -120,11 +159,14 @@ impl PagerService {
             Arc::clone(&metrics),
             config.policy,
         );
+        let profiles =
+            Arc::new(ProfileStore::new(config.profiles).expect("invalid profile configuration"));
         PagerService {
             config,
             cache,
             metrics,
             dispatcher,
+            profiles,
         }
     }
 
@@ -141,6 +183,12 @@ impl PagerService {
         &self.metrics
     }
 
+    /// The device-profile store behind `observe` / `plan_devices`.
+    #[must_use]
+    pub fn profiles(&self) -> &ProfileStore {
+        &self.profiles
+    }
+
     /// The cache key and shard fingerprint for a request, exposed so
     /// tests and tools can reason about hit behaviour.
     #[must_use]
@@ -152,19 +200,86 @@ impl PagerService {
             delay: delay.get(),
             variant,
             grid: self.config.grid,
+            estimator: 0,
+            profile_versions: Vec::new(),
         }
     }
 
-    fn fingerprint(&self, instance: &Instance, delay: Delay, variant: Variant) -> u64 {
+    fn fingerprint(
+        &self,
+        instance: &Instance,
+        delay: Delay,
+        variant: Variant,
+        estimator: u64,
+        versions: &[u64],
+    ) -> u64 {
         let mut fp = instance.fingerprint64(self.config.grid);
         // Fold the non-instance key parts in FNV-style.
-        for word in [delay.get() as u64, variant_tag(variant)] {
+        let words = [delay.get() as u64, variant_tag(variant), estimator]
+            .into_iter()
+            .chain(versions.iter().copied());
+        for word in words {
             for byte in word.to_le_bytes() {
                 fp ^= u64::from(byte);
                 fp = fp.wrapping_mul(0x0000_0100_0000_01B3);
             }
         }
         fp
+    }
+
+    /// Inline planning on the caller thread: the pool exists to dedupe
+    /// identical work, and uncacheable work cannot be deduped.
+    fn plan_inline(
+        &self,
+        instance: &Instance,
+        delay: Delay,
+        variant: Variant,
+    ) -> Result<PlanResponse, PlanError> {
+        let fresh = plan(instance, delay, variant, &self.config.policy)
+            .inspect_err(|_| Metrics::inc(&self.metrics.errors))?;
+        self.metrics
+            .tier_latency(fresh.tier)
+            .record(fresh.planning_micros);
+        Ok(PlanResponse {
+            plan: Arc::new(fresh),
+            cached: false,
+            coalesced: false,
+        })
+    }
+
+    /// Cacheable path shared by matrix and profile-driven requests:
+    /// cache lookup, then dispatch with in-flight coalescing.
+    fn plan_via_cache(
+        &self,
+        key: PlanKey,
+        fingerprint: u64,
+        instance: &Instance,
+        delay: Delay,
+        variant: Variant,
+    ) -> Result<PlanResponse, PlanError> {
+        if let Some(hit) = self.cache.get(fingerprint, &key) {
+            Metrics::inc(&self.metrics.cache_hits);
+            return Ok(PlanResponse {
+                plan: hit,
+                cached: true,
+                coalesced: false,
+            });
+        }
+        Metrics::inc(&self.metrics.cache_misses);
+        let (rx, coalesced) =
+            self.dispatcher
+                .submit(key, fingerprint, instance.clone(), delay, variant)?;
+        if coalesced {
+            Metrics::inc(&self.metrics.coalesced);
+        }
+        let result = rx
+            .recv()
+            .map_err(|_| PlanError("worker pool dropped the request".into()))?;
+        result.map(|plan| PlanResponse {
+            plan,
+            cached: false,
+            coalesced,
+        })
     }
 
     /// Plans a strategy, serving from the cache or an identical
@@ -182,44 +297,89 @@ impl PagerService {
     ) -> Result<PlanResponse, PlanError> {
         Metrics::inc(&self.metrics.requests);
         if !options.cache {
-            // Uncached path still runs on the caller thread: the pool
-            // exists to dedupe identical work, and uncacheable work
-            // cannot be deduped.
-            let fresh = plan(instance, delay, options.variant, &self.config.policy)
-                .inspect_err(|_| Metrics::inc(&self.metrics.errors))?;
-            self.metrics
-                .tier_latency(fresh.tier)
-                .record(fresh.planning_micros);
-            return Ok(PlanResponse {
-                plan: Arc::new(fresh),
-                cached: false,
-                coalesced: false,
-            });
+            return self.plan_inline(instance, delay, options.variant);
         }
         let key = self.cache_key(instance, delay, options.variant);
-        let fingerprint = self.fingerprint(instance, delay, options.variant);
-        if let Some(hit) = self.cache.get(fingerprint, &key) {
-            Metrics::inc(&self.metrics.cache_hits);
-            return Ok(PlanResponse {
-                plan: hit,
-                cached: true,
-                coalesced: false,
-            });
+        let fingerprint = self.fingerprint(instance, delay, options.variant, 0, &[]);
+        self.plan_via_cache(key, fingerprint, instance, delay, options.variant)
+    }
+
+    /// Ingests a batch of sightings into the profile store, returning
+    /// `(device, new version)` per sighting. Metrics mirror the
+    /// store's ingest/eviction counters after the batch.
+    ///
+    /// # Errors
+    ///
+    /// The first offending sighting's message (earlier sightings in
+    /// the batch have been ingested — append-only, no rollback).
+    pub fn observe(
+        &self,
+        cells: usize,
+        sightings: &[Sighting],
+    ) -> Result<Vec<(String, u64)>, String> {
+        let result = self.profiles.observe_batch(cells, sightings);
+        let stats = self.profiles.stats();
+        self.metrics
+            .sightings_ingested
+            .store(stats.sightings, Ordering::Relaxed);
+        self.metrics
+            .profile_evictions
+            .store(stats.evictions, Ordering::Relaxed);
+        result
+    }
+
+    /// Plans a strategy for named devices out of the profile store.
+    ///
+    /// The per-device profile versions join the cache key and its
+    /// fingerprint, so a sighting ingested between two otherwise
+    /// identical requests forces a fresh plan — a stale cached
+    /// strategy is unreachable by construction.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError`] on unknown devices, an empty device list, a store
+    /// without a usable clock, or any planner failure.
+    pub fn plan_devices(
+        &self,
+        devices: &[&str],
+        delay: Delay,
+        estimator: Estimator,
+        now: Option<Time>,
+        options: PlanOptions,
+    ) -> Result<DevicePlanResponse, PlanError> {
+        Metrics::inc(&self.metrics.requests);
+        let now = now.or_else(|| self.profiles.latest_time()).ok_or_else(|| {
+            Metrics::inc(&self.metrics.errors);
+            PlanError("store has no sightings and no \"now\" was given".into())
+        })?;
+        let (instance, versions, staleness) = self
+            .profiles
+            .instance_for(devices, estimator, Some(now))
+            .map_err(|e| {
+                Metrics::inc(&self.metrics.errors);
+                PlanError(e)
+            })?;
+        let stale_profiles = staleness.iter().filter(|&&lambda| lambda < 0.5).count();
+        if stale_profiles > 0 {
+            self.metrics
+                .stale_profiles_served
+                .fetch_add(stale_profiles as u64, Ordering::Relaxed);
         }
-        Metrics::inc(&self.metrics.cache_misses);
-        let (rx, coalesced) =
-            self.dispatcher
-                .submit(key, fingerprint, instance.clone(), delay, options.variant)?;
-        if coalesced {
-            Metrics::inc(&self.metrics.coalesced);
-        }
-        let result = rx
-            .recv()
-            .map_err(|_| PlanError("worker pool dropped the request".into()))?;
-        result.map(|plan| PlanResponse {
-            plan,
-            cached: false,
-            coalesced,
+        let response = if options.cache {
+            let mut key = self.cache_key(&instance, delay, options.variant);
+            key.estimator = estimator.tag() + 1; // 0 is reserved for matrix requests
+            key.profile_versions = versions.clone();
+            let fingerprint =
+                self.fingerprint(&instance, delay, options.variant, key.estimator, &versions);
+            self.plan_via_cache(key, fingerprint, &instance, delay, options.variant)?
+        } else {
+            self.plan_inline(&instance, delay, options.variant)?
+        };
+        Ok(DevicePlanResponse {
+            response,
+            versions,
+            stale_profiles,
+            now,
         })
     }
 
@@ -261,8 +421,7 @@ mod tests {
             workers: 4,
             shards: 4,
             capacity: 64,
-            grid: 1000,
-            policy: TierPolicy::default(),
+            ..ServiceConfig::default()
         })
     }
 
@@ -379,5 +538,118 @@ mod tests {
         svc.shutdown();
         let err = svc.plan(&inst(), Delay::new(2).unwrap(), PlanOptions::default());
         assert!(err.is_err());
+    }
+
+    fn sighting(device: &str, cell: usize, time: f64) -> pager_profiles::Sighting {
+        pager_profiles::Sighting {
+            device: device.to_string(),
+            cell,
+            time,
+        }
+    }
+
+    #[test]
+    fn observe_then_plan_devices_round_trip() {
+        let svc = service();
+        let batch: Vec<_> = (0..30u32)
+            .flat_map(|t| {
+                vec![
+                    sighting("a", (t % 4) as usize, f64::from(t)),
+                    sighting("b", 0, f64::from(t)),
+                ]
+            })
+            .collect();
+        svc.observe(4, &batch).unwrap();
+        assert_eq!(Metrics::get(&svc.metrics().sightings_ingested), 60);
+        let d = Delay::new(2).unwrap();
+        let served = svc
+            .plan_devices(
+                &["a", "b"],
+                d,
+                Estimator::Empirical,
+                None,
+                PlanOptions::default(),
+            )
+            .unwrap();
+        assert!(!served.response.cached);
+        assert_eq!(served.versions.len(), 2);
+        assert_eq!(served.stale_profiles, 0);
+        assert_eq!(served.now, 29.0);
+        // Identical request: same versions, served from cache.
+        let again = svc
+            .plan_devices(
+                &["a", "b"],
+                d,
+                Estimator::Empirical,
+                None,
+                PlanOptions::default(),
+            )
+            .unwrap();
+        assert!(again.response.cached);
+        assert_eq!(again.versions, served.versions);
+        // Unknown device errors and is counted.
+        assert!(svc
+            .plan_devices(
+                &["ghost"],
+                d,
+                Estimator::Empirical,
+                None,
+                PlanOptions::default()
+            )
+            .is_err());
+        assert!(Metrics::get(&svc.metrics().errors) >= 1);
+    }
+
+    #[test]
+    fn profile_update_invalidates_cached_plan() {
+        let svc = service();
+        for t in 0..20u32 {
+            svc.observe(
+                3,
+                &[
+                    sighting("a", (t % 3) as usize, f64::from(t)),
+                    sighting("b", 1, f64::from(t)),
+                ],
+            )
+            .unwrap();
+        }
+        let d = Delay::new(2).unwrap();
+        let opts = PlanOptions::default();
+        let first = svc
+            .plan_devices(&["a", "b"], d, Estimator::Empirical, Some(19.0), opts)
+            .unwrap();
+        // One more sighting for "b": its version bumps, so the same
+        // request keys a different cache slot even if the quantised
+        // rows coincide.
+        svc.observe(3, &[sighting("b", 1, 19.5)]).unwrap();
+        let second = svc
+            .plan_devices(&["a", "b"], d, Estimator::Empirical, Some(19.0), opts)
+            .unwrap();
+        assert!(second.versions[1] > first.versions[1]);
+        assert!(!second.response.cached, "stale plan must not be served");
+        // Different estimators never share cache entries either.
+        let markov = svc
+            .plan_devices(&["a", "b"], d, Estimator::Markov, Some(19.0), opts)
+            .unwrap();
+        assert!(!markov.response.cached);
+    }
+
+    #[test]
+    fn stale_profiles_are_counted() {
+        let svc = service();
+        svc.observe(3, &[sighting("a", 0, 0.0)]).unwrap();
+        let d = Delay::new(2).unwrap();
+        // Query far beyond the staleness half-life (default 256).
+        let served = svc
+            .plan_devices(
+                &["a"],
+                d,
+                Estimator::Empirical,
+                Some(10_000.0),
+                PlanOptions::default(),
+            )
+            .unwrap();
+        assert_eq!(served.stale_profiles, 1);
+        assert_eq!(Metrics::get(&svc.metrics().stale_profiles_served), 1);
     }
 }

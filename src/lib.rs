@@ -17,6 +17,10 @@
 //! * [`service`] — a concurrent strategy-planning server with a
 //!   sharded quantised-fingerprint cache, batch dispatch, and a
 //!   JSON-lines wire protocol (the `pager-serve` binary);
+//! * [`profiles`] — the online location-profile store feeding the
+//!   service: sighting ingest, per-device Laplace / recency / Markov
+//!   estimators with staleness decay, versioned concurrent profiles,
+//!   and the replay harness closing the sightings→plans loop;
 //! * [`hardness`] — the NP-hardness reduction pipeline of Section 3;
 //! * [`net`] — a cellular-network simulator grounding the model
 //!   (location areas, mobility, distribution estimation, link costs);
@@ -43,6 +47,7 @@
 pub use cellnet as net;
 pub use pager_core as pager;
 pub use pager_hardness as hardness;
+pub use pager_profiles as profiles;
 pub use pager_service as service;
 pub use rational as exact;
 pub use workloads as gen;

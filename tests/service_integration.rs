@@ -101,6 +101,97 @@ fn random_rows(rng: &mut StdRng, devices: usize, cells: usize) -> Vec<Vec<f64>> 
         .collect()
 }
 
+/// observe → plan_devices over real TCP: profiles are addressable by
+/// name, and a profile update between two identical requests bumps the
+/// version and forces a fresh plan — the cache can never serve a plan
+/// built from an older profile.
+#[test]
+fn observe_then_plan_devices_over_tcp() {
+    let server = Server::spawn();
+    let mut conn = server.connect();
+
+    // Stream a movement history for two devices: "a" cycles through
+    // the cells, "b" camps in cell 1.
+    for t in 0..40u32 {
+        let request = format!(
+            r#"{{"cmd": "observe", "cells": 4, "sightings": [{{"device": "a", "cell": {}, "time": {t}.0}}, {{"device": "b", "cell": 1, "time": {t}.0}}]}}"#,
+            t % 4
+        );
+        let response = conn.round_trip(&request);
+        assert_eq!(
+            response.get("ok").and_then(Value::as_bool),
+            Some(true),
+            "{response}"
+        );
+        assert_eq!(response.get("ingested").and_then(Value::as_u64), Some(2));
+    }
+    let stats = conn.round_trip(r#"{"cmd": "profile_stats"}"#);
+    let profiles = stats.get("profiles").expect("profiles payload");
+    assert_eq!(profiles.get("devices").and_then(Value::as_u64), Some(2));
+    assert_eq!(profiles.get("sightings").and_then(Value::as_u64), Some(80));
+
+    // Plan for the named devices, twice: the second identical request
+    // must be served from the cache with the same versions.
+    let plan_req = r#"{"cmd": "plan_devices", "id": 1, "devices": ["a", "b"], "delay": 2, "estimator": "empirical", "now": 39.0}"#;
+    let first = conn.round_trip(plan_req);
+    assert_eq!(
+        first.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "{first}"
+    );
+    assert_eq!(first.get("cached").and_then(Value::as_bool), Some(false));
+    let first_versions = first
+        .get("profile_versions")
+        .and_then(Value::as_array)
+        .expect("versions")
+        .to_vec();
+    assert_eq!(first_versions.len(), 2);
+    let covered: usize = first
+        .get("strategy")
+        .and_then(Value::as_array)
+        .expect("strategy")
+        .iter()
+        .map(|g| g.as_array().expect("group").len())
+        .sum();
+    assert_eq!(covered, 4, "strategy must partition all cells");
+    let second = conn.round_trip(plan_req);
+    assert_eq!(second.get("cached").and_then(Value::as_bool), Some(true));
+    assert_eq!(
+        second.get("profile_versions").and_then(Value::as_array),
+        Some(&first_versions[..])
+    );
+
+    // One more sighting for "b": its version bumps, and the same
+    // request is re-planned — a stale cached strategy is unservable.
+    let bump = conn.round_trip(
+        r#"{"cmd": "observe", "cells": 4, "sightings": [{"device": "b", "cell": 2, "time": 40.0}]}"#,
+    );
+    assert_eq!(bump.get("ok").and_then(Value::as_bool), Some(true));
+    let third = conn.round_trip(plan_req);
+    assert_eq!(
+        third.get("cached").and_then(Value::as_bool),
+        Some(false),
+        "profile update must invalidate the cached plan: {third}"
+    );
+    let third_versions = third
+        .get("profile_versions")
+        .and_then(Value::as_array)
+        .expect("versions");
+    assert_eq!(third_versions[0], first_versions[0], "a unchanged");
+    assert!(
+        third_versions[1].as_u64() > first_versions[1].as_u64(),
+        "b's version must increase"
+    );
+
+    // The metrics registry saw the ingest.
+    let metrics = conn.round_trip(r#"{"cmd": "metrics"}"#);
+    let metrics = metrics.get("metrics").expect("metrics payload");
+    assert_eq!(
+        metrics.get("sightings_ingested").and_then(Value::as_u64),
+        Some(81)
+    );
+}
+
 #[test]
 fn thousand_concurrent_requests_over_tcp() {
     let server = Arc::new(Server::spawn());
