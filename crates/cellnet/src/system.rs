@@ -454,7 +454,7 @@ mod tests {
                 }
                 let weight = |j: usize| -> f64 { rows.iter().map(|r| r[j]).sum() };
                 let mut order: Vec<usize> = (0..c).collect();
-                order.sort_by(|&a, &b| weight(b).partial_cmp(&weight(a)).unwrap());
+                order.sort_by(|&a, &b| weight(b).total_cmp(&weight(a)));
                 let (first, second) = order.split_at(c / 2);
                 vec![first.to_vec(), second.to_vec()]
             }

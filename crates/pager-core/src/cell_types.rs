@@ -193,7 +193,7 @@ fn optimal_over_types(
         // Iterate predecessor states and extend by every non-empty
         // count increment (enumerate supersets via odometer).
         for s in 0..states {
-            if h[s] == neg {
+            if !h[s].is_finite() {
                 continue;
             }
             let base_k = decode(s);
@@ -238,7 +238,7 @@ fn optimal_over_types(
         h = next;
     }
     let savings = h[full];
-    debug_assert!(savings != neg);
+    debug_assert!(savings.is_finite());
 
     // Backtrack states into per-round type counts, then materialise
     // cells (taking members in order within each type).

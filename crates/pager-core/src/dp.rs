@@ -76,7 +76,7 @@ pub fn optimal_split(g: &[f64], d: usize, max_group: Option<usize>) -> Option<Sp
             // Previous prefix j' = j - s with 1 <= s <= b and j' >= l-1.
             let lo = j.saturating_sub(b).max(l - 1);
             for prev in lo..j {
-                if best[l - 1][prev] == f64::NEG_INFINITY {
+                if !best[l - 1][prev].is_finite() {
                     continue;
                 }
                 let cand = best[l - 1][prev] + (j - prev) as f64 * g[prev];
@@ -87,7 +87,7 @@ pub fn optimal_split(g: &[f64], d: usize, max_group: Option<usize>) -> Option<Sp
             }
         }
     }
-    if best[d][c] == f64::NEG_INFINITY {
+    if !best[d][c].is_finite() {
         return None;
     }
     // Backtrack the cut positions.
@@ -287,6 +287,24 @@ mod tests {
                 best
             );
         }
+    }
+
+    #[test]
+    fn tied_splits_break_toward_the_earliest_cut() {
+        // g = [0, 1/2, 1, 1] over 3 cells, d = 2: cutting after cell 1
+        // saves 2·g[1] = 1 and cutting after cell 2 saves 1·g[2] = 1.
+        // Both DPs keep the first candidate on ties, so the earliest
+        // cut wins — sizes [1, 2], never [2, 1]. The float DP must not
+        // drift from the exact DP here: downstream plan caching keys on
+        // the chosen sizes.
+        let gf = vec![0.0, 0.5, 1.0, 1.0];
+        let f = optimal_split(&gf, 2, None).unwrap();
+        assert_eq!(f.sizes, vec![1, 2]);
+        assert!((f.savings - 1.0).abs() < 1e-12);
+        let ge: Vec<Ratio> = gf.iter().map(|&x| Ratio::from_f64(x).unwrap()).collect();
+        let e = optimal_split_exact(&ge, 2, None).unwrap();
+        assert_eq!(e.sizes, f.sizes);
+        assert_eq!(e.savings, Ratio::one());
     }
 
     #[test]

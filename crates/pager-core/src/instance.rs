@@ -206,11 +206,7 @@ impl Instance {
     pub fn cells_by_weight_desc(&self) -> Vec<usize> {
         let w = self.cell_weights();
         let mut order: Vec<usize> = (0..self.num_cells()).collect();
-        order.sort_by(|&a, &b| {
-            w[b].partial_cmp(&w[a])
-                .unwrap_or(core::cmp::Ordering::Equal)
-                .then(a.cmp(&b))
-        });
+        order.sort_by(|&a, &b| w[b].total_cmp(&w[a]).then(a.cmp(&b)));
         order
     }
 

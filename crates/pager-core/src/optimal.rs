@@ -209,7 +209,7 @@ pub fn optimal_subset_dp(instance: &Instance, delay: Delay) -> Result<PlannedStr
             let supm = sup as u32;
             let mut sub = (sup - 1) as u32 & supm;
             loop {
-                if sub != 0 && h[sub as usize] != neg {
+                if sub != 0 && h[sub as usize].is_finite() {
                     let gained = (supm.count_ones() - sub.count_ones()) as f64 * f[sub as usize];
                     let cand = h[sub as usize] + gained;
                     if cand > next[sup] {
@@ -226,7 +226,10 @@ pub fn optimal_subset_dp(instance: &Instance, delay: Delay) -> Result<PlannedStr
         h = next;
     }
     let savings = h[full as usize];
-    debug_assert!(savings != neg, "full chain always feasible when d <= c");
+    debug_assert!(
+        savings.is_finite(),
+        "full chain always feasible when d <= c"
+    );
 
     // Backtrack the chain into groups.
     let mut chain = vec![full];

@@ -1,0 +1,156 @@
+//! The committed findings baseline.
+//!
+//! The baseline grandfathers pre-existing findings so CI fails only on
+//! *new* violations: a finding is "new" when its `(rule, file,
+//! excerpt)` key occurs more times in the current run than in the
+//! baseline. `pager-lint --write-baseline` regenerates the file;
+//! entries whose code has since been fixed simply stop matching and
+//! should be pruned by rewriting the baseline.
+
+use crate::findings::{Finding, Report};
+use jsonio::Value;
+use std::path::Path;
+
+/// The format tag written into baseline files.
+pub const FORMAT: &str = "pager-lint/v1";
+
+/// A loaded baseline: the multiset of grandfathered finding keys.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    /// One entry per grandfathered finding occurrence.
+    pub keys: Vec<String>,
+}
+
+impl Baseline {
+    /// Loads a baseline file; a missing file is an empty baseline.
+    ///
+    /// # Errors
+    ///
+    /// A message on unreadable or malformed content.
+    pub fn load(path: &Path) -> Result<Baseline, String> {
+        if !path.exists() {
+            return Ok(Baseline::default());
+        }
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let value = jsonio::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        match value.get("format").and_then(Value::as_str) {
+            Some(FORMAT) => {}
+            other => {
+                return Err(format!(
+                    "{}: unknown baseline format {other:?}",
+                    path.display()
+                ))
+            }
+        }
+        let entries = value
+            .get("findings")
+            .and_then(Value::as_array)
+            .ok_or_else(|| format!("{}: baseline needs a \"findings\" array", path.display()))?;
+        let mut keys = Vec::with_capacity(entries.len());
+        for (i, entry) in entries.iter().enumerate() {
+            let field = |name: &str| {
+                entry
+                    .get(name)
+                    .and_then(Value::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("{}: finding {i} needs \"{name}\"", path.display()))
+            };
+            keys.push(format!(
+                "{}|{}|{}",
+                field("rule")?,
+                field("file")?,
+                field("excerpt")?
+            ));
+        }
+        Ok(Baseline { keys })
+    }
+
+    /// Serialises a report's findings as a fresh baseline document.
+    #[must_use]
+    pub fn render(report: &Report) -> String {
+        let findings: Vec<Value> = report.findings.iter().map(Finding::to_json).collect();
+        let doc = Value::object(vec![
+            ("format", Value::from(FORMAT)),
+            ("findings", Value::Array(findings)),
+        ]);
+        // One finding per line keeps diffs reviewable.
+        let mut out = String::from("{\"format\": \"pager-lint/v1\", \"findings\": [\n");
+        let rendered: Vec<String> = doc
+            .get("findings")
+            .and_then(Value::as_array)
+            .unwrap_or(&[])
+            .iter()
+            .map(|f| format!("  {f}"))
+            .collect();
+        out.push_str(&rendered.join(",\n"));
+        out.push_str("\n]}\n");
+        out
+    }
+
+    /// Writes the report as the new baseline at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write(report: &Report, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, Baseline::render(report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_with(excerpts: &[&str]) -> Report {
+        Report {
+            findings: excerpts
+                .iter()
+                .enumerate()
+                .map(|(i, e)| Finding {
+                    rule: "no-float-eq",
+                    file: "src/x.rs".to_string(),
+                    #[allow(clippy::cast_possible_truncation)]
+                    line: i as u32 + 1,
+                    message: "float equality".to_string(),
+                    excerpt: (*e).to_string(),
+                })
+                .collect(),
+            allowed: Vec::new(),
+            files_scanned: 1,
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let dir = std::env::temp_dir().join(format!("pager-lint-bl-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("baseline.json");
+        let report = report_with(&["a == 1.0", "b == 2.0", "a == 1.0"]);
+        Baseline::write(&report, &path).unwrap();
+        let loaded = Baseline::load(&path).unwrap();
+        assert_eq!(loaded.keys.len(), 3);
+        assert!(report.new_findings(&loaded.keys).is_empty());
+        // A report with an extra occurrence has exactly one new finding.
+        let grown = report_with(&["a == 1.0", "b == 2.0", "a == 1.0", "c == 3.0"]);
+        assert_eq!(grown.new_findings(&loaded.keys).len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_empty() {
+        let loaded = Baseline::load(Path::new("/nonexistent/baseline.json")).unwrap();
+        assert!(loaded.keys.is_empty());
+    }
+
+    #[test]
+    fn malformed_baselines_error() {
+        let dir = std::env::temp_dir().join(format!("pager-lint-blm-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("baseline.json");
+        std::fs::write(&path, "{\"format\": \"other/v9\", \"findings\": []}").unwrap();
+        assert!(Baseline::load(&path).is_err());
+        std::fs::write(&path, "not json").unwrap();
+        assert!(Baseline::load(&path).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,117 @@
+//! The workspace policy: which rule applies where.
+//!
+//! The policy is code, not a config file — the point of a
+//! workspace-native linter is that the rules encode *this* workspace's
+//! invariants (shard-before-latest-time lock order, metrics-only
+//! Relaxed atomics, validated `Instance` construction), and changing an
+//! invariant should be a reviewed code change next to the rule that
+//! enforces it.
+
+/// Lock classes in their global acquisition order. A thread holding a
+/// lock of class `order[i]` may only acquire locks of class `order[j]`
+/// with `j > i`. The order mirrors the dispatcher → profile-store flow:
+/// job queue first, bookkeeping next, data shards last.
+pub const LOCK_ORDER: &[&str] = &[
+    "queue",
+    "workers",
+    "inflight",
+    "worker_rx",
+    "shard",
+    "latest_time",
+];
+
+/// Maps a `.lock()` receiver identifier to its lock class. Receivers
+/// not listed here are unclassified and exempt from ordering (but a
+/// nested unclassified lock under a classified one is still reported:
+/// every mutex in the workspace should have a class).
+#[must_use]
+pub fn lock_class(receiver: &str) -> Option<&'static str> {
+    match receiver {
+        "queue" => Some("queue"),
+        "workers" => Some("workers"),
+        "inflight" => Some("inflight"),
+        "rx" | "worker_rx" => Some("worker_rx"),
+        "shard" | "shards" | "shard_for" => Some("shard"),
+        "latest_time" => Some("latest_time"),
+        _ => None,
+    }
+}
+
+/// Rank of a lock class in [`LOCK_ORDER`].
+#[must_use]
+pub fn lock_rank(class: &str) -> Option<usize> {
+    LOCK_ORDER.iter().position(|&c| c == class)
+}
+
+/// The workspace policy consulted by rules.
+#[derive(Debug, Default)]
+pub struct Policy;
+
+impl Policy {
+    /// `no-unwrap-outside-tests` applies to library/binary code of the
+    /// crates on the serving path; solver crates and tools keep their
+    /// (baselined) panics until they are migrated.
+    #[must_use]
+    pub fn unwrap_denied(&self, path: &str) -> bool {
+        (path.starts_with("crates/pager-core/src/")
+            || path.starts_with("crates/pager-service/src/"))
+            && !Self::is_test_path(path)
+    }
+
+    /// `atomics-ordering-audit` applies everywhere except the metrics
+    /// module, whose counters are monotone and independent (Relaxed is
+    /// the documented norm there).
+    #[must_use]
+    pub fn atomics_audited(&self, path: &str) -> bool {
+        path != "crates/pager-service/src/metrics.rs" && !Self::is_test_path(path)
+    }
+
+    /// `no-raw-instance-literal` applies outside `pager-core`, which
+    /// owns `Instance` and is allowed to construct it directly.
+    #[must_use]
+    pub fn instance_literal_denied(&self, path: &str) -> bool {
+        !path.starts_with("crates/pager-core/src/") && !Self::is_test_path(path)
+    }
+
+    /// Whether the path is test/bench/example scaffolding (distinct
+    /// from in-file `#[cfg(test)]` regions, which rules handle via
+    /// [`crate::rules::FileContext::in_test_region`]).
+    #[must_use]
+    pub fn is_test_path(path: &str) -> bool {
+        path.split('/')
+            .any(|seg| seg == "tests" || seg == "benches" || seg == "examples" || seg == "fixtures")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_order_is_consistent_with_classes() {
+        for &class in LOCK_ORDER {
+            assert!(lock_rank(class).is_some());
+        }
+        assert!(lock_rank("queue") < lock_rank("inflight"));
+        assert!(lock_rank("shard") < lock_rank("latest_time"));
+        assert_eq!(lock_class("shard_for"), Some("shard"));
+        assert_eq!(lock_class("mystery"), None);
+    }
+
+    #[test]
+    fn scoping() {
+        let p = Policy;
+        assert!(p.unwrap_denied("crates/pager-core/src/dp.rs"));
+        assert!(p.unwrap_denied("crates/pager-service/src/server.rs"));
+        assert!(!p.unwrap_denied("crates/cellnet/src/system.rs"));
+        assert!(!p.unwrap_denied("crates/pager-core/tests/dp.rs"));
+        assert!(!p.atomics_audited("crates/pager-service/src/metrics.rs"));
+        assert!(p.atomics_audited("crates/pager-profiles/src/store.rs"));
+        assert!(p.instance_literal_denied("crates/pager-service/src/service.rs"));
+        assert!(!p.instance_literal_denied("crates/pager-core/src/instance.rs"));
+        assert!(Policy::is_test_path("crates/pager-core/tests/x.rs"));
+        assert!(Policy::is_test_path(
+            "crates/pager-lint/tests/fixtures/bad.rs"
+        ));
+    }
+}

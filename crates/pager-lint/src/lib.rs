@@ -1,0 +1,113 @@
+//! pager-lint: the workspace-native static-analysis pass.
+//!
+//! A pure-std linter (no `syn`, no network) that enforces the
+//! workspace's own invariants on top of rustc/clippy: float-comparison
+//! discipline, no panicking escape hatches on the serving path, audited
+//! atomic orderings, validated `Instance` construction, and the global
+//! lock-acquisition order. See DESIGN.md §9 for the architecture and
+//! rule catalog.
+//!
+//! Pipeline per file: [`lexer::lex`] → shared analyses
+//! ([`rules::test_regions`], [`rules::fn_spans`]) → rule dispatch
+//! ([`rules::run_all`]) → inline suppression filter
+//! ([`suppress::Allows`]). Across files: findings diff against the
+//! committed [`baseline`] so CI fails only on *new* violations.
+
+pub mod baseline;
+pub mod config;
+pub mod findings;
+pub mod lexer;
+pub mod rules;
+pub mod suppress;
+pub mod walk;
+
+use config::Policy;
+use findings::Report;
+use std::path::Path;
+
+/// Lints one file's source, splitting results into kept and
+/// inline-suppressed findings.
+#[must_use]
+pub fn lint_source(
+    path: &str,
+    source: &str,
+    policy: &Policy,
+) -> (Vec<findings::Finding>, Vec<findings::Finding>) {
+    let lexed = lexer::lex(source);
+    let lines: Vec<&str> = source.lines().collect();
+    let regions = rules::test_regions(&lexed.tokens);
+    let spans = rules::fn_spans(&lexed.tokens);
+    let ctx = rules::FileContext {
+        path,
+        tokens: &lexed.tokens,
+        lines: &lines,
+        test_regions: &regions,
+        fn_spans: &spans,
+        policy,
+    };
+    let allows = suppress::Allows::collect(&lexed.comments);
+    rules::run_all(&ctx)
+        .into_iter()
+        .partition(|f| !allows.covers(f.rule, f.line))
+}
+
+/// Lints every `.rs` file under `root`.
+///
+/// # Errors
+///
+/// A message on unreadable files or directories.
+pub fn lint_workspace(root: &Path) -> Result<Report, String> {
+    let files =
+        walk::collect_rust_files(root).map_err(|e| format!("walking {}: {e}", root.display()))?;
+    let policy = Policy;
+    let mut report = Report::default();
+    for file in files {
+        let source = std::fs::read_to_string(root.join(&file))
+            .map_err(|e| format!("reading {file}: {e}"))?;
+        let (kept, allowed) = lint_source(&file, &source, &policy);
+        report.findings.extend(kept);
+        report.allowed.extend(allowed);
+        report.files_scanned += 1;
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lint_source_applies_suppressions() {
+        let src = "\
+fn f(x: f64) -> bool {
+    let a = x == 0.0; // lint:allow(no-float-eq): exact zero sentinel
+    let _ = x;
+    a && x == 1.0
+}
+";
+        let (kept, allowed) = lint_source("crates/cellnet/src/x.rs", src, &Policy);
+        assert_eq!(allowed.len(), 1);
+        assert_eq!(allowed[0].line, 2);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].line, 4);
+    }
+
+    #[test]
+    fn lint_workspace_scans_a_tree() {
+        let dir = std::env::temp_dir().join(format!("pager-lint-ws-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let src_dir = dir.join("crates/pager-service/src");
+        std::fs::create_dir_all(&src_dir).unwrap();
+        std::fs::write(dir.join("Cargo.toml"), "[workspace]\n").unwrap();
+        std::fs::write(
+            src_dir.join("bad.rs"),
+            "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+        )
+        .unwrap();
+        let report = lint_workspace(&dir).unwrap();
+        assert_eq!(report.files_scanned, 1);
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].rule, "no-unwrap-outside-tests");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,143 @@
+//! The `pager-lint` binary.
+//!
+//! ```text
+//! pager-lint [--root DIR] [--baseline PATH] [--json] [--write-baseline]
+//! ```
+//!
+//! Exit status: 0 when no findings are new relative to the baseline,
+//! 1 when new findings exist, 2 on usage or I/O errors. After fixing
+//! or deliberately baselining findings, regenerate the committed
+//! baseline with `cargo run -p pager-lint -- --write-baseline`.
+
+use pager_lint::baseline::Baseline;
+use pager_lint::findings::Finding;
+use pager_lint::{lint_workspace, walk};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const DEFAULT_BASELINE: &str = "lint-baseline.json";
+
+struct Options {
+    root: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    json: bool,
+    write_baseline: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        root: None,
+        baseline: None,
+        json: false,
+        write_baseline: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                let v = it.next().ok_or("--root needs a directory")?;
+                opts.root = Some(PathBuf::from(v));
+            }
+            "--baseline" => {
+                let v = it.next().ok_or("--baseline needs a path")?;
+                opts.baseline = Some(PathBuf::from(v));
+            }
+            "--json" => opts.json = true,
+            "--write-baseline" => opts.write_baseline = true,
+            "--help" | "-h" => {
+                return Err("usage: pager-lint [--root DIR] [--baseline PATH] [--json] \
+                     [--write-baseline]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn render_json(new: &[&Finding], report: &pager_lint::findings::Report) -> String {
+    use jsonio::Value;
+    let doc = Value::object(vec![
+        ("format", Value::from("pager-lint/v1")),
+        ("files_scanned", Value::from(report.files_scanned as u64)),
+        ("suppressed", Value::from(report.allowed.len() as u64)),
+        (
+            "baselined",
+            Value::from((report.findings.len() - new.len()) as u64),
+        ),
+        (
+            "new_findings",
+            Value::Array(new.iter().map(|f| f.to_json()).collect()),
+        ),
+    ]);
+    doc.to_string()
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = parse_args(&args)?;
+
+    let root = match opts.root {
+        Some(root) => root,
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| format!("cwd: {e}"))?;
+            walk::find_workspace_root(&cwd)
+                .ok_or("no [workspace] Cargo.toml above the current directory; pass --root")?
+        }
+    };
+    let baseline_path = opts.baseline.unwrap_or_else(|| root.join(DEFAULT_BASELINE));
+
+    let report = lint_workspace(&root)?;
+
+    if opts.write_baseline {
+        Baseline::write(&report, &baseline_path)
+            .map_err(|e| format!("writing {}: {e}", baseline_path.display()))?;
+        eprintln!(
+            "pager-lint: wrote {} findings to {}",
+            report.findings.len(),
+            baseline_path.display()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let baseline = Baseline::load(&baseline_path)?;
+    let new = report.new_findings(&baseline.keys);
+
+    if opts.json {
+        println!("{}", render_json(&new, &report));
+    } else {
+        for f in &new {
+            println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+            println!("    {}", f.excerpt);
+        }
+        eprintln!(
+            "pager-lint: {} files, {} new finding(s), {} baselined, {} suppressed inline",
+            report.files_scanned,
+            new.len(),
+            report.findings.len() - new.len(),
+            report.allowed.len()
+        );
+        if !new.is_empty() {
+            eprintln!(
+                "pager-lint: fix the findings, add a justified lint:allow, or rerun \
+                 with --write-baseline to grandfather them"
+            );
+        }
+    }
+
+    Ok(if new.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("pager-lint: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

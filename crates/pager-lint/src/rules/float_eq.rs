@@ -1,0 +1,368 @@
+//! `no-float-eq`: `==` / `!=` with a floating-point operand.
+//!
+//! Exact float comparison is almost always a rounding bug waiting to
+//! happen — the DP tables in `pager-core` accumulate products of
+//! probabilities, so two mathematically equal plans can differ in the
+//! last ulp. Use `total_cmp`, an epsilon band, or `is_finite()` for
+//! sentinel checks. Deliberate exact-zero sentinels carry a
+//! `lint:allow(no-float-eq)` with a reason.
+//!
+//! An operand is considered floating when it contains a float literal,
+//! an `f64`/`f32` token, or an identifier inferred to be a float by
+//! the per-function dataflow-lite pass: parameters with float types,
+//! `let` bindings with float annotations or float initialisers, and
+//! file-level `const`/`static` floats. The inference runs two passes
+//! so `let b = a;` picks up `a`'s floatiness.
+
+use super::{operand_left, operand_right, FileContext};
+use crate::findings::Finding;
+use crate::lexer::{Token, TokenKind};
+use std::collections::HashSet;
+
+pub(crate) const RULE: &str = "no-float-eq";
+
+/// Runs the rule over one file.
+#[must_use]
+pub fn check(ctx: &FileContext<'_>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let file_floats = file_level_floats(ctx.tokens);
+    for span in ctx.fn_spans {
+        let body = &ctx.tokens[span.open..=span.close.min(ctx.tokens.len() - 1)];
+        let sig_start = signature_start(ctx.tokens, span.open);
+        let sig = &ctx.tokens[sig_start..span.open];
+        let mut floats = file_floats.clone();
+        collect_param_floats(sig, &mut floats);
+        // Two passes so floatiness propagates through one level of
+        // `let b = a;`.
+        for _ in 0..2 {
+            collect_let_floats(body, &mut floats);
+        }
+        for (i, t) in body.iter().enumerate() {
+            if !(t.is_punct("==") || t.is_punct("!=")) {
+                continue;
+            }
+            let left = operand_left(body, i);
+            let right = operand_right(body, i);
+            // An operand with a depth-0 integer literal and no float
+            // evidence is integer-typed: `c == 0` cannot compare
+            // floats in compiling Rust (int literals never unify with
+            // f64), so a floatiness guess for the other side is wrong.
+            if definitely_int(&left, &floats) || definitely_int(&right, &floats) {
+                continue;
+            }
+            if is_floaty(&left, &floats) || is_floaty(&right, &floats) {
+                findings.push(ctx.finding(
+                    RULE,
+                    t.line,
+                    format!(
+                        "exact float comparison with `{}`; use total_cmp, an epsilon, \
+                         or is_finite() for sentinels",
+                        t.text
+                    ),
+                ));
+            }
+        }
+    }
+    findings
+}
+
+/// Start of the `fn` signature owning the body brace at `open`:
+/// the nearest preceding `fn` keyword.
+fn signature_start(tokens: &[Token], open: usize) -> usize {
+    (0..open)
+        .rev()
+        .find(|&j| tokens[j].is_ident("fn"))
+        .unwrap_or(open)
+}
+
+fn is_float_type_token(t: &Token) -> bool {
+    t.is_ident("f64") || t.is_ident("f32")
+}
+
+/// Methods whose result is integral even on a float receiver, so a
+/// float identifier feeding them is not float *evidence*:
+/// `g.len() == 0` compares usizes.
+const INT_METHODS: &[&str] = &[
+    "len", "is_empty", "count", "capacity", "position", "to_bits",
+];
+
+/// Whether the evidence token at `j` is neutralised by a following
+/// `.len()`-style call, looking across index/call groups
+/// (`rows[0].len()`, `shard(k).count()`).
+fn discounted(tokens: &[&Token], j: usize) -> bool {
+    let mut k = j + 1;
+    loop {
+        match tokens.get(k) {
+            Some(t) if t.is_punct("(") || t.is_punct("[") => {
+                let (open, close) = if t.is_punct("(") {
+                    ("(", ")")
+                } else {
+                    ("[", "]")
+                };
+                let mut depth = 1i32;
+                k += 1;
+                while depth > 0 {
+                    let Some(t) = tokens.get(k) else { return false };
+                    if t.is_punct(open) {
+                        depth += 1;
+                    } else if t.is_punct(close) {
+                        depth -= 1;
+                    }
+                    k += 1;
+                }
+            }
+            Some(t) if t.is_punct(".") => {
+                return tokens
+                    .get(k + 1)
+                    .is_some_and(|m| INT_METHODS.iter().any(|im| m.is_ident(im)))
+                    && tokens.get(k + 2).is_some_and(|p| p.is_punct("("));
+            }
+            _ => return false,
+        }
+    }
+}
+
+/// Whether a token run contains live float evidence: a float literal,
+/// an `f64`/`f32` token, or a known-float identifier — none of it
+/// discounted by an int-returning method. With `depth0_only`, evidence
+/// inside brackets is ignored (used for `let` initialisers, where
+/// `f(&x)` says nothing about the result type), and scanning stops at
+/// an `if`/`match` (whose depth-0 condition is not the result).
+fn float_evidence(tokens: &[&Token], floats: &HashSet<String>, depth0_only: bool) -> bool {
+    let mut depth = 0i32;
+    for (j, t) in tokens.iter().enumerate() {
+        if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+            depth += 1;
+            continue;
+        }
+        if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+            depth -= 1;
+            continue;
+        }
+        if depth0_only && depth == 0 && (t.is_ident("if") || t.is_ident("match")) {
+            return false;
+        }
+        let evidence = t.kind == TokenKind::Float
+            || is_float_type_token(t)
+            || (t.kind == TokenKind::Ident && floats.contains(&t.text));
+        if evidence && (!depth0_only || depth == 0) && !discounted(tokens, j) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Whether an operand's tokens look floating-point.
+fn is_floaty(operand: &[&Token], floats: &HashSet<String>) -> bool {
+    float_evidence(operand, floats, false)
+}
+
+/// Whether an operand is provably integer-typed: it has a bare integer
+/// literal at depth 0 and no float evidence anywhere.
+fn definitely_int(operand: &[&Token], floats: &HashSet<String>) -> bool {
+    if is_floaty(operand, floats) {
+        return false;
+    }
+    let mut depth = 0i32;
+    for t in operand {
+        if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+            depth -= 1;
+        } else if depth == 0 && t.kind == TokenKind::Int {
+            return true;
+        }
+    }
+    false
+}
+
+/// File-level `const NAME: f64` / `static NAME: f64` identifiers.
+fn file_level_floats(tokens: &[Token]) -> HashSet<String> {
+    let mut floats = HashSet::new();
+    for w in tokens.windows(4) {
+        if (w[0].is_ident("const") || w[0].is_ident("static"))
+            && w[1].kind == TokenKind::Ident
+            && w[2].is_punct(":")
+            && is_float_type_token(&w[3])
+        {
+            floats.insert(w[1].text.clone());
+        }
+    }
+    floats
+}
+
+/// Parameters whose type annotation mentions `f64`/`f32`:
+/// `name: &[f64]`, `name: f64`, `name: Vec<Vec<f64>>`, ...
+fn collect_param_floats(sig: &[Token], floats: &mut HashSet<String>) {
+    let mut i = 0usize;
+    while i < sig.len() {
+        if sig[i].kind == TokenKind::Ident && sig.get(i + 1).is_some_and(|t| t.is_punct(":")) {
+            // Scan the type up to the `,` or `)` at depth 0.
+            let name = &sig[i].text;
+            let mut depth = 0i32;
+            let mut j = i + 2;
+            while j < sig.len() {
+                let t = &sig[j];
+                if t.is_punct("(") || t.is_punct("[") || t.is_punct("<") {
+                    depth += 1;
+                } else if t.is_punct(")") || t.is_punct("]") || t.is_punct(">") {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                } else if depth == 0 && t.is_punct(",") {
+                    break;
+                } else if is_float_type_token(t) {
+                    floats.insert(name.clone());
+                }
+                j += 1;
+            }
+            i = j;
+        }
+        i += 1;
+    }
+}
+
+/// `let` bindings that are floats: annotated `let x: f64`, or
+/// initialised from a depth-0 float expression (`let y = x * 2.0`).
+/// Evidence inside brackets is deliberately ignored — `let p = f(&x)`
+/// says nothing about `p`'s type even when `x` is a float — as is the
+/// condition of an `if`/`match` initialiser.
+fn collect_let_floats(body: &[Token], floats: &mut HashSet<String>) {
+    let mut i = 0usize;
+    while i < body.len() {
+        if !body[i].is_ident("let") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        if body.get(j).is_some_and(|t| t.is_ident("mut")) {
+            j += 1;
+        }
+        let Some(name_tok) = body.get(j) else { break };
+        if name_tok.kind != TokenKind::Ident {
+            i = j;
+            continue;
+        }
+        let name = name_tok.text.clone();
+        // The statement runs to the `;` at depth 0; the annotation and
+        // initialiser both contribute evidence.
+        let mut depth = 0i32;
+        let start = j + 1;
+        j = start;
+        while j < body.len() {
+            let t = &body[j];
+            if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                depth += 1;
+            } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+                depth -= 1;
+            } else if depth == 0 && t.is_punct(";") {
+                break;
+            }
+            j += 1;
+        }
+        let stmt: Vec<&Token> = body[start..j].iter().collect();
+        if float_evidence(&stmt, floats, true) {
+            floats.insert(name);
+        }
+        i = j;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::tests_support::run_rule;
+
+    #[test]
+    fn flags_literal_and_typed_comparisons() {
+        let src = "\
+fn f(x: f64, n: usize) -> bool {
+    if x == 1.0 { return true; }
+    let y = x * 2.0;
+    let z = y;
+    let same = z != x;
+    n == 3
+}
+";
+        let findings = run_rule(src, check);
+        let lines: Vec<u32> = findings.iter().map(|f| f.line).collect();
+        assert_eq!(lines, vec![2, 5], "usize == stays clean: {findings:?}");
+    }
+
+    #[test]
+    fn sentinel_and_slice_params_detected() {
+        let src = "\
+fn g(best: &[Vec<f64>]) {
+    if best[0][1] == f64::NEG_INFINITY { return; }
+}
+const TOL: f64 = 1e-6;
+fn h(d: f64) -> bool { d == TOL }
+";
+        let findings = run_rule(src, check);
+        assert_eq!(findings.len(), 2);
+        assert_eq!(findings[0].line, 2);
+        assert_eq!(findings[1].line, 5);
+    }
+
+    #[test]
+    fn integer_code_is_clean() {
+        let src = "\
+fn f(a: usize, b: u64) -> bool {
+    let c = a + 1;
+    let range = 1..2;
+    let m = a.max(3);
+    c == m && b == 7 && range.start == 1
+}
+";
+        assert!(run_rule(src, check).is_empty());
+    }
+
+    #[test]
+    fn int_views_of_float_data_are_clean() {
+        let src = "\
+fn f(g: &[f64], rows: &[Vec<f64>], max_group: Option<usize>) -> bool {
+    let c = g.len();
+    let b = max_group.unwrap_or(c);
+    let r = rows[0].len();
+    c == 0 || b == r || g.is_empty() == false
+}
+";
+        assert!(run_rule(src, check).is_empty());
+    }
+
+    #[test]
+    fn call_results_and_branch_selection_are_not_inferred() {
+        let src = "\
+fn f(inst: &Instance, r: f64) -> bool {
+    let p = sample(inst);
+    let next = if r < 0.5 { 1 } else { 2 };
+    p == 0 && next == 1
+}
+";
+        assert!(run_rule(src, check).is_empty());
+    }
+
+    #[test]
+    fn int_literal_operand_vetoes_a_float_guess() {
+        // `c` is wrongly guessable as float through the opaque
+        // `map_or`, but `c == 0` can only compile when `c` is an int.
+        let src = "\
+fn f(rows: &[Vec<f64>], v: f64) -> bool {
+    let c = rows.first().map_or(0, Vec::len);
+    let bits = v.to_bits();
+    c == 0 && (bits >> 52) & 0x7FF == 0
+}
+";
+        assert!(run_rule(src, check).is_empty());
+    }
+
+    #[test]
+    fn method_results_on_float_receivers_flag() {
+        // `w[a].partial_cmp(&w[b])` style comparisons still contain the
+        // float ident, so they flag; that is intended (the fix is
+        // total_cmp, which removes the comparison operator entirely).
+        let src = "fn f(w: &[f64], a: usize) -> bool { w[a] == w[a + 1] }";
+        assert_eq!(run_rule(src, check).len(), 1);
+    }
+}

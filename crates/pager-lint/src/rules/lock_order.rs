@@ -1,0 +1,308 @@
+//! `lock-order`: nested mutex acquisition must follow the declared
+//! class order.
+//!
+//! The workspace's global order lives in [`crate::config::LOCK_ORDER`]
+//! (queue < workers < inflight < worker_rx < shard < latest_time). A
+//! thread may only acquire a lock whose class ranks *after* every lock
+//! it already holds; two threads nesting in opposite orders deadlock.
+//!
+//! The analysis is a linear token walk per function body:
+//!
+//! - `.lock()` whose receiver identifier maps to a class, bound by a
+//!   simple `let` (only `.expect(..)` / `.unwrap()` /
+//!   `.unwrap_or_else(..)` chained, ending at `;`), becomes a *held*
+//!   guard until its enclosing block closes or `drop(name)` runs.
+//! - Any longer chain (`.lock().expect(..).recv()`, `.lock()?.get(..)`)
+//!   is a *temporary*: the guard dies inside the statement, so it is
+//!   checked against currently-held guards at acquisition but never
+//!   itself held afterwards. This keeps the dispatcher's
+//!   `let job = match rx.lock().expect(..).recv() { .. }` from
+//!   poisoning the whole match body.
+//! - Acquiring an *unclassified* lock while holding a classified one
+//!   is also reported: every mutex on a nested path must have a class.
+
+use super::FileContext;
+use crate::config::{lock_class, lock_rank, LOCK_ORDER};
+use crate::findings::Finding;
+use crate::lexer::{Token, TokenKind};
+
+pub(crate) const RULE: &str = "lock-order";
+
+/// A guard known to be held at the current point of the walk.
+struct Held {
+    class: &'static str,
+    rank: usize,
+    name: String,
+    depth: i32,
+}
+
+/// Runs the rule over one file.
+#[must_use]
+pub fn check(ctx: &FileContext<'_>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for span in ctx.fn_spans {
+        scan_body(ctx, &ctx.tokens[span.open..=span.close], &mut findings);
+    }
+    findings
+}
+
+fn scan_body(ctx: &FileContext<'_>, body: &[Token], findings: &mut Vec<Finding>) {
+    let mut held: Vec<Held> = Vec::new();
+    let mut depth = 0i32;
+    let mut i = 0usize;
+    while i < body.len() {
+        let t = &body[i];
+        if t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct("}") {
+            held.retain(|g| g.depth < depth);
+            depth -= 1;
+            if depth <= 0 {
+                break;
+            }
+        } else if t.is_ident("drop")
+            && body.get(i + 1).is_some_and(|t| t.is_punct("("))
+            && body.get(i + 2).is_some_and(|t| t.kind == TokenKind::Ident)
+            && body.get(i + 3).is_some_and(|t| t.is_punct(")"))
+        {
+            let name = body[i + 2].text.as_str();
+            held.retain(|g| g.name != name);
+            i += 3;
+        } else if t.is_ident("lock")
+            && i > 0
+            && body[i - 1].is_punct(".")
+            && body.get(i + 1).is_some_and(|t| t.is_punct("("))
+            && body.get(i + 2).is_some_and(|t| t.is_punct(")"))
+        {
+            let receiver = receiver_ident(body, i - 1);
+            match receiver.and_then(lock_class) {
+                Some(class) => {
+                    let rank = lock_rank(class).unwrap_or(usize::MAX);
+                    for g in &held {
+                        if rank < g.rank {
+                            findings.push(ctx.finding(
+                                RULE,
+                                t.line,
+                                format!(
+                                    "acquires `{class}` lock while holding `{}`; declared \
+                                     order is {}",
+                                    g.class,
+                                    LOCK_ORDER.join(" < ")
+                                ),
+                            ));
+                        }
+                    }
+                    if let Some(name) = simple_let_binding(body, i + 2) {
+                        held.push(Held {
+                            class,
+                            rank,
+                            name,
+                            depth,
+                        });
+                    }
+                }
+                None => {
+                    if let Some(g) = held.first() {
+                        findings.push(ctx.finding(
+                            RULE,
+                            t.line,
+                            format!(
+                                "acquires unclassified lock (receiver {:?}) while holding \
+                                 `{}`; add the receiver to the lock-class map in \
+                                 pager-lint/src/config.rs",
+                                receiver.unwrap_or("<expr>"),
+                                g.class
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// The receiver identifier of `.lock()`, walking left from the `.`:
+/// the immediate identifier (`queue.lock()`, `self.inflight.lock()`),
+/// or the callee/array name across one balanced call or index group
+/// (`shard_for(device).lock()`, `shards[i].lock()`).
+fn receiver_ident(body: &[Token], dot: usize) -> Option<&str> {
+    let mut j = dot.checked_sub(1)?;
+    let t = &body[j];
+    if t.kind == TokenKind::Ident {
+        return Some(&t.text);
+    }
+    let opener = if t.is_punct(")") {
+        "("
+    } else if t.is_punct("]") {
+        "["
+    } else {
+        return None;
+    };
+    let closer = &t.text;
+    let mut depth = 1i32;
+    while depth > 0 {
+        j = j.checked_sub(1)?;
+        if body[j].text == *closer && body[j].kind == TokenKind::Punct {
+            depth += 1;
+        } else if body[j].is_punct(opener) {
+            depth -= 1;
+        }
+    }
+    let prev = &body[j.checked_sub(1)?];
+    (prev.kind == TokenKind::Ident).then_some(prev.text.as_str())
+}
+
+/// Methods that merely unwrap the `LockResult` without using the guard.
+const UNWRAP_CHAIN: &[&str] = &["expect", "unwrap", "unwrap_or_else"];
+
+/// If the statement is `let [mut] name = <recv>.lock()` followed only
+/// by unwrap-chain calls and the terminating `;`, returns the binding
+/// name; otherwise the guard is a temporary.
+fn simple_let_binding(body: &[Token], close_paren: usize) -> Option<String> {
+    // Forward: only unwrap-chain method calls until `;`.
+    let mut j = close_paren + 1;
+    loop {
+        let t = body.get(j)?;
+        if t.is_punct(";") {
+            break;
+        }
+        if !t.is_punct(".") {
+            return None;
+        }
+        let name = body.get(j + 1)?;
+        if !(name.kind == TokenKind::Ident && UNWRAP_CHAIN.contains(&name.text.as_str())) {
+            return None;
+        }
+        if !body.get(j + 2)?.is_punct("(") {
+            return None;
+        }
+        let mut depth = 1i32;
+        j += 3;
+        while depth > 0 {
+            let t = body.get(j)?;
+            if t.is_punct("(") {
+                depth += 1;
+            } else if t.is_punct(")") {
+                depth -= 1;
+            }
+            j += 1;
+        }
+    }
+    // Backward: the statement must begin `let [mut] name =`.
+    let stmt = (0..close_paren)
+        .rev()
+        .find(|&k| {
+            let t = &body[k];
+            t.is_punct(";") || t.is_punct("{") || t.is_punct("}")
+        })
+        .map_or(0, |k| k + 1);
+    let mut k = stmt;
+    if !body.get(k)?.is_ident("let") {
+        return None;
+    }
+    k += 1;
+    if body.get(k)?.is_ident("mut") {
+        k += 1;
+    }
+    let name = body.get(k)?;
+    (name.kind == TokenKind::Ident && body.get(k + 1)?.is_punct("=")).then(|| name.text.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::tests_support::run_rule;
+
+    #[test]
+    fn out_of_order_nesting_is_flagged() {
+        let src = "\
+fn bad(&self) {
+    let t = self.latest_time.lock().unwrap();
+    let s = self.shard_for(0).lock().unwrap();
+    drop(s);
+    drop(t);
+}
+";
+        let findings = run_rule(src, check);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].line, 3);
+    }
+
+    #[test]
+    fn declared_order_is_clean() {
+        let src = "\
+fn good(&self) {
+    let q = self.queue.lock().expect(\"queue\");
+    let inf = self.inflight.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    drop(inf);
+    drop(q);
+}
+";
+        assert!(run_rule(src, check).is_empty());
+    }
+
+    #[test]
+    fn drop_releases_for_later_lower_rank_lock() {
+        let src = "\
+fn observe(&self) {
+    let shard = self.shard_for(1).lock().unwrap();
+    drop(shard);
+    let q = self.queue.lock().unwrap();
+    drop(q);
+}
+";
+        assert!(run_rule(src, check).is_empty());
+    }
+
+    #[test]
+    fn temporary_chain_does_not_hold_across_match_body() {
+        // The dispatcher worker-loop shape: the rx guard dies inside
+        // the match scrutinee, so the inflight lock in the arm is fine
+        // even though worker_rx ranks above inflight.
+        let src = "\
+fn worker_loop(&self) {
+    loop {
+        let job = match self.rx.lock().expect(\"rx\").recv() {
+            Ok(job) => job,
+            Err(_) => break,
+        };
+        let mut inf = self.inflight.lock().unwrap();
+        inf.remove(&job);
+        drop(inf);
+    }
+}
+";
+        assert!(run_rule(src, check).is_empty());
+    }
+
+    #[test]
+    fn block_scope_releases_guards() {
+        let src = "\
+fn scoped(&self) {
+    {
+        let t = self.latest_time.lock().unwrap();
+        let _ = *t;
+    }
+    let s = self.shard_for(0).lock().unwrap();
+    drop(s);
+}
+";
+        assert!(run_rule(src, check).is_empty());
+    }
+
+    #[test]
+    fn unclassified_nested_lock_is_flagged() {
+        let src = "\
+fn bad(&self) {
+    let q = self.queue.lock().unwrap();
+    let m = self.mystery.lock().unwrap();
+    drop(m);
+    drop(q);
+}
+";
+        let findings = run_rule(src, check);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("unclassified"));
+    }
+}

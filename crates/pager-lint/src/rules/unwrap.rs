@@ -1,0 +1,117 @@
+//! `no-unwrap-outside-tests`: panicking escape hatches in serving-path
+//! library code.
+//!
+//! `pager-serve` is a long-running server; a panic in the request path
+//! tears down a worker and (before the typed-error hardening) the whole
+//! accept loop. Library code in `pager-core` and `pager-service` must
+//! surface errors as values. `#[cfg(test)]` regions, `tests/`,
+//! `benches/`, and `examples/` may panic freely.
+//!
+//! Matched forms: `.unwrap()`, `.expect(` as method calls, and the
+//! `panic!` / `unreachable!` / `todo!` / `unimplemented!` macros.
+//! `unwrap_or`, `unwrap_or_else`, `unwrap_or_default` are fine — they
+//! are the *replacements* — and are not matched (the rule requires the
+//! exact identifier).
+
+use super::FileContext;
+use crate::findings::Finding;
+
+pub(crate) const RULE: &str = "no-unwrap-outside-tests";
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Runs the rule over one file.
+#[must_use]
+pub fn check(ctx: &FileContext<'_>) -> Vec<Finding> {
+    if !ctx.policy.unwrap_denied(ctx.path) {
+        return Vec::new();
+    }
+    let mut findings = Vec::new();
+    let tokens = ctx.tokens;
+    for (i, t) in tokens.iter().enumerate() {
+        if ctx.in_test_region(t.line) {
+            continue;
+        }
+        let method_call = i > 0
+            && tokens[i - 1].is_punct(".")
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct("("));
+        if method_call && (t.is_ident("unwrap") || t.is_ident("expect")) {
+            findings.push(ctx.finding(
+                RULE,
+                t.line,
+                format!(
+                    "`.{}()` in serving-path library code; return a typed error instead",
+                    t.text
+                ),
+            ));
+        } else if PANIC_MACROS.iter().any(|m| t.is_ident(m))
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct("!"))
+            && i.checked_sub(1).is_none_or(|p| !tokens[p].is_punct("."))
+        {
+            findings.push(ctx.finding(
+                RULE,
+                t.line,
+                format!(
+                    "`{}!` in serving-path library code; return a typed error instead",
+                    t.text
+                ),
+            ));
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::tests_support::run_rule_at;
+
+    const PATH: &str = "crates/pager-service/src/server.rs";
+
+    #[test]
+    fn flags_unwrap_expect_and_panic_macros() {
+        let src = "\
+fn f(x: Option<u32>) -> u32 {
+    let a = x.unwrap();
+    let b = x.expect(\"present\");
+    if a > b { panic!(\"bad\"); }
+    unreachable!()
+}
+";
+        let findings = run_rule_at(PATH, src, check);
+        let lines: Vec<u32> = findings.iter().map(|f| f.line).collect();
+        assert_eq!(lines, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn replacements_and_test_regions_are_clean() {
+        let src = "\
+fn f(x: Option<u32>) -> u32 {
+    x.unwrap_or(0) + x.unwrap_or_else(|| 1) + x.unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    fn t(x: Option<u32>) { x.unwrap(); panic!(\"in test\"); }
+}
+";
+        assert!(run_rule_at(PATH, src, check).is_empty());
+    }
+
+    #[test]
+    fn out_of_scope_paths_are_clean() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        assert!(run_rule_at("crates/cellnet/src/system.rs", src, check).is_empty());
+        assert!(run_rule_at("crates/pager-service/tests/e2e.rs", src, check).is_empty());
+    }
+
+    #[test]
+    fn poison_recovery_idiom_is_clean() {
+        let src = "\
+fn f(m: &std::sync::Mutex<u32>) -> u32 {
+    *m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+";
+        assert!(run_rule_at(PATH, src, check).is_empty());
+    }
+}

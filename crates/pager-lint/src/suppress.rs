@@ -1,0 +1,101 @@
+//! Inline suppressions: `// lint:allow(rule-name): reason`.
+//!
+//! An allow marker suppresses findings of the named rule on the
+//! marker's own line(s) and on the line immediately following it —
+//! covering both trailing-comment style and comment-above style:
+//!
+//! ```text
+//! let x = mass == 0.0; // lint:allow(no-float-eq): exact zero sentinel
+//!
+//! // lint:allow(atomics-ordering-audit): monotone counter, no handoff
+//! count.fetch_add(1, Ordering::Relaxed);
+//! ```
+//!
+//! Several rules may be allowed at once: `lint:allow(rule-a, rule-b)`.
+//! The suppression policy (see DESIGN.md §9) asks every allow to carry
+//! a justification after the closing parenthesis; the lint itself only
+//! enforces the marker shape.
+
+use crate::lexer::Comment;
+use std::collections::HashMap;
+
+/// Allow markers collected from one file's comments.
+#[derive(Debug, Default)]
+pub struct Allows {
+    /// rule name → lines on which the rule is allowed.
+    by_rule: HashMap<String, Vec<u32>>,
+}
+
+impl Allows {
+    /// Scans comments for `lint:allow(...)` markers.
+    #[must_use]
+    pub fn collect(comments: &[Comment]) -> Allows {
+        let mut allows = Allows::default();
+        for comment in comments {
+            let mut rest = comment.text.as_str();
+            while let Some(pos) = rest.find("lint:allow(") {
+                rest = &rest[pos + "lint:allow(".len()..];
+                let Some(close) = rest.find(')') else { break };
+                for rule in rest[..close].split(',') {
+                    let rule = rule.trim();
+                    if rule.is_empty() {
+                        continue;
+                    }
+                    let lines = allows.by_rule.entry(rule.to_string()).or_default();
+                    // The marker covers its own line span plus the next
+                    // line (comment-above style).
+                    for line in comment.line..=comment.end_line + 1 {
+                        lines.push(line);
+                    }
+                }
+                rest = &rest[close..];
+            }
+        }
+        allows
+    }
+
+    /// Whether `rule` is allowed on `line`.
+    #[must_use]
+    pub fn covers(&self, rule: &str, line: u32) -> bool {
+        self.by_rule
+            .get(rule)
+            .is_some_and(|lines| lines.contains(&line))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn trailing_and_above_styles() {
+        let src = "\
+let a = x == 0.0; // lint:allow(no-float-eq): sentinel
+// lint:allow(atomics-ordering-audit): counter only
+count.fetch_add(1, Ordering::Relaxed);
+let b = y == 0.0;
+";
+        let allows = Allows::collect(&lex(src).comments);
+        assert!(allows.covers("no-float-eq", 1));
+        assert!(allows.covers("atomics-ordering-audit", 2));
+        assert!(allows.covers("atomics-ordering-audit", 3));
+        assert!(!allows.covers("no-float-eq", 4));
+        assert!(!allows.covers("no-unwrap-outside-tests", 1));
+    }
+
+    #[test]
+    fn multiple_rules_in_one_marker() {
+        let src = "// lint:allow(rule-a, rule-b)\nx();";
+        let allows = Allows::collect(&lex(src).comments);
+        assert!(allows.covers("rule-a", 2));
+        assert!(allows.covers("rule-b", 2));
+    }
+
+    #[test]
+    fn block_comment_span_covers_following_line() {
+        let src = "/* lint:allow(rule-x)\n   spanning */\ncall();";
+        let allows = Allows::collect(&lex(src).comments);
+        assert!(allows.covers("rule-x", 3));
+    }
+}

@@ -1,0 +1,80 @@
+//! Workspace discovery: find the root, collect the `.rs` files.
+
+use std::path::{Path, PathBuf};
+
+/// Directories never scanned.
+const SKIP_DIRS: &[&str] = &["target", ".git", ".github", "node_modules"];
+
+/// Walks up from `start` to the first directory whose `Cargo.toml`
+/// declares `[workspace]`.
+#[must_use]
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+/// Collects every `.rs` file under `root` (skipping build/VCS
+/// directories), as workspace-relative `/`-separated paths, sorted.
+///
+/// # Errors
+///
+/// Propagates I/O errors from directory traversal.
+pub fn collect_rust_files(root: &Path) -> std::io::Result<Vec<String>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                if let Ok(rel) = path.strip_prefix(root) {
+                    files.push(rel.to_string_lossy().replace('\\', "/"));
+                }
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_this_workspace_root() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("workspace root");
+        assert!(root.join("Cargo.toml").exists());
+        assert!(root.join("crates").is_dir());
+    }
+
+    #[test]
+    fn collects_and_skips() {
+        let dir = std::env::temp_dir().join(format!("pager-lint-walk-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("src")).unwrap();
+        std::fs::create_dir_all(dir.join("target/debug")).unwrap();
+        std::fs::write(dir.join("src/a.rs"), "fn a() {}").unwrap();
+        std::fs::write(dir.join("src/b.txt"), "not rust").unwrap();
+        std::fs::write(dir.join("target/debug/gen.rs"), "fn gen() {}").unwrap();
+        let files = collect_rust_files(&dir).unwrap();
+        assert_eq!(files, vec!["src/a.rs".to_string()]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -412,7 +412,7 @@ mod tests {
             let best = d
                 .iter()
                 .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .max_by(|a, b| a.1.total_cmp(b.1))
                 .unwrap()
                 .0;
             assert_eq!(best, 2, "{est:?}: {d:?}");

@@ -145,9 +145,11 @@ impl ProfileStore {
     pub fn stats(&self) -> StoreStats {
         StoreStats {
             devices: self.len(),
+            // lint:allow(atomics-ordering-audit): monotone stats counters, no handoff
             sightings: self.sightings.load(Ordering::Relaxed),
+            // lint:allow(atomics-ordering-audit): monotone stats counter, no handoff
             evictions: self.evictions.load(Ordering::Relaxed),
-            version: self.version.load(Ordering::Relaxed),
+            version: self.version.load(Ordering::Acquire),
         }
     }
 
@@ -200,6 +202,7 @@ impl ProfileStore {
                     .map(|(k, _)| k.clone())
                 {
                     shard.map.remove(&oldest);
+                    // lint:allow(atomics-ordering-audit): monotone stats counter, no handoff
                     self.evictions.fetch_add(1, Ordering::Relaxed);
                 }
             }
@@ -220,12 +223,16 @@ impl ProfileStore {
         }
         // The version is drawn *before* the fallible observe; a gap in
         // the sequence is fine, reuse is not.
-        let version = self.version.fetch_add(1, Ordering::Relaxed) + 1;
+        // AcqRel: versions flow into plan-cache keys on other threads;
+        // a thread that reads version v must also see the profile write
+        // it tags (the Acquire loads in stats/to_json pair with this).
+        let version = self.version.fetch_add(1, Ordering::AcqRel) + 1;
         entry
             .profile
             .observe(time, cell, version, &self.config.profile)?;
         entry.last_used = tick;
         drop(shard);
+        // lint:allow(atomics-ordering-audit): monotone stats counter, no handoff
         self.sightings.fetch_add(1, Ordering::Relaxed);
         let mut latest = self.latest_time.lock().expect("latest_time poisoned");
         if time > *latest {
@@ -351,9 +358,10 @@ impl ProfileStore {
         profiles.sort_by(|a, b| a.0.cmp(&b.0));
         Value::object(vec![
             ("format", Value::from("pager-profiles/v1")),
-            ("version", Value::from(self.version.load(Ordering::Relaxed))),
+            ("version", Value::from(self.version.load(Ordering::Acquire))),
             (
                 "sightings",
+                // lint:allow(atomics-ordering-audit): monotone stats counter, no handoff
                 Value::from(self.sightings.load(Ordering::Relaxed)),
             ),
             ("profiles", Value::Object(profiles)),
@@ -410,7 +418,8 @@ impl ProfileStore {
                 },
             );
         }
-        store.version.store(max_version, Ordering::Relaxed);
+        store.version.store(max_version, Ordering::Release);
+        // lint:allow(atomics-ordering-audit): store not yet shared during load
         store.sightings.store(sightings, Ordering::Relaxed);
         *store.latest_time.lock().expect("latest_time poisoned") = latest;
         Ok(store)

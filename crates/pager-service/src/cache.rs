@@ -67,6 +67,7 @@ impl<K: Eq + Hash + Clone, V> ShardedCache<K, V> {
     /// Total entries evicted since creation.
     #[must_use]
     pub fn evictions(&self) -> u64 {
+        // lint:allow(atomics-ordering-audit): monotone stats counter, no ordering consumers
         self.evictions.load(Ordering::Relaxed)
     }
 
@@ -76,7 +77,12 @@ impl<K: Eq + Hash + Clone, V> ShardedCache<K, V> {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("cache shard poisoned").map.len())
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .map
+                    .len()
+            })
             .sum()
     }
 
@@ -100,7 +106,7 @@ impl<K: Eq + Hash + Clone, V> ShardedCache<K, V> {
         let mut shard = self
             .shard_for(fingerprint)
             .lock()
-            .expect("cache shard poisoned");
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         shard.tick += 1;
         let tick = shard.tick;
         let entry = shard.map.get_mut(key)?;
@@ -114,7 +120,7 @@ impl<K: Eq + Hash + Clone, V> ShardedCache<K, V> {
         let mut shard = self
             .shard_for(fingerprint)
             .lock()
-            .expect("cache shard poisoned");
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         shard.tick += 1;
         let tick = shard.tick;
         if shard.map.len() >= self.per_shard_capacity && !shard.map.contains_key(&key) {
@@ -125,6 +131,7 @@ impl<K: Eq + Hash + Clone, V> ShardedCache<K, V> {
                 .map(|(k, _)| k.clone())
             {
                 shard.map.remove(&oldest);
+                // lint:allow(atomics-ordering-audit): monotone stats counter, no ordering consumers
                 self.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }

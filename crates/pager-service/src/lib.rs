@@ -59,4 +59,5 @@ pub use proto::{handle_line, parse_request, LineOutcome, Request};
 pub use server::{serve_lines, serve_tcp, ServerHandle};
 pub use service::{
     DevicePlanResponse, PagerService, PlanKey, PlanOptions, PlanResponse, ServiceConfig,
+    ServiceInitError,
 };

@@ -39,12 +39,15 @@ pub(crate) struct Dispatcher {
 }
 
 impl Dispatcher {
+    /// Starts the worker pool. Failing to spawn a worker thread tears
+    /// the partial pool down cleanly (the queue sender drops, so
+    /// already-started workers see a closed channel and exit).
     pub(crate) fn new(
         workers: usize,
         cache: Arc<ShardedCache<PlanKey, Plan>>,
         metrics: Arc<Metrics>,
         policy: TierPolicy,
-    ) -> Dispatcher {
+    ) -> std::io::Result<Dispatcher> {
         let (tx, rx) = mpsc::channel::<Job>();
         let rx = Arc::new(Mutex::new(rx));
         let inflight: Arc<Mutex<HashMap<PlanKey, Vec<mpsc::Sender<PlanResult>>>>> =
@@ -58,14 +61,13 @@ impl Dispatcher {
                 std::thread::Builder::new()
                     .name(format!("pager-worker-{i}"))
                     .spawn(move || worker_loop(&rx, &cache, &metrics, &inflight, policy))
-                    .expect("spawn worker thread")
             })
-            .collect();
-        Dispatcher {
+            .collect::<std::io::Result<Vec<_>>>()?;
+        Ok(Dispatcher {
             queue: Mutex::new(Some(tx)),
             inflight,
             workers: Mutex::new(handles),
-        }
+        })
     }
 
     /// Submits a planning job, coalescing onto an identical in-flight
@@ -81,7 +83,10 @@ impl Dispatcher {
     ) -> Result<(mpsc::Receiver<PlanResult>, bool), PlanError> {
         let (result_tx, result_rx) = mpsc::channel();
         let coalesced = {
-            let mut inflight = self.inflight.lock().expect("inflight poisoned");
+            let mut inflight = self
+                .inflight
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             if let Some(waiters) = inflight.get_mut(&key) {
                 waiters.push(result_tx);
                 true
@@ -91,12 +96,15 @@ impl Dispatcher {
             }
         };
         if !coalesced {
-            let queue = self.queue.lock().expect("queue poisoned");
+            let queue = self
+                .queue
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             let Some(tx) = queue.as_ref() else {
                 // Shutting down: clear our registration and bail.
                 self.inflight
                     .lock()
-                    .expect("inflight poisoned")
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
                     .remove(&key);
                 return Err(PlanError("service is shutting down".into()));
             };
@@ -114,11 +122,14 @@ impl Dispatcher {
 
     /// Stops accepting work and joins every worker.
     pub(crate) fn shutdown(&self) {
-        self.queue.lock().expect("queue poisoned").take();
+        self.queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take();
         let handles: Vec<_> = self
             .workers
             .lock()
-            .expect("workers poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .drain(..)
             .collect();
         for handle in handles {
@@ -142,7 +153,11 @@ fn worker_loop(
 ) {
     loop {
         // Hold the receiver lock only for the dequeue itself.
-        let job = match rx.lock().expect("worker rx poisoned").recv() {
+        let job = match rx
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .recv()
+        {
             Ok(job) => job,
             Err(_) => return, // queue closed: shut down
         };
@@ -166,7 +181,7 @@ fn worker_loop(
         };
         let waiters = inflight
             .lock()
-            .expect("inflight poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .remove(&job.key)
             .unwrap_or_default();
         for waiter in waiters {

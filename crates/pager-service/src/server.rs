@@ -81,8 +81,7 @@ pub fn serve_tcp<A: ToSocketAddrs>(
     let accept_stop = Arc::clone(&stop);
     let accept_thread = std::thread::Builder::new()
         .name("pager-accept".into())
-        .spawn(move || accept_loop(&listener, &service, &accept_stop))
-        .expect("spawn accept thread");
+        .spawn(move || accept_loop(&listener, &service, &accept_stop))?;
     Ok(ServerHandle {
         addr,
         stop,

@@ -35,6 +35,26 @@ pub struct PlanKey {
     profile_versions: Vec<u64>,
 }
 
+/// Why [`PagerService::try_new`] failed.
+#[derive(Debug)]
+pub enum ServiceInitError {
+    /// The profile-store configuration was invalid.
+    Profiles(String),
+    /// A worker thread could not be spawned.
+    Spawn(std::io::Error),
+}
+
+impl std::fmt::Display for ServiceInitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceInitError::Profiles(why) => write!(f, "invalid profile configuration: {why}"),
+            ServiceInitError::Spawn(e) => write!(f, "spawning worker threads: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceInitError {}
+
 /// Service configuration knobs.
 #[derive(Debug, Clone, Copy)]
 pub struct ServiceConfig {
@@ -147,10 +167,29 @@ impl PagerService {
     ///
     /// # Panics
     ///
-    /// Panics when the profile knobs in `config.profiles` are invalid
-    /// (non-positive smoothing, decay outside `(0, 1]`, ...).
+    /// Panics when [`PagerService::try_new`] would fail; prefer that
+    /// constructor anywhere a crash is not acceptable.
     #[must_use]
     pub fn new(config: ServiceConfig) -> PagerService {
+        match PagerService::try_new(config) {
+            Ok(service) => service,
+            // lint:allow(no-unwrap-outside-tests): documented panicking convenience wrapper
+            Err(e) => panic!("PagerService::new: {e}"),
+        }
+    }
+
+    /// Builds a service and starts its worker pool, surfacing invalid
+    /// configuration and spawn failures as values.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceInitError::Profiles`] when the profile knobs in
+    /// `config.profiles` are invalid (non-positive smoothing, decay
+    /// outside `(0, 1]`, ...); [`ServiceInitError::Spawn`] when worker
+    /// threads cannot be started.
+    pub fn try_new(config: ServiceConfig) -> Result<PagerService, ServiceInitError> {
+        let profiles =
+            Arc::new(ProfileStore::new(config.profiles).map_err(ServiceInitError::Profiles)?);
         let cache = Arc::new(ShardedCache::new(config.capacity, config.shards));
         let metrics = Arc::new(Metrics::default());
         let dispatcher = Dispatcher::new(
@@ -158,16 +197,15 @@ impl PagerService {
             Arc::clone(&cache),
             Arc::clone(&metrics),
             config.policy,
-        );
-        let profiles =
-            Arc::new(ProfileStore::new(config.profiles).expect("invalid profile configuration"));
-        PagerService {
+        )
+        .map_err(ServiceInitError::Spawn)?;
+        Ok(PagerService {
             config,
             cache,
             metrics,
             dispatcher,
             profiles,
-        }
+        })
     }
 
     /// The configuration the service was built with.
@@ -321,9 +359,11 @@ impl PagerService {
         let stats = self.profiles.stats();
         self.metrics
             .sightings_ingested
+            // lint:allow(atomics-ordering-audit): metrics mirror of store stats, no handoff
             .store(stats.sightings, Ordering::Relaxed);
         self.metrics
             .profile_evictions
+            // lint:allow(atomics-ordering-audit): metrics mirror of store stats, no handoff
             .store(stats.evictions, Ordering::Relaxed);
         result
     }
@@ -363,6 +403,7 @@ impl PagerService {
         if stale_profiles > 0 {
             self.metrics
                 .stale_profiles_served
+                // lint:allow(atomics-ordering-audit): monotone metrics counter, no handoff
                 .fetch_add(stale_profiles as u64, Ordering::Relaxed);
         }
         let response = if options.cache {

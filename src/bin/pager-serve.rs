@@ -81,7 +81,13 @@ fn main() -> ExitCode {
             return usage();
         }
     };
-    let service = Arc::new(PagerService::new(opts.config));
+    let service = match PagerService::try_new(opts.config) {
+        Ok(service) => Arc::new(service),
+        Err(e) => {
+            eprintln!("pager-serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     if opts.stdio {
         let stdin = std::io::stdin();
         let stdout = std::io::stdout();

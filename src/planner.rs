@@ -97,6 +97,7 @@ impl GreedyPlanner {
     /// back (blanket paging, or an empty plan for empty input).
     #[must_use]
     pub fn degenerate_inputs(&self) -> u64 {
+        // lint:allow(atomics-ordering-audit): monotone stats counter, no handoff
         self.degenerate.load(Ordering::Relaxed)
     }
 }
@@ -106,6 +107,7 @@ impl PagingPlanner for GreedyPlanner {
         match self.plan_checked(rows, delay) {
             Ok(groups) => groups,
             Err(why) => {
+                // lint:allow(atomics-ordering-audit): monotone stats counter, no handoff
                 self.degenerate.fetch_add(1, Ordering::Relaxed);
                 eprintln!("GreedyPlanner: degenerate input ({why}); falling back");
                 let c = rows.first().map_or(0, Vec::len);
