@@ -10,7 +10,7 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use pager_core::Delay;
 use pager_profiles::{Estimator, ProfileStore, Sighting, StoreConfig};
-use pager_service::{PagerService, PlanOptions, ServiceConfig};
+use pager_service::{PagerService, PlanSpec, ServiceConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -71,44 +71,29 @@ fn bench_plan_devices(crit: &mut Criterion) {
         .profiles()
         .observe_batch(CELLS, &sightings(3, 256, 21))
         .unwrap();
-    let delay = Delay::new(3).unwrap();
+    let spec = PlanSpec::new(Delay::new(3).unwrap());
     let devices = ["dev0", "dev1", "dev2"];
     let now = service.profiles().latest_time();
     // Warm the strategy cache, then measure the version-keyed hit path
     // against the uncached build-and-plan path.
     service
-        .plan_devices(
-            &devices,
-            delay,
-            Estimator::Empirical,
-            now,
-            PlanOptions::default(),
-        )
+        .plan_devices(&devices, Estimator::Empirical, now, spec)
         .unwrap();
     group.bench_function(BenchmarkId::new("hit", "empirical_3x16"), |b| {
         b.iter(|| {
             black_box(
                 service
-                    .plan_devices(
-                        &devices,
-                        delay,
-                        Estimator::Empirical,
-                        now,
-                        PlanOptions::default(),
-                    )
+                    .plan_devices(&devices, Estimator::Empirical, now, spec)
                     .unwrap(),
             )
         });
     });
-    let cold = PlanOptions {
-        cache: false,
-        ..PlanOptions::default()
-    };
+    let cold = spec.with_cache(false);
     group.bench_function(BenchmarkId::new("cold", "empirical_3x16"), |b| {
         b.iter(|| {
             black_box(
                 service
-                    .plan_devices(&devices, delay, Estimator::Empirical, now, cold)
+                    .plan_devices(&devices, Estimator::Empirical, now, cold)
                     .unwrap(),
             )
         });

@@ -9,7 +9,7 @@ use std::sync::Arc;
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use pager_core::{Delay, Instance};
-use pager_service::{PagerService, PlanOptions, ServiceConfig, TierPolicy, Variant};
+use pager_service::{PagerService, PlanSpec, ServiceConfig, TierPolicy, Variant};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use workloads::{DistributionFamily, InstanceGenerator};
@@ -28,21 +28,15 @@ fn bench_hit_vs_cold(crit: &mut Criterion) {
         let inst = instance(m, c, 42);
         let delay = Delay::new(3).unwrap();
         let service = PagerService::new(ServiceConfig::default());
-        let opts = PlanOptions {
-            variant,
-            cache: true,
-        };
+        let spec = PlanSpec::new(delay).with_variant(variant);
         // Warm the cache once, then measure the hit path.
-        service.plan(&inst, delay, opts).unwrap();
+        service.plan(&inst, spec).unwrap();
         group.bench_function(BenchmarkId::new("hit", label), |b| {
-            b.iter(|| black_box(service.plan(&inst, delay, opts).unwrap()));
+            b.iter(|| black_box(service.plan(&inst, spec).unwrap()));
         });
-        let cold = PlanOptions {
-            variant,
-            cache: false,
-        };
+        let cold = spec.with_cache(false);
         group.bench_function(BenchmarkId::new("cold", label), |b| {
-            b.iter(|| black_box(service.plan(&inst, delay, cold).unwrap()));
+            b.iter(|| black_box(service.plan(&inst, cold).unwrap()));
         });
         service.shutdown();
     }
@@ -72,7 +66,7 @@ fn bench_concurrent_hits(crit: &mut Criterion) {
     // 64 distinct instances spread over the shards, all pre-planned.
     let instances: Vec<Instance> = (0..64).map(|s| instance(2, 16, s)).collect();
     for inst in &instances {
-        service.plan(inst, delay, PlanOptions::default()).unwrap();
+        service.plan(inst, PlanSpec::new(delay)).unwrap();
     }
     for threads in [1usize, 4, 8] {
         group.bench_with_input(
@@ -87,7 +81,7 @@ fn bench_concurrent_hits(crit: &mut Criterion) {
                             std::thread::spawn(move || {
                                 for (i, inst) in instances.iter().enumerate() {
                                     let _ = black_box(
-                                        service.plan(inst, delay, PlanOptions::default()).unwrap(),
+                                        service.plan(inst, PlanSpec::new(delay)).unwrap(),
                                     );
                                     let _ = (t, i);
                                 }

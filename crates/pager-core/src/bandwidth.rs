@@ -7,7 +7,8 @@
 //! the group-size range. This module implements that restricted planner
 //! and the feasibility analysis.
 
-use crate::dp::{conference_stop_probs, optimal_split};
+use crate::cancel::CancelToken;
+use crate::dp::{conference_stop_probs, optimal_split_cancel};
 use crate::error::{Error, Result};
 use crate::greedy::PlannedStrategy;
 use crate::instance::{Delay, Instance};
@@ -36,6 +37,22 @@ pub fn greedy_strategy_bounded(
     delay: Delay,
     bandwidth: usize,
 ) -> Result<PlannedStrategy> {
+    greedy_strategy_bounded_cancel(instance, delay, bandwidth, &CancelToken::never())
+}
+
+/// Cancellable counterpart of [`greedy_strategy_bounded`]: the cut DP
+/// polls `cancel` at checkpoints.
+///
+/// # Errors
+///
+/// [`Error::InfeasibleBandwidth`] as for [`greedy_strategy_bounded`];
+/// [`Error::Cancelled`] when `cancel` fires mid-solve.
+pub fn greedy_strategy_bounded_cancel(
+    instance: &Instance,
+    delay: Delay,
+    bandwidth: usize,
+    cancel: &CancelToken,
+) -> Result<PlannedStrategy> {
     let c = instance.num_cells();
     let d = delay.clamp_to_cells(c).get();
     if bandwidth == 0 || d * bandwidth < c {
@@ -48,7 +65,9 @@ pub fn greedy_strategy_bounded(
     let order = instance.cells_by_weight_desc();
     let rows: Vec<&[f64]> = instance.rows().collect();
     let g = conference_stop_probs(&rows, &order);
-    let split = optimal_split(&g, d, Some(bandwidth)).expect("feasibility was checked above");
+    let split =
+        // lint:allow(no-unwrap-outside-tests): b*d >= c was checked above, so the split exists
+        optimal_split_cancel(&g, d, Some(bandwidth), cancel)?.expect("feasibility checked above");
     let strategy =
         Strategy::from_order_and_sizes(&order, &split.sizes).expect("split partitions the order");
     Ok(PlannedStrategy {

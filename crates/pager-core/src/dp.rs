@@ -20,6 +20,8 @@
 //! expectation formulation — lives in [`crate::fig1`] and is tested to
 //! agree with this engine.
 
+use crate::cancel::CancelToken;
+use crate::error::Result;
 use rational::Ratio;
 
 /// Result of an optimal prefix split: group sizes and achieved savings.
@@ -56,13 +58,35 @@ pub struct ExactSplit {
 /// `d·b < c` under a bandwidth cap.
 #[must_use]
 pub fn optimal_split(g: &[f64], d: usize, max_group: Option<usize>) -> Option<Split> {
-    let c = g.len().checked_sub(1)?;
+    optimal_split_cancel(g, d, max_group, &CancelToken::never())
+        // lint:allow(no-unwrap-outside-tests): a never-firing token cannot cancel
+        .expect("a never-firing token cannot cancel the DP")
+}
+
+/// Cancellable counterpart of [`optimal_split`]: polls `cancel` at
+/// checkpoints inside the `O(d·c²)` loop nest and abandons the DP once
+/// it fires.
+///
+/// # Errors
+///
+/// [`crate::Error::Cancelled`] when `cancel` fires mid-solve. The
+/// `Ok(None)` cases are the same infeasibility conditions as
+/// [`optimal_split`].
+pub fn optimal_split_cancel(
+    g: &[f64],
+    d: usize,
+    max_group: Option<usize>,
+    cancel: &CancelToken,
+) -> Result<Option<Split>> {
+    let Some(c) = g.len().checked_sub(1) else {
+        return Ok(None);
+    };
     if d == 0 || d > c || c == 0 {
-        return None;
+        return Ok(None);
     }
     let b = max_group.unwrap_or(c);
-    if b == 0 || b.checked_mul(d)? < c {
-        return None;
+    if b == 0 || b.checked_mul(d).is_none_or(|cap| cap < c) {
+        return Ok(None);
     }
     // best[l][j]: max savings splitting the first j cells into l groups.
     // Infeasible states get NEG_INFINITY.
@@ -71,11 +95,13 @@ pub fn optimal_split(g: &[f64], d: usize, max_group: Option<usize>) -> Option<Sp
     for j in 1..=c.min(b) {
         best[1][j] = 0.0;
     }
+    let mut ticks = 0u32;
     for l in 2..=d {
         for j in l..=c {
             // Previous prefix j' = j - s with 1 <= s <= b and j' >= l-1.
             let lo = j.saturating_sub(b).max(l - 1);
             for prev in lo..j {
+                cancel.checkpoint(&mut ticks)?;
                 if !best[l - 1][prev].is_finite() {
                     continue;
                 }
@@ -88,7 +114,7 @@ pub fn optimal_split(g: &[f64], d: usize, max_group: Option<usize>) -> Option<Sp
         }
     }
     if !best[d][c].is_finite() {
-        return None;
+        return Ok(None);
     }
     // Backtrack the cut positions.
     let mut sizes = vec![0usize; d];
@@ -101,10 +127,10 @@ pub fn optimal_split(g: &[f64], d: usize, max_group: Option<usize>) -> Option<Sp
     sizes[0] = j;
     debug_assert!(sizes.iter().all(|&s| s >= 1 && s <= b));
     debug_assert_eq!(sizes.iter().sum::<usize>(), c);
-    Some(Split {
+    Ok(Some(Split {
         sizes,
         savings: best[d][c],
-    })
+    }))
 }
 
 /// Exact-rational counterpart of [`optimal_split`].
@@ -361,6 +387,24 @@ mod tests {
         let g_rev = conference_stop_probs(&rows, &[2, 1, 0]);
         assert!((g_rev[1] - 0.25 * 0.5).abs() < 1e-12);
         assert!((g_rev[3] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cancelled_split_returns_cancelled() {
+        use crate::cancel::CancelToken;
+        // Large enough that the loop nest passes a checkpoint stride.
+        let c = 120;
+        let g: Vec<f64> = (0..=c).map(|j| j as f64 / c as f64).collect();
+        let expired = CancelToken::with_timeout(std::time::Duration::ZERO);
+        assert_eq!(
+            optimal_split_cancel(&g, 4, None, &expired).unwrap_err(),
+            crate::Error::Cancelled
+        );
+        // A live token produces the same answer as the plain entry point.
+        let live = CancelToken::never();
+        let a = optimal_split_cancel(&g, 4, None, &live).unwrap().unwrap();
+        let b = optimal_split(&g, 4, None).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

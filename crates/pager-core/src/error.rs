@@ -93,6 +93,9 @@ pub enum Error {
         /// Number of devices.
         devices: usize,
     },
+    /// A cooperative [`crate::cancel::CancelToken`] fired before the
+    /// solver finished (deadline passed or caller cancelled).
+    Cancelled,
 }
 
 impl fmt::Display for Error {
@@ -153,6 +156,7 @@ impl fmt::Display for Error {
             Error::InvalidSignatureThreshold { k, devices } => {
                 write!(f, "signature threshold {k} invalid for {devices} devices")
             }
+            Error::Cancelled => write!(f, "solver cancelled before completion"),
         }
     }
 }
@@ -189,6 +193,7 @@ mod tests {
                 },
                 "cannot cover 10",
             ),
+            (Error::Cancelled, "cancelled"),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();

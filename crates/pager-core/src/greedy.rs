@@ -9,8 +9,9 @@
 //! * ratio constants: [`approx_ratio_upper_bound`] (`e/(e−1)`) and
 //!   [`heuristic_ratio_lower_bound`] (`320/317`, Section 4.3).
 
+use crate::cancel::CancelToken;
 use crate::dp::{
-    conference_stop_probs, conference_stop_probs_exact, optimal_split, optimal_split_exact,
+    conference_stop_probs, conference_stop_probs_exact, optimal_split_cancel, optimal_split_exact,
 };
 use crate::error::{Error, Result};
 use crate::instance::{Delay, ExactInstance, Instance};
@@ -61,18 +62,36 @@ pub fn greedy_strategy(instance: &Instance, delay: Delay) -> Strategy {
 /// Like [`greedy_strategy`], also returning the expected paging.
 #[must_use]
 pub fn greedy_strategy_planned(instance: &Instance, delay: Delay) -> PlannedStrategy {
+    greedy_strategy_planned_cancel(instance, delay, &CancelToken::never())
+        // lint:allow(no-unwrap-outside-tests): a never-firing token cannot cancel
+        .expect("a never-firing token cannot cancel the planner")
+}
+
+/// Cancellable counterpart of [`greedy_strategy_planned`]: the `O(d·c²)`
+/// cut DP polls `cancel` at checkpoints.
+///
+/// # Errors
+///
+/// [`Error::Cancelled`] when `cancel` fires mid-solve.
+pub fn greedy_strategy_planned_cancel(
+    instance: &Instance,
+    delay: Delay,
+    cancel: &CancelToken,
+) -> Result<PlannedStrategy> {
     let c = instance.num_cells();
     let d = delay.clamp_to_cells(c).get();
     let order = instance.cells_by_weight_desc();
     let rows: Vec<&[f64]> = instance.rows().collect();
     let g = conference_stop_probs(&rows, &order);
-    let split = optimal_split(&g, d, None).expect("clamped delay always feasible");
+    let split =
+        // lint:allow(no-unwrap-outside-tests): d <= c after clamping, so the split exists
+        optimal_split_cancel(&g, d, None, cancel)?.expect("clamped delay always feasible");
     let strategy = Strategy::from_order_and_sizes(&order, &split.sizes)
         .expect("DP split sizes partition the order");
-    PlannedStrategy {
+    Ok(PlannedStrategy {
         expected_paging: c as f64 - split.savings,
         strategy,
-    }
+    })
 }
 
 /// Exact-rational counterpart of [`greedy_strategy_planned`]: identical

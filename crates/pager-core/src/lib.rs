@@ -51,6 +51,7 @@ pub mod adaptive;
 pub mod analysis;
 pub mod bandwidth;
 pub mod bounds;
+pub mod cancel;
 pub mod cell_types;
 pub mod dp;
 mod error;
@@ -69,10 +70,11 @@ pub mod single_user;
 mod strategy;
 pub mod yellow_pages;
 
+pub use cancel::CancelToken;
 pub use error::{Error, Result};
 pub use greedy::{
-    greedy_strategy, greedy_strategy_exact, greedy_strategy_planned, two_device_two_round,
-    ExactPlannedStrategy, PlannedStrategy,
+    greedy_strategy, greedy_strategy_exact, greedy_strategy_planned,
+    greedy_strategy_planned_cancel, two_device_two_round, ExactPlannedStrategy, PlannedStrategy,
 };
 pub use instance::{Delay, ExactInstance, Instance, ROW_SUM_TOL};
 pub use single_user::single_user_optimal;

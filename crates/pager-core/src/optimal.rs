@@ -17,6 +17,7 @@
 //!   by enumerating the `2^c − 2` first-round subsets, used by the
 //!   hardness pipeline where certified arithmetic matters.
 
+use crate::cancel::CancelToken;
 use crate::error::{Error, Result};
 use crate::greedy::{ExactPlannedStrategy, PlannedStrategy};
 use crate::instance::{Delay, ExactInstance, Instance};
@@ -159,6 +160,26 @@ fn advance(assignment: &mut [usize], d: usize) -> bool {
 ///
 /// Panics if `c >` [`SUBSET_DP_MAX_CELLS`].
 pub fn optimal_subset_dp(instance: &Instance, delay: Delay) -> Result<PlannedStrategy> {
+    optimal_subset_dp_cancel(instance, delay, &CancelToken::never())
+}
+
+/// Cancellable counterpart of [`optimal_subset_dp`]: polls `cancel` at
+/// checkpoints inside the `O(d·3^c)` submask enumeration so a deadline
+/// that expires mid-solve abandons the DP instead of completing late.
+///
+/// # Errors
+///
+/// [`Error::Cancelled`] when `cancel` fires mid-solve;
+/// [`Error::DelayExceedsCells`] when `d > c`.
+///
+/// # Panics
+///
+/// Panics if `c >` [`SUBSET_DP_MAX_CELLS`].
+pub fn optimal_subset_dp_cancel(
+    instance: &Instance,
+    delay: Delay,
+    cancel: &CancelToken,
+) -> Result<PlannedStrategy> {
     let c = instance.num_cells();
     let d = delay.get();
     if d > c {
@@ -170,6 +191,7 @@ pub fn optimal_subset_dp(instance: &Instance, delay: Delay) -> Result<PlannedStr
     );
     let full: u32 = if c == 32 { u32::MAX } else { (1u32 << c) - 1 };
     let size = 1usize << c;
+    let mut ticks = 0u32;
 
     // f[mask] = Π_i P_i(mask): probability all devices are in `mask`.
     let mut f = vec![1.0f64; size];
@@ -177,6 +199,7 @@ pub fn optimal_subset_dp(instance: &Instance, delay: Delay) -> Result<PlannedStr
         // prefix-sum over bits: p[mask] = Σ_{j ∈ mask} p_{i,j}
         let mut p = vec![0.0f64; size];
         for mask in 1..size {
+            cancel.checkpoint(&mut ticks)?;
             let low = mask.trailing_zeros() as usize;
             p[mask] = p[mask & (mask - 1)] + instance.prob(i, low);
         }
@@ -209,6 +232,7 @@ pub fn optimal_subset_dp(instance: &Instance, delay: Delay) -> Result<PlannedStr
             let supm = sup as u32;
             let mut sub = (sup - 1) as u32 & supm;
             loop {
+                cancel.checkpoint(&mut ticks)?;
                 if sub != 0 && h[sub as usize].is_finite() {
                     let gained = (supm.count_ones() - sub.count_ones()) as f64 * f[sub as usize];
                     let cand = h[sub as usize] + gained;
@@ -389,6 +413,23 @@ mod tests {
             optimal_subset_dp(&inst, Delay::new(4).unwrap()),
             Err(Error::DelayExceedsCells { .. })
         ));
+    }
+
+    #[test]
+    fn subset_dp_cancels_mid_solve() {
+        // 14 cells → 2^14 masks: plenty of checkpoint strides.
+        let inst = Instance::uniform(2, 14).unwrap();
+        let expired = CancelToken::with_timeout(std::time::Duration::ZERO);
+        assert_eq!(
+            optimal_subset_dp_cancel(&inst, Delay::new(3).unwrap(), &expired),
+            Err(Error::Cancelled)
+        );
+        // A live token matches the plain entry point.
+        let small = demo_instance();
+        let a = optimal_subset_dp_cancel(&small, Delay::new(3).unwrap(), &CancelToken::never())
+            .unwrap();
+        let b = optimal_subset_dp(&small, Delay::new(3).unwrap()).unwrap();
+        assert!((a.expected_paging - b.expected_paging).abs() < 1e-12);
     }
 
     #[test]

@@ -18,7 +18,8 @@
 //! within the weight-sorted family — giving the natural generalisation
 //! of the paper's heuristic.
 
-use crate::dp::optimal_split;
+use crate::cancel::CancelToken;
+use crate::dp::optimal_split_cancel;
 use crate::error::{Error, Result};
 use crate::greedy::PlannedStrategy;
 use crate::instance::{Delay, Instance};
@@ -120,12 +121,30 @@ pub fn expected_paging_signature(
 ///
 /// [`Error::InvalidSignatureThreshold`] for bad `k`.
 pub fn greedy_signature(instance: &Instance, delay: Delay, k: usize) -> Result<PlannedStrategy> {
+    greedy_signature_cancel(instance, delay, k, &CancelToken::never())
+}
+
+/// Cancellable counterpart of [`greedy_signature`]: polls `cancel`
+/// between the `O(c·m·k)` tail-probability sweep and inside the cut DP.
+///
+/// # Errors
+///
+/// [`Error::InvalidSignatureThreshold`] for bad `k`;
+/// [`Error::Cancelled`] when `cancel` fires mid-solve.
+pub fn greedy_signature_cancel(
+    instance: &Instance,
+    delay: Delay,
+    k: usize,
+    cancel: &CancelToken,
+) -> Result<PlannedStrategy> {
     check_k(instance, k)?;
     let c = instance.num_cells();
     let d = delay.clamp_to_cells(c).get();
     let order = instance.cells_by_weight_desc();
     let g = signature_stop_probs(instance, &order, k);
-    let split = optimal_split(&g, d, None).expect("clamped delay is feasible");
+    cancel.check()?;
+    // lint:allow(no-unwrap-outside-tests): d <= c after clamping, so the split exists
+    let split = optimal_split_cancel(&g, d, None, cancel)?.expect("clamped delay is feasible");
     let strategy =
         Strategy::from_order_and_sizes(&order, &split.sizes).expect("split partitions the order");
     Ok(PlannedStrategy {

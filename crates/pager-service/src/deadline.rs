@@ -1,0 +1,106 @@
+//! Per-request deadline budgets.
+//!
+//! A request's `deadline_ms` (or the server default) is materialised
+//! into a [`Deadline`] — a concrete wall-clock instant — at
+//! *admission*, so time spent waiting in the bounded queue counts
+//! against the budget just like solver time does. Workers turn the
+//! deadline into a [`CancelToken`] for the solvers' cooperative
+//! checkpoints.
+
+use std::time::{Duration, Instant};
+
+use pager_core::cancel::CancelToken;
+
+/// An absolute per-request deadline (or none).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline(Option<Instant>);
+
+impl Deadline {
+    /// No deadline: the request may take as long as it takes.
+    #[must_use]
+    pub fn unbounded() -> Deadline {
+        Deadline(None)
+    }
+
+    /// A deadline `budget_ms` from now.
+    #[must_use]
+    pub fn in_ms(budget_ms: u64) -> Deadline {
+        Deadline(Some(Instant::now() + Duration::from_millis(budget_ms)))
+    }
+
+    /// Materialises an optional budget: `Some(ms)` becomes a concrete
+    /// instant, `None` stays unbounded.
+    #[must_use]
+    pub fn from_budget_ms(budget_ms: Option<u64>) -> Deadline {
+        match budget_ms {
+            Some(ms) => Deadline::in_ms(ms),
+            None => Deadline::unbounded(),
+        }
+    }
+
+    /// The absolute instant, if bounded.
+    #[must_use]
+    pub fn instant(&self) -> Option<Instant> {
+        self.0
+    }
+
+    /// Whether the deadline has passed.
+    #[must_use]
+    pub fn expired(&self) -> bool {
+        self.0.is_some_and(|at| Instant::now() >= at)
+    }
+
+    /// Milliseconds left, saturating at zero (`None` when unbounded).
+    #[must_use]
+    pub fn remaining_ms(&self) -> Option<u64> {
+        self.0.map(|at| {
+            let now = Instant::now();
+            if now >= at {
+                0
+            } else {
+                u64::try_from((at - now).as_millis()).unwrap_or(u64::MAX)
+            }
+        })
+    }
+
+    /// The cancellation token solvers poll: fires at the deadline,
+    /// never for unbounded requests.
+    #[must_use]
+    pub fn token(&self) -> CancelToken {
+        match self.0 {
+            Some(at) => CancelToken::with_deadline(at),
+            None => CancelToken::never(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_never_expires() {
+        let d = Deadline::unbounded();
+        assert!(!d.expired());
+        assert_eq!(d.instant(), None);
+        assert_eq!(d.remaining_ms(), None);
+        assert!(!d.token().is_cancelled());
+    }
+
+    #[test]
+    fn zero_budget_expires_immediately() {
+        let d = Deadline::in_ms(0);
+        assert!(d.expired());
+        assert_eq!(d.remaining_ms(), Some(0));
+        assert!(d.token().is_cancelled());
+    }
+
+    #[test]
+    fn generous_budget_is_live() {
+        let d = Deadline::from_budget_ms(Some(60_000));
+        assert!(!d.expired());
+        assert!(d.remaining_ms().is_some_and(|ms| ms > 59_000));
+        assert!(!d.token().is_cancelled());
+        assert_eq!(Deadline::from_budget_ms(None), Deadline::unbounded());
+    }
+}

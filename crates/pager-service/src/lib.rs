@@ -21,6 +21,13 @@
 //!   misses are planned by a fixed thread pool, and concurrent
 //!   requests for the same fingerprint are coalesced into a single
 //!   computation whose result fans out to every waiter.
+//! * **Deadline-aware lifecycle** ([`PlanSpec`], [`deadline`],
+//!   [`error`]) — every request carries a deadline budget; admission
+//!   goes through a *bounded* queue that sheds excess load with
+//!   `"code": "overloaded"`, and solvers poll a cooperative cancel
+//!   token so an exact plan whose deadline expires mid-solve is
+//!   abandoned and downgraded to the greedy tier instead of hogging a
+//!   worker.
 //! * **Metrics** ([`metrics`]) — atomic counters and log-bucketed
 //!   per-tier latency histograms, dumpable as JSON.
 //! * **Profile store** ([`pager_profiles`], wired in via
@@ -34,17 +41,19 @@
 //!
 //! ```
 //! use pager_core::{Delay, Instance};
-//! use pager_service::{PagerService, PlanOptions, ServiceConfig};
+//! use pager_service::{PagerService, PlanSpec, ServiceConfig};
 //!
 //! let service = PagerService::new(ServiceConfig::default());
 //! let instance = Instance::from_rows(vec![vec![0.6, 0.3, 0.1]]).unwrap();
 //! let response = service
-//!     .plan(&instance, Delay::new(2).unwrap(), PlanOptions::default())
+//!     .plan(&instance, PlanSpec::new(Delay::new(2).unwrap()))
 //!     .unwrap();
 //! assert!(response.plan.expected_paging >= 1.0);
 //! ```
 
 pub mod cache;
+pub mod deadline;
+pub mod error;
 pub mod metrics;
 pub mod planner;
 mod pool;
@@ -53,11 +62,12 @@ pub mod server;
 mod service;
 
 pub use cache::ShardedCache;
+pub use deadline::Deadline;
+pub use error::ServiceError;
 pub use metrics::{LatencyHistogram, Metrics};
-pub use planner::{plan, Plan, PlanError, Tier, TierPolicy, Variant};
+pub use planner::{plan, Plan, Tier, TierPolicy, Variant, RETRY_AFTER_MS};
 pub use proto::{handle_line, parse_request, LineOutcome, Request};
 pub use server::{serve_lines, serve_tcp, ServerHandle};
 pub use service::{
-    DevicePlanResponse, PagerService, PlanKey, PlanOptions, PlanResponse, ServiceConfig,
-    ServiceInitError,
+    DevicePlanResponse, PagerService, PlanKey, PlanResponse, PlanSpec, ServiceConfig,
 };

@@ -105,6 +105,18 @@ pub struct Metrics {
     /// Requests rejected with an error (bad instance, infeasible
     /// bandwidth, ...).
     pub errors: AtomicU64,
+    /// Requests shed at admission because the bounded queue was full
+    /// (answered `"code": "overloaded"` instead of waiting).
+    pub requests_shed: AtomicU64,
+    /// Exact-tier plans abandoned at a deadline checkpoint and
+    /// re-planned greedily (`"downgraded": true` on the wire).
+    pub deadline_downgrades: AtomicU64,
+    /// Requests whose deadline had already passed by the time their
+    /// response was ready (downgrades included).
+    pub deadline_misses: AtomicU64,
+    /// Jobs currently sitting in the bounded admission queue (gauge:
+    /// incremented on enqueue, decremented on dequeue).
+    pub queue_depth: AtomicU64,
     /// Cache entries evicted to make room.
     pub evictions: AtomicU64,
     /// Sightings ingested into the profile store (mirrors the store's
@@ -132,6 +144,15 @@ impl Metrics {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Decrements a gauge, saturating at zero.
+    pub fn dec(gauge: &AtomicU64) {
+        // A saturating decrement: the gauge is advisory, so a lost
+        // race simply under-reports momentarily.
+        let _ = gauge.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+            Some(v.saturating_sub(1))
+        });
+    }
+
     /// Reads a counter.
     pub fn get(counter: &AtomicU64) -> u64 {
         counter.load(Ordering::Relaxed)
@@ -156,6 +177,16 @@ impl Metrics {
             ("cache_misses", Value::from(Self::get(&self.cache_misses))),
             ("coalesced", Value::from(Self::get(&self.coalesced))),
             ("errors", Value::from(Self::get(&self.errors))),
+            ("requests_shed", Value::from(Self::get(&self.requests_shed))),
+            (
+                "deadline_downgrades",
+                Value::from(Self::get(&self.deadline_downgrades)),
+            ),
+            (
+                "deadline_misses",
+                Value::from(Self::get(&self.deadline_misses)),
+            ),
+            ("queue_depth", Value::from(Self::get(&self.queue_depth))),
             ("evictions", Value::from(Self::get(&self.evictions))),
             (
                 "sightings_ingested",
@@ -209,6 +240,12 @@ mod tests {
         assert_eq!(json.get("cache_hits").and_then(Value::as_u64), Some(1));
         assert_eq!(json.get("cache_misses").and_then(Value::as_u64), Some(0));
         assert_eq!(json.get("coalesced").and_then(Value::as_u64), Some(0));
+        assert_eq!(json.get("requests_shed").and_then(Value::as_u64), Some(0));
+        assert_eq!(
+            json.get("deadline_downgrades").and_then(Value::as_u64),
+            Some(0)
+        );
+        assert_eq!(json.get("queue_depth").and_then(Value::as_u64), Some(0));
         let tiers = json.get("tier_latency").unwrap();
         assert_eq!(
             tiers
@@ -219,5 +256,16 @@ mod tests {
         );
         // The dump must serialise cleanly.
         assert!(jsonio::parse(&json.to_string()).is_ok());
+    }
+
+    #[test]
+    fn gauge_dec_saturates_at_zero() {
+        let m = Metrics::default();
+        Metrics::dec(&m.queue_depth);
+        assert_eq!(Metrics::get(&m.queue_depth), 0);
+        Metrics::inc(&m.queue_depth);
+        Metrics::inc(&m.queue_depth);
+        Metrics::dec(&m.queue_depth);
+        assert_eq!(Metrics::get(&m.queue_depth), 1);
     }
 }

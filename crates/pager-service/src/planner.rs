@@ -8,11 +8,22 @@
 //!   (`e/(e−1)`-approximate, `O(c(m + dc))`),
 //! * bandwidth-bounded and signature (`k`-of-`m`) variants dispatch to
 //!   their Section 5 solvers on request.
+//!
+//! Every solve runs under a cooperative [`CancelToken`]. An exact plan
+//! abandoned at a deadline checkpoint is *downgraded*: re-planned with
+//! the greedy tier (fast, `O(d·c²)`) and marked
+//! [`Plan::downgraded`] so the client knows it got the approximation
+//! instead of the optimum it asked for. Tiers with no cheaper
+//! fallback (greedy, bandwidth, signature) surface
+//! [`ServiceError::Overloaded`] instead.
 
 use std::time::Instant;
 
-use pager_core::{bandwidth, optimal, signature, Delay, Instance};
-use pager_core::{greedy_strategy_planned, Strategy};
+use pager_core::cancel::CancelToken;
+use pager_core::{bandwidth, optimal, signature, Delay, Error, Instance};
+use pager_core::{greedy_strategy_planned_cancel, Strategy};
+
+use crate::error::ServiceError;
 
 /// What kind of plan a request wants.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -101,77 +112,116 @@ pub struct Plan {
     pub tier: Tier,
     /// Wall-clock planning time.
     pub planning_micros: u64,
+    /// The exact solve was abandoned at a deadline checkpoint and this
+    /// plan came from the greedy fallback instead.
+    pub downgraded: bool,
 }
 
-/// A planning failure (bad variant parameters or solver limits).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct PlanError(pub String);
-
-impl core::fmt::Display for PlanError {
-    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "{}", self.0)
-    }
-}
-
-impl std::error::Error for PlanError {}
+/// How long an overloaded client should back off before retrying.
+/// Deliberately a small constant: under sustained overload the bounded
+/// queue keeps shedding, and any retrying client re-probes quickly
+/// without a thundering herd (the hint, not a timer, spreads retries).
+pub const RETRY_AFTER_MS: u64 = 50;
 
 /// Plans `instance` under `delay` with the solver tier selected by
-/// `variant` and `policy`.
+/// `variant` and `policy`, polling `cancel` at solver checkpoints.
+///
+/// An exact solve (forced or auto-selected) cancelled mid-DP is
+/// downgraded to the greedy tier — the fallback runs *without* the
+/// token, since it is the cheap path and the response is more useful
+/// than an error even slightly past the deadline.
 ///
 /// # Errors
 ///
-/// [`PlanError`] when a forced exact plan exceeds solver limits, a
-/// bandwidth cap is infeasible, or a signature threshold is invalid.
+/// [`ServiceError::Unsupported`] when a forced exact plan exceeds
+/// solver limits; [`ServiceError::BadRequest`] for an infeasible
+/// bandwidth cap or invalid signature threshold;
+/// [`ServiceError::Overloaded`] when a tier with no cheaper fallback
+/// is cancelled by its deadline.
 pub fn plan(
     instance: &Instance,
     delay: Delay,
     variant: Variant,
     policy: &TierPolicy,
-) -> Result<Plan, PlanError> {
+    cancel: &CancelToken,
+) -> Result<Plan, ServiceError> {
     let start = Instant::now();
-    let (tier, planned) = match variant {
-        Variant::Greedy => (Tier::Greedy, Ok(greedy_strategy_planned(instance, delay))),
-        Variant::Exact => (Tier::Exact, plan_exact(instance, delay)),
+    let want_exact = match variant {
+        Variant::Exact => true,
         Variant::Auto => {
-            if instance.num_cells() <= policy.exact_max_cells
+            instance.num_cells() <= policy.exact_max_cells
                 && instance.num_devices() <= policy.exact_max_devices
-            {
-                (Tier::Exact, plan_exact(instance, delay))
-            } else {
-                (Tier::Greedy, Ok(greedy_strategy_planned(instance, delay)))
-            }
         }
-        Variant::Bandwidth(cap) => (
-            Tier::Bandwidth,
-            bandwidth::greedy_strategy_bounded(instance, delay, cap)
-                .map_err(|e| PlanError(e.to_string())),
-        ),
-        Variant::Signature(k) => (
-            Tier::Signature,
-            signature::greedy_signature(instance, delay, k).map_err(|e| PlanError(e.to_string())),
-        ),
+        _ => false,
     };
-    let planned = planned?;
+    let (tier, downgraded, planned) = if want_exact {
+        match plan_exact(instance, delay, cancel) {
+            Ok(planned) => (Tier::Exact, false, planned),
+            Err(ServiceError::Overloaded { .. }) => {
+                // Deadline fired mid-DP: degrade to greedy instead of
+                // finishing the exact solve late.
+                let fallback =
+                    greedy_strategy_planned_cancel(instance, delay, &CancelToken::never())
+                        .map_err(|e| ServiceError::Internal(e.to_string()))?;
+                (Tier::Greedy, true, fallback)
+            }
+            Err(other) => return Err(other),
+        }
+    } else {
+        let planned = match variant {
+            Variant::Bandwidth(cap) => {
+                bandwidth::greedy_strategy_bounded_cancel(instance, delay, cap, cancel)
+                    .map_err(|e| map_solver_error(&e))?
+            }
+            Variant::Signature(k) => signature::greedy_signature_cancel(instance, delay, k, cancel)
+                .map_err(|e| map_solver_error(&e))?,
+            _ => greedy_strategy_planned_cancel(instance, delay, cancel)
+                .map_err(|e| map_solver_error(&e))?,
+        };
+        let tier = match variant {
+            Variant::Bandwidth(_) => Tier::Bandwidth,
+            Variant::Signature(_) => Tier::Signature,
+            _ => Tier::Greedy,
+        };
+        (tier, false, planned)
+    };
     let micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
     Ok(Plan {
         strategy: planned.strategy,
         expected_paging: planned.expected_paging,
         tier,
         planning_micros: micros,
+        downgraded,
     })
 }
 
-fn plan_exact(instance: &Instance, delay: Delay) -> Result<pager_core::PlannedStrategy, PlanError> {
+/// Maps a core solver error onto the wire surface: cancellation means
+/// the server ran out of budget (overloaded), everything else is the
+/// request's fault.
+fn map_solver_error(error: &Error) -> ServiceError {
+    match error {
+        Error::Cancelled => ServiceError::Overloaded {
+            retry_after_ms: RETRY_AFTER_MS,
+        },
+        other => ServiceError::BadRequest(other.to_string()),
+    }
+}
+
+fn plan_exact(
+    instance: &Instance,
+    delay: Delay,
+    cancel: &CancelToken,
+) -> Result<pager_core::PlannedStrategy, ServiceError> {
     let c = instance.num_cells();
     if c > optimal::SUBSET_DP_MAX_CELLS {
-        return Err(PlanError(format!(
+        return Err(ServiceError::Unsupported(format!(
             "exact tier supports at most {} cells, got {c}",
             optimal::SUBSET_DP_MAX_CELLS
         )));
     }
     // The subset DP requires d <= c; clamp like the greedy tier does.
     let delay = delay.clamp_to_cells(c);
-    optimal::optimal_subset_dp(instance, delay).map_err(|e| PlanError(e.to_string()))
+    optimal::optimal_subset_dp_cancel(instance, delay, cancel).map_err(|e| map_solver_error(&e))
 }
 
 #[cfg(test)]
@@ -182,6 +232,10 @@ mod tests {
         Instance::from_rows(vec![vec![0.4, 0.3, 0.2, 0.1], vec![0.1, 0.2, 0.3, 0.4]]).unwrap()
     }
 
+    fn live() -> CancelToken {
+        CancelToken::never()
+    }
+
     #[test]
     fn auto_dispatches_small_to_exact() {
         let p = plan(
@@ -189,15 +243,18 @@ mod tests {
             Delay::new(2).unwrap(),
             Variant::Auto,
             &TierPolicy::default(),
+            &live(),
         )
         .unwrap();
         assert_eq!(p.tier, Tier::Exact);
+        assert!(!p.downgraded);
         // The exact plan is at least as good as greedy.
         let g = plan(
             &small(),
             Delay::new(2).unwrap(),
             Variant::Greedy,
             &TierPolicy::default(),
+            &live(),
         )
         .unwrap();
         assert_eq!(g.tier, Tier::Greedy);
@@ -212,6 +269,7 @@ mod tests {
             Delay::new(4).unwrap(),
             Variant::Auto,
             &TierPolicy::default(),
+            &live(),
         )
         .unwrap();
         assert_eq!(p.tier, Tier::Greedy);
@@ -226,9 +284,11 @@ mod tests {
             Delay::new(2).unwrap(),
             Variant::Exact,
             &TierPolicy::default(),
+            &live(),
         )
         .unwrap_err();
-        assert!(err.0.contains("exact tier"), "{err}");
+        assert_eq!(err.code(), "unsupported");
+        assert!(err.message().contains("exact tier"), "{err}");
     }
 
     #[test]
@@ -239,18 +299,21 @@ mod tests {
             Delay::new(4).unwrap(),
             Variant::Bandwidth(3),
             &TierPolicy::default(),
+            &live(),
         )
         .unwrap();
         assert_eq!(p.tier, Tier::Bandwidth);
         assert!(p.strategy.group_sizes().iter().all(|&s| s <= 3));
         // Infeasible cap errors instead of panicking.
-        assert!(plan(
+        let err = plan(
             &inst,
             Delay::new(2).unwrap(),
             Variant::Bandwidth(3),
             &TierPolicy::default(),
+            &live(),
         )
-        .is_err());
+        .unwrap_err();
+        assert_eq!(err.code(), "bad_request");
     }
 
     #[test]
@@ -260,16 +323,62 @@ mod tests {
             Delay::new(2).unwrap(),
             Variant::Signature(1),
             &TierPolicy::default(),
+            &live(),
         )
         .unwrap();
         assert_eq!(p.tier, Tier::Signature);
         assert!(p.expected_paging > 0.0);
-        assert!(plan(
+        let err = plan(
             &small(),
             Delay::new(2).unwrap(),
             Variant::Signature(99),
             &TierPolicy::default(),
+            &live(),
         )
-        .is_err());
+        .unwrap_err();
+        assert_eq!(err.code(), "bad_request");
+    }
+
+    #[test]
+    fn expired_deadline_downgrades_exact_to_greedy() {
+        // Big enough that the subset DP passes a checkpoint stride.
+        let inst = Instance::uniform(2, 15).unwrap();
+        let expired = CancelToken::with_timeout(std::time::Duration::ZERO);
+        let p = plan(
+            &inst,
+            Delay::new(3).unwrap(),
+            Variant::Exact,
+            &TierPolicy::default(),
+            &expired,
+        )
+        .unwrap();
+        assert_eq!(p.tier, Tier::Greedy);
+        assert!(p.downgraded);
+        // The fallback really is the greedy plan.
+        let g = plan(
+            &inst,
+            Delay::new(3).unwrap(),
+            Variant::Greedy,
+            &TierPolicy::default(),
+            &live(),
+        )
+        .unwrap();
+        assert_eq!(p.strategy, g.strategy);
+    }
+
+    #[test]
+    fn expired_deadline_on_greedy_is_overloaded() {
+        // Greedy has no cheaper fallback: a cancelled solve sheds.
+        let inst = Instance::uniform(2, 200).unwrap();
+        let expired = CancelToken::with_timeout(std::time::Duration::ZERO);
+        let err = plan(
+            &inst,
+            Delay::new(8).unwrap(),
+            Variant::Greedy,
+            &TierPolicy::default(),
+            &expired,
+        )
+        .unwrap_err();
+        assert_eq!(err.code(), "overloaded");
     }
 }

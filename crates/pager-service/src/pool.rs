@@ -1,13 +1,19 @@
-//! Worker pool with batch coalescing.
+//! Worker pool with batch coalescing and bounded admission.
 //!
-//! Planning requests flow through an `mpsc` queue consumed by a fixed
-//! pool of std threads. Before a request is queued, the dispatcher
-//! checks an *in-flight* table: if an identical key is already being
-//! planned, the request subscribes to that computation instead of
-//! enqueueing a duplicate — under bursts of identical instances
-//! (exactly the conference-call hot path: many pages for the same
-//! popular distribution) the pool does the work once and fans the
+//! Planning requests flow through a *bounded* `mpsc` queue consumed by
+//! a fixed pool of std threads. Before a request is queued, the
+//! dispatcher checks an *in-flight* table: if an identical key is
+//! already being planned, the request subscribes to that computation
+//! instead of enqueueing a duplicate — under bursts of identical
+//! instances (exactly the conference-call hot path: many pages for the
+//! same popular distribution) the pool does the work once and fans the
 //! result out to every waiter.
+//!
+//! The queue bound is the backpressure valve: when `queue_depth` jobs
+//! are already waiting, new distinct work is *shed* immediately with
+//! [`ServiceError::Overloaded`] rather than queued behind a backlog it
+//! would only deepen. Coalesced subscriptions never shed — joining an
+//! in-flight computation adds no load.
 
 use std::collections::HashMap;
 use std::sync::mpsc;
@@ -16,12 +22,14 @@ use std::thread::JoinHandle;
 
 use pager_core::{Delay, Instance};
 
-use crate::planner::{plan, Plan, PlanError, TierPolicy, Variant};
+use crate::deadline::Deadline;
+use crate::error::ServiceError;
+use crate::planner::{plan, Plan, TierPolicy, Variant, RETRY_AFTER_MS};
 use crate::service::PlanKey;
 use crate::{cache::ShardedCache, metrics::Metrics};
 
 /// Result fanned out to every subscriber of one computation.
-pub(crate) type PlanResult = Result<Arc<Plan>, PlanError>;
+pub(crate) type PlanResult = Result<Arc<Plan>, ServiceError>;
 
 struct Job {
     key: PlanKey,
@@ -29,26 +37,41 @@ struct Job {
     instance: Instance,
     delay: Delay,
     variant: Variant,
+    /// The *admission-time* deadline: queueing delay counts against
+    /// the budget, so a job that waited too long is already expired
+    /// when a worker picks it up and cancels at the first checkpoint.
+    deadline: Deadline,
 }
 
-/// Owns the queue, the in-flight table, and the worker threads.
+/// What happened when a job was offered to the bounded queue.
+enum Enqueue {
+    Accepted,
+    Full,
+    Closed,
+}
+
+/// Owns the bounded queue, the in-flight table, and the worker
+/// threads.
 pub(crate) struct Dispatcher {
-    queue: Mutex<Option<mpsc::Sender<Job>>>,
+    queue: Mutex<Option<mpsc::SyncSender<Job>>>,
     inflight: Arc<Mutex<HashMap<PlanKey, Vec<mpsc::Sender<PlanResult>>>>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
+    metrics: Arc<Metrics>,
 }
 
 impl Dispatcher {
-    /// Starts the worker pool. Failing to spawn a worker thread tears
-    /// the partial pool down cleanly (the queue sender drops, so
+    /// Starts the worker pool over a queue bounded at `queue_depth`
+    /// waiting jobs. Failing to spawn a worker thread tears the
+    /// partial pool down cleanly (the queue sender drops, so
     /// already-started workers see a closed channel and exit).
     pub(crate) fn new(
         workers: usize,
+        queue_depth: usize,
         cache: Arc<ShardedCache<PlanKey, Plan>>,
         metrics: Arc<Metrics>,
         policy: TierPolicy,
     ) -> std::io::Result<Dispatcher> {
-        let (tx, rx) = mpsc::channel::<Job>();
+        let (tx, rx) = mpsc::sync_channel::<Job>(queue_depth.max(1));
         let rx = Arc::new(Mutex::new(rx));
         let inflight: Arc<Mutex<HashMap<PlanKey, Vec<mpsc::Sender<PlanResult>>>>> =
             Arc::new(Mutex::new(HashMap::new()));
@@ -67,12 +90,19 @@ impl Dispatcher {
             queue: Mutex::new(Some(tx)),
             inflight,
             workers: Mutex::new(handles),
+            metrics,
         })
     }
 
     /// Submits a planning job, coalescing onto an identical in-flight
     /// one when possible. Returns the channel the result will arrive
     /// on and whether the request was coalesced.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Overloaded`] when the bounded queue is full
+    /// (the request is shed, never queued); [`ServiceError::Internal`]
+    /// during shutdown.
     pub(crate) fn submit(
         &self,
         key: PlanKey,
@@ -80,7 +110,8 @@ impl Dispatcher {
         instance: Instance,
         delay: Delay,
         variant: Variant,
-    ) -> Result<(mpsc::Receiver<PlanResult>, bool), PlanError> {
+        deadline: Deadline,
+    ) -> Result<(mpsc::Receiver<PlanResult>, bool), ServiceError> {
         let (result_tx, result_rx) = mpsc::channel();
         let coalesced = {
             let mut inflight = self
@@ -95,29 +126,74 @@ impl Dispatcher {
                 false
             }
         };
-        if !coalesced {
+        if coalesced {
+            return Ok((result_rx, true));
+        }
+        // Gauge before the offer: the moment the job lands in the
+        // channel a worker may dequeue it and run the matching `dec`,
+        // so incrementing after `try_send` could order inc after dec
+        // and leak a permanent +1 (dec saturates at zero).
+        Metrics::inc(&self.metrics.queue_depth);
+        // First request for this key: offer it to the bounded queue.
+        // The queue lock is released before touching the in-flight
+        // table again (lock order: queue before inflight, never
+        // nested the other way).
+        let outcome = {
             let queue = self
                 .queue
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
-            let Some(tx) = queue.as_ref() else {
-                // Shutting down: clear our registration and bail.
-                self.inflight
-                    .lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner)
-                    .remove(&key);
-                return Err(PlanError("service is shutting down".into()));
-            };
-            tx.send(Job {
-                key,
-                fingerprint,
-                instance,
-                delay,
-                variant,
-            })
-            .map_err(|_| PlanError("worker pool is gone".into()))?;
+            match queue.as_ref() {
+                None => Enqueue::Closed,
+                Some(tx) => match tx.try_send(Job {
+                    key: key.clone(),
+                    fingerprint,
+                    instance,
+                    delay,
+                    variant,
+                    deadline,
+                }) {
+                    Ok(()) => Enqueue::Accepted,
+                    Err(mpsc::TrySendError::Full(_)) => Enqueue::Full,
+                    Err(mpsc::TrySendError::Disconnected(_)) => Enqueue::Closed,
+                },
+            }
+        };
+        match outcome {
+            Enqueue::Accepted => Ok((result_rx, false)),
+            Enqueue::Full => {
+                // Shed: un-register and fail everyone who coalesced
+                // onto this key between our insert and now, so nobody
+                // waits on a computation that will never run.
+                Metrics::dec(&self.metrics.queue_depth);
+                let error = ServiceError::Overloaded {
+                    retry_after_ms: RETRY_AFTER_MS,
+                };
+                Metrics::inc(&self.metrics.requests_shed);
+                self.fail_waiters(&key, &error);
+                Err(error)
+            }
+            Enqueue::Closed => {
+                Metrics::dec(&self.metrics.queue_depth);
+                let error = ServiceError::Internal("service is shutting down".into());
+                self.fail_waiters(&key, &error);
+                Err(error)
+            }
         }
-        Ok((result_rx, coalesced))
+    }
+
+    /// Removes a key's in-flight registration and sends `error` to
+    /// every subscriber it had accumulated.
+    fn fail_waiters(&self, key: &PlanKey, error: &ServiceError) {
+        let waiters = self
+            .inflight
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .remove(key)
+            .unwrap_or_default();
+        for waiter in waiters {
+            let _ = waiter.send(Err(error.clone()));
+        }
     }
 
     /// Stops accepting work and joins every worker.
@@ -161,23 +237,43 @@ fn worker_loop(
             Ok(job) => job,
             Err(_) => return, // queue closed: shut down
         };
+        Metrics::dec(&metrics.queue_depth);
         // A coalesced burst may have already populated the cache by
         // the time this job reaches the front of the queue.
         let result: PlanResult = match cache.get(job.fingerprint, &job.key) {
             Some(ready) => Ok(ready),
-            None => match plan(&job.instance, job.delay, job.variant, &policy) {
-                Ok(fresh) => {
-                    metrics
-                        .tier_latency(fresh.tier)
-                        .record(fresh.planning_micros);
-                    let shared = cache.insert(job.fingerprint, job.key.clone(), Arc::new(fresh));
-                    Ok(shared)
+            None => {
+                let token = job.deadline.token();
+                match plan(&job.instance, job.delay, job.variant, &policy, &token) {
+                    Ok(fresh) => {
+                        metrics
+                            .tier_latency(fresh.tier)
+                            .record(fresh.planning_micros);
+                        if fresh.downgraded {
+                            Metrics::inc(&metrics.deadline_downgrades);
+                        }
+                        if job.deadline.expired() {
+                            Metrics::inc(&metrics.deadline_misses);
+                        }
+                        if fresh.downgraded {
+                            // A downgraded plan is a deadline artefact,
+                            // not the best answer for this key: caching
+                            // it would poison the slot for every later
+                            // patient request.
+                            Ok(Arc::new(fresh))
+                        } else {
+                            Ok(cache.insert(job.fingerprint, job.key.clone(), Arc::new(fresh)))
+                        }
+                    }
+                    Err(error) => {
+                        Metrics::inc(&metrics.errors);
+                        if matches!(error, ServiceError::Overloaded { .. }) {
+                            Metrics::inc(&metrics.deadline_misses);
+                        }
+                        Err(error)
+                    }
                 }
-                Err(error) => {
-                    Metrics::inc(&metrics.errors);
-                    Err(error)
-                }
-            },
+            }
         };
         let waiters = inflight
             .lock()

@@ -5,19 +5,35 @@
 //!
 //! ```json
 //! {"id": 7, "instance": [[0.5, 0.3, 0.2], [0.2, 0.2, 0.6]], "delay": 2,
-//!  "variant": "auto", "cache": true}
+//!  "variant": "auto", "cache": true, "deadline_ms": 250}
 //! ```
 //!
 //! `instance` also accepts the `textio` text format as a JSON string
 //! (`"0.5 0.3 0.2\n1/4 1/4 1/2"` — rows on lines, `#` comments,
 //! decimal or `num/den` entries). `variant` is `"auto"` (default),
 //! `"exact"`, `"greedy"`, `"bandwidth"` (with `"bandwidth": b`), or
-//! `"signature"` (with `"k": k`). Response:
+//! `"signature"` (with `"k": k`). `deadline_ms` bounds how long the
+//! server may spend (queueing included) before answering; omitted, the
+//! server default applies. Unknown fields are ignored, so older
+//! servers tolerate newer clients. Response:
 //!
 //! ```json
-//! {"id": 7, "ok": true, "strategy": [[0], [1, 2]], "ep": 2.21,
-//!  "tier": "greedy", "cached": false, "coalesced": false,
-//!  "planning_micros": 41}
+//! {"v": 1, "id": 7, "ok": true, "strategy": [[0], [1, 2]], "ep": 2.21,
+//!  "tier": "greedy", "downgraded": false, "cached": false,
+//!  "coalesced": false, "planning_micros": 41}
+//! ```
+//!
+//! Every response carries the protocol version `"v": 1`.
+//! `"downgraded": true` marks a plan whose exact solve was abandoned
+//! at its deadline and re-planned greedily. Error responses carry a
+//! *stable* `"code"` (`"bad_request"`, `"unsupported"`,
+//! `"overloaded"`, `"internal"`) next to the human-readable
+//! `"error"`; `"overloaded"` responses add `"retry_after_ms"`:
+//!
+//! ```json
+//! {"v": 1, "id": 7, "ok": false, "code": "overloaded",
+//!  "error": "server overloaded, retry after 50 ms",
+//!  "retry_after_ms": 50}
 //! ```
 //!
 //! Control lines: `{"cmd": "metrics"}` dumps the metrics registry,
@@ -48,8 +64,12 @@ use pager_core::{Delay, Instance};
 use pager_profiles::{Estimator, Sighting};
 use rational::Ratio;
 
+use crate::error::ServiceError;
 use crate::planner::Variant;
-use crate::service::{PagerService, PlanOptions};
+use crate::service::{PagerService, PlanSpec};
+
+/// Protocol version stamped on every response line.
+pub const PROTOCOL_VERSION: u64 = 1;
 
 /// A parsed request line.
 #[derive(Debug, Clone)]
@@ -60,10 +80,8 @@ pub enum Request {
         id: Value,
         /// The instance to plan for.
         instance: Instance,
-        /// Maximum paging rounds.
-        delay: Delay,
-        /// Per-request options (variant + cache opt-out).
-        options: PlanOptions,
+        /// What to plan: delay, variant, cache opt-out, deadline.
+        spec: PlanSpec,
     },
     /// Ingest a batch of device sightings into the profile store.
     Observe {
@@ -78,15 +96,13 @@ pub enum Request {
         id: Value,
         /// Device ids to establish the call for.
         devices: Vec<String>,
-        /// Maximum paging rounds.
-        delay: Delay,
         /// Which estimator turns profiles into rows.
         estimator: Estimator,
         /// Clock to evaluate distributions at (default: latest
         /// ingested sighting time).
         now: Option<f64>,
-        /// Per-request options (variant + cache opt-out).
-        options: PlanOptions,
+        /// What to plan: delay, variant, cache opt-out, deadline.
+        spec: PlanSpec,
     },
     /// Dump the profile store's counters.
     ProfileStats,
@@ -98,48 +114,66 @@ pub enum Request {
     Shutdown,
 }
 
-/// Parses one wire line.
+/// Parses one wire line. Unknown fields are ignored for forward
+/// compatibility; unknown commands and variants are rejected with
+/// [`ServiceError::Unsupported`].
 ///
 /// # Errors
 ///
-/// A human-readable message for malformed JSON, unknown commands or
-/// invalid payloads (the message ends up in the error response).
-pub fn parse_request(line: &str) -> Result<Request, String> {
-    let value = jsonio::parse(line).map_err(|e| e.to_string())?;
+/// [`ServiceError::BadRequest`] for malformed JSON or invalid
+/// payloads, [`ServiceError::Unsupported`] for commands or variants
+/// this server does not know.
+pub fn parse_request(line: &str) -> Result<Request, ServiceError> {
+    let value = jsonio::parse(line).map_err(|e| ServiceError::BadRequest(e.to_string()))?;
     if let Some(cmd) = value.get("cmd") {
         return match cmd.as_str() {
             Some("metrics") => Ok(Request::Metrics),
             Some("ping") => Ok(Request::Ping),
             Some("shutdown") => Ok(Request::Shutdown),
-            Some("observe") => parse_observe(&value),
+            Some("observe") => parse_observe(&value).map_err(ServiceError::BadRequest),
             Some("plan_devices") => parse_plan_devices(&value),
             Some("profile_stats") => Ok(Request::ProfileStats),
-            _ => Err(format!("unknown cmd {cmd}")),
+            _ => Err(ServiceError::Unsupported(format!("unknown cmd {cmd}"))),
         };
     }
     let id = value.get("id").cloned().unwrap_or(Value::Null);
     let instance = value
         .get("instance")
-        .ok_or_else(|| "missing \"instance\"".to_string())?;
-    let instance = parse_instance_payload(instance)?;
+        .ok_or_else(|| ServiceError::BadRequest("missing \"instance\"".to_string()))?;
+    let instance = parse_instance_payload(instance).map_err(ServiceError::BadRequest)?;
+    let spec = parse_spec(&value)?;
+    Ok(Request::Plan { id, instance, spec })
+}
+
+/// The request fields every planning command shares: `delay`,
+/// `variant` (+ its parameters), `cache`, `deadline_ms`. This is the
+/// only place the wire constructs a [`PlanSpec`].
+fn parse_spec(value: &Value) -> Result<PlanSpec, ServiceError> {
     let delay = Delay::from_json(
         value
             .get("delay")
-            .ok_or_else(|| "missing \"delay\"".to_string())?,
-    )?;
-    let variant = parse_variant(&value)?;
+            .ok_or_else(|| ServiceError::BadRequest("missing \"delay\"".to_string()))?,
+    )
+    .map_err(ServiceError::BadRequest)?;
+    let variant = parse_variant(value)?;
     let cache = match value.get("cache") {
         None => true,
         Some(flag) => flag
             .as_bool()
-            .ok_or_else(|| "\"cache\" must be a boolean".to_string())?,
+            .ok_or_else(|| ServiceError::BadRequest("\"cache\" must be a boolean".to_string()))?,
     };
-    Ok(Request::Plan {
-        id,
-        instance,
-        delay,
-        options: PlanOptions { variant, cache },
-    })
+    let mut spec = PlanSpec::new(delay).with_variant(variant).with_cache(cache);
+    match value.get("deadline_ms") {
+        None | Some(Value::Null) => {}
+        Some(ms) => {
+            spec = spec.with_deadline_ms(ms.as_u64().ok_or_else(|| {
+                ServiceError::BadRequest(
+                    "\"deadline_ms\" must be a non-negative integer".to_string(),
+                )
+            })?);
+        }
+    }
+    Ok(spec)
 }
 
 fn parse_observe(value: &Value) -> Result<Request, String> {
@@ -176,54 +210,42 @@ fn parse_observe(value: &Value) -> Result<Request, String> {
     Ok(Request::Observe { cells, sightings })
 }
 
-fn parse_plan_devices(value: &Value) -> Result<Request, String> {
+fn parse_plan_devices(value: &Value) -> Result<Request, ServiceError> {
     let id = value.get("id").cloned().unwrap_or(Value::Null);
     let raw = value
         .get("devices")
         .and_then(Value::as_array)
-        .ok_or_else(|| "\"plan_devices\" needs a \"devices\" array".to_string())?;
+        .ok_or_else(|| {
+            ServiceError::BadRequest("\"plan_devices\" needs a \"devices\" array".to_string())
+        })?;
     let mut devices = Vec::with_capacity(raw.len());
     for (i, d) in raw.iter().enumerate() {
         devices.push(
             d.as_str()
-                .ok_or_else(|| format!("device {i} must be a string"))?
+                .ok_or_else(|| ServiceError::BadRequest(format!("device {i} must be a string")))?
                 .to_string(),
         );
     }
-    let delay = Delay::from_json(
-        value
-            .get("delay")
-            .ok_or_else(|| "missing \"delay\"".to_string())?,
-    )?;
     let estimator = match value.get("estimator") {
         None => Estimator::Markov,
-        Some(e) => Estimator::parse(
-            e.as_str()
-                .ok_or_else(|| "\"estimator\" must be a string".to_string())?,
-        )?,
+        Some(e) => Estimator::parse(e.as_str().ok_or_else(|| {
+            ServiceError::BadRequest("\"estimator\" must be a string".to_string())
+        })?)
+        .map_err(ServiceError::Unsupported)?,
     };
     let now = match value.get("now") {
         None | Some(Value::Null) => None,
-        Some(t) => Some(
-            t.as_f64()
-                .filter(|t| t.is_finite())
-                .ok_or_else(|| "\"now\" must be a finite number".to_string())?,
-        ),
+        Some(t) => Some(t.as_f64().filter(|t| t.is_finite()).ok_or_else(|| {
+            ServiceError::BadRequest("\"now\" must be a finite number".to_string())
+        })?),
     };
-    let variant = parse_variant(value)?;
-    let cache = match value.get("cache") {
-        None => true,
-        Some(flag) => flag
-            .as_bool()
-            .ok_or_else(|| "\"cache\" must be a boolean".to_string())?,
-    };
+    let spec = parse_spec(value)?;
     Ok(Request::PlanDevices {
         id,
         devices,
-        delay,
         estimator,
         now,
-        options: PlanOptions { variant, cache },
+        spec,
     })
 }
 
@@ -260,12 +282,12 @@ fn parse_textio_instance(text: &str) -> Result<Instance, String> {
     Instance::from_rows(rows).map_err(|e| e.to_string())
 }
 
-fn parse_variant(value: &Value) -> Result<Variant, String> {
+fn parse_variant(value: &Value) -> Result<Variant, ServiceError> {
     let name = match value.get("variant") {
         None => return Ok(Variant::Auto),
         Some(v) => v
             .as_str()
-            .ok_or_else(|| "\"variant\" must be a string".to_string())?,
+            .ok_or_else(|| ServiceError::BadRequest("\"variant\" must be a string".to_string()))?,
     };
     match name {
         "auto" => Ok(Variant::Auto),
@@ -276,17 +298,23 @@ fn parse_variant(value: &Value) -> Result<Variant, String> {
                 .get("bandwidth")
                 .and_then(Value::as_usize)
                 .ok_or_else(|| {
-                    "variant \"bandwidth\" needs a positive integer \"bandwidth\"".to_string()
+                    ServiceError::BadRequest(
+                        "variant \"bandwidth\" needs a positive integer \"bandwidth\"".to_string(),
+                    )
                 })?;
             Ok(Variant::Bandwidth(cap))
         }
         "signature" => {
             let k = value.get("k").and_then(Value::as_usize).ok_or_else(|| {
-                "variant \"signature\" needs a positive integer \"k\"".to_string()
+                ServiceError::BadRequest(
+                    "variant \"signature\" needs a positive integer \"k\"".to_string(),
+                )
             })?;
             Ok(Variant::Signature(k))
         }
-        other => Err(format!("unknown variant {other:?}")),
+        other => Err(ServiceError::Unsupported(format!(
+            "unknown variant {other:?}"
+        ))),
     }
 }
 
@@ -303,34 +331,25 @@ pub struct LineOutcome {
 #[must_use]
 pub fn handle_line(service: &PagerService, line: &str) -> LineOutcome {
     match parse_request(line) {
-        Err(message) => LineOutcome {
-            response: error_response(&Value::Null, &message),
+        Err(error) => LineOutcome {
+            response: error_response(&Value::Null, &error),
             shutdown: false,
         },
         Ok(Request::Ping) => LineOutcome {
-            response: Value::object(vec![("ok", Value::Bool(true)), ("pong", Value::Bool(true))])
-                .to_string(),
+            response: ok_response(vec![("pong", Value::Bool(true))]),
             shutdown: false,
         },
         Ok(Request::Metrics) => LineOutcome {
-            response: Value::object(vec![
-                ("ok", Value::Bool(true)),
-                ("metrics", service.metrics().to_json()),
-            ])
-            .to_string(),
+            response: ok_response(vec![("metrics", service.metrics().to_json())]),
             shutdown: false,
         },
         Ok(Request::Shutdown) => LineOutcome {
-            response: Value::object(vec![
-                ("ok", Value::Bool(true)),
-                ("stopping", Value::Bool(true)),
-            ])
-            .to_string(),
+            response: ok_response(vec![("stopping", Value::Bool(true))]),
             shutdown: true,
         },
         Ok(Request::Observe { cells, sightings }) => match service.observe(cells, &sightings) {
-            Err(message) => LineOutcome {
-                response: error_response(&Value::Null, &message),
+            Err(error) => LineOutcome {
+                response: error_response(&Value::Null, &error),
                 shutdown: false,
             },
             Ok(versions) => {
@@ -344,12 +363,10 @@ pub fn handle_line(service: &PagerService, line: &str) -> LineOutcome {
                     }
                 }
                 LineOutcome {
-                    response: Value::object(vec![
-                        ("ok", Value::Bool(true)),
+                    response: ok_response(vec![
                         ("ingested", Value::from(versions.len())),
                         ("versions", Value::Object(latest)),
-                    ])
-                    .to_string(),
+                    ]),
                     shutdown: false,
                 }
             }
@@ -357,56 +374,41 @@ pub fn handle_line(service: &PagerService, line: &str) -> LineOutcome {
         Ok(Request::ProfileStats) => {
             let stats = service.profiles().stats();
             LineOutcome {
-                response: Value::object(vec![
-                    ("ok", Value::Bool(true)),
-                    (
-                        "profiles",
-                        Value::object(vec![
-                            ("devices", Value::from(stats.devices)),
-                            ("sightings", Value::from(stats.sightings)),
-                            ("evictions", Value::from(stats.evictions)),
-                            ("version", Value::from(stats.version)),
-                            (
-                                "latest_time",
-                                match service.profiles().latest_time() {
-                                    Some(t) => Value::Float(t),
-                                    None => Value::Null,
-                                },
-                            ),
-                        ]),
-                    ),
-                ])
-                .to_string(),
+                response: ok_response(vec![(
+                    "profiles",
+                    Value::object(vec![
+                        ("devices", Value::from(stats.devices)),
+                        ("sightings", Value::from(stats.sightings)),
+                        ("evictions", Value::from(stats.evictions)),
+                        ("version", Value::from(stats.version)),
+                        (
+                            "latest_time",
+                            match service.profiles().latest_time() {
+                                Some(t) => Value::Float(t),
+                                None => Value::Null,
+                            },
+                        ),
+                    ]),
+                )]),
                 shutdown: false,
             }
         }
         Ok(Request::PlanDevices {
             id,
             devices,
-            delay,
             estimator,
             now,
-            options,
+            spec,
         }) => {
             let refs: Vec<&str> = devices.iter().map(String::as_str).collect();
-            match service.plan_devices(&refs, delay, estimator, now, options) {
+            match service.plan_devices(&refs, estimator, now, spec) {
                 Err(error) => LineOutcome {
-                    response: error_response(&id, &error.to_string()),
+                    response: error_response(&id, &error),
                     shutdown: false,
                 },
-                Ok(served) => LineOutcome {
-                    response: Value::object(vec![
-                        ("id", id),
-                        ("ok", Value::Bool(true)),
-                        ("strategy", served.response.plan.strategy.to_json()),
-                        ("ep", Value::Float(served.response.plan.expected_paging)),
-                        ("tier", Value::from(served.response.plan.tier.name())),
-                        ("cached", Value::Bool(served.response.cached)),
-                        ("coalesced", Value::Bool(served.response.coalesced)),
-                        (
-                            "planning_micros",
-                            Value::from(served.response.plan.planning_micros),
-                        ),
+                Ok(served) => {
+                    let mut fields = plan_fields(id, &served.response);
+                    fields.extend([
                         ("estimator", Value::from(estimator.name())),
                         ("now", Value::Float(served.now)),
                         (
@@ -414,50 +416,68 @@ pub fn handle_line(service: &PagerService, line: &str) -> LineOutcome {
                             Value::Array(served.versions.iter().map(|&v| Value::from(v)).collect()),
                         ),
                         ("stale_profiles", Value::from(served.stale_profiles)),
-                    ])
-                    .to_string(),
-                    shutdown: false,
-                },
+                    ]);
+                    LineOutcome {
+                        response: Value::object(fields).to_string(),
+                        shutdown: false,
+                    }
+                }
             }
         }
-        Ok(Request::Plan {
-            id,
-            instance,
-            delay,
-            options,
-        }) => match service.plan(&instance, delay, options) {
+        Ok(Request::Plan { id, instance, spec }) => match service.plan(&instance, spec) {
             Err(error) => LineOutcome {
-                response: error_response(&id, &error.to_string()),
+                response: error_response(&id, &error),
                 shutdown: false,
             },
             Ok(response) => LineOutcome {
-                response: Value::object(vec![
-                    ("id", id),
-                    ("ok", Value::Bool(true)),
-                    ("strategy", response.plan.strategy.to_json()),
-                    ("ep", Value::Float(response.plan.expected_paging)),
-                    ("tier", Value::from(response.plan.tier.name())),
-                    ("cached", Value::Bool(response.cached)),
-                    ("coalesced", Value::Bool(response.coalesced)),
-                    (
-                        "planning_micros",
-                        Value::from(response.plan.planning_micros),
-                    ),
-                ])
-                .to_string(),
+                response: Value::object(plan_fields(id, &response)).to_string(),
                 shutdown: false,
             },
         },
     }
 }
 
-fn error_response(id: &Value, message: &str) -> String {
-    Value::object(vec![
+/// The response fields shared by `plan` and `plan_devices` answers.
+fn plan_fields(id: Value, response: &crate::service::PlanResponse) -> Vec<(&'static str, Value)> {
+    vec![
+        ("v", Value::from(PROTOCOL_VERSION)),
+        ("id", id),
+        ("ok", Value::Bool(true)),
+        ("strategy", response.plan.strategy.to_json()),
+        ("ep", Value::Float(response.plan.expected_paging)),
+        ("tier", Value::from(response.plan.tier.name())),
+        ("downgraded", Value::Bool(response.plan.downgraded)),
+        ("cached", Value::Bool(response.cached)),
+        ("coalesced", Value::Bool(response.coalesced)),
+        (
+            "planning_micros",
+            Value::from(response.plan.planning_micros),
+        ),
+    ]
+}
+
+/// A versioned `{"v": 1, "ok": true, ...}` response line.
+fn ok_response(fields: Vec<(&'static str, Value)>) -> String {
+    let mut all = vec![
+        ("v", Value::from(PROTOCOL_VERSION)),
+        ("ok", Value::Bool(true)),
+    ];
+    all.extend(fields);
+    Value::object(all).to_string()
+}
+
+fn error_response(id: &Value, error: &ServiceError) -> String {
+    let mut fields = vec![
+        ("v", Value::from(PROTOCOL_VERSION)),
         ("id", id.clone()),
         ("ok", Value::Bool(false)),
-        ("error", Value::from(message)),
-    ])
-    .to_string()
+        ("code", Value::from(error.code())),
+        ("error", Value::from(error.message().as_str())),
+    ];
+    if let ServiceError::Overloaded { retry_after_ms } = error {
+        fields.push(("retry_after_ms", Value::from(*retry_after_ms)));
+    }
+    Value::object(fields).to_string()
 }
 
 #[cfg(test)]
@@ -529,11 +549,70 @@ mod tests {
             r#"{"instance": [[0.5, 0.5]], "delay": 0}"#,
             r#"{"instance": [[0.5, 0.5]]}"#,
             r#"{"cmd": "dance"}"#,
+            r#"{"instance": [[0.5, 0.5]], "delay": 1, "deadline_ms": "soon"}"#,
         ] {
             let out = handle_line(&svc, bad);
             let v = jsonio::parse(&out.response).unwrap();
             assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false), "{bad}");
             assert!(v.get("error").is_some(), "{bad}");
+            assert!(v.get("code").is_some(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn responses_carry_version_and_stable_codes() {
+        let svc = service();
+        // Every response line — success or error — is versioned.
+        for line in [
+            r#"{"cmd": "ping"}"#,
+            r#"{"cmd": "metrics"}"#,
+            r#"{"instance": [[0.5, 0.5]], "delay": 1}"#,
+            "not json",
+        ] {
+            let v = jsonio::parse(&handle_line(&svc, line).response).unwrap();
+            assert_eq!(v.get("v").and_then(Value::as_u64), Some(1), "{line}");
+        }
+        // Codes distinguish the client's fault from this server's
+        // limits.
+        let bad = handle_line(&svc, r#"{"instance": [[0.9, 0.2]], "delay": 1}"#);
+        let v = jsonio::parse(&bad.response).unwrap();
+        assert_eq!(v.get("code").and_then(Value::as_str), Some("bad_request"));
+        let unsupported = handle_line(
+            &svc,
+            r#"{"instance": [[0.5, 0.5]], "delay": 1, "variant": "psychic"}"#,
+        );
+        let v = jsonio::parse(&unsupported.response).unwrap();
+        assert_eq!(v.get("code").and_then(Value::as_str), Some("unsupported"));
+        let unknown_cmd = handle_line(&svc, r#"{"cmd": "dance"}"#);
+        let v = jsonio::parse(&unknown_cmd.response).unwrap();
+        assert_eq!(v.get("code").and_then(Value::as_str), Some("unsupported"));
+    }
+
+    #[test]
+    fn unknown_fields_are_tolerated() {
+        // A newer client may send fields this server has never heard
+        // of; they must be ignored, not rejected.
+        let svc = service();
+        let line = r#"{"id": 3, "instance": [[0.5, 0.5]], "delay": 1,
+                       "future_knob": {"x": 1}, "priority": "high"}"#;
+        let v = jsonio::parse(&handle_line(&svc, line).response).unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "{v}");
+        assert_eq!(v.get("id").and_then(Value::as_i64), Some(3));
+        assert_eq!(v.get("downgraded").and_then(Value::as_bool), Some(false));
+    }
+
+    #[test]
+    fn deadline_ms_is_parsed_into_the_spec() {
+        let line = r#"{"instance": [[0.5, 0.5]], "delay": 1, "deadline_ms": 250}"#;
+        match parse_request(line).unwrap() {
+            Request::Plan { spec, .. } => assert_eq!(spec.deadline_ms(), Some(250)),
+            other => panic!("expected a plan request, got {other:?}"),
+        }
+        // Omitted: defer to the server default.
+        let line = r#"{"instance": [[0.5, 0.5]], "delay": 1}"#;
+        match parse_request(line).unwrap() {
+            Request::Plan { spec, .. } => assert_eq!(spec.deadline_ms(), None),
+            other => panic!("expected a plan request, got {other:?}"),
         }
     }
 

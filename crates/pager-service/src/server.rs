@@ -4,15 +4,21 @@
 //! one shared [`PagerService`]. The TCP server accepts on a
 //! non-blocking listener and handles each connection on its own
 //! thread; a `{"cmd": "shutdown"}` line (or [`ServerHandle::stop`])
-//! makes the accept loop exit. Connections already open keep being
-//! served until their peer hangs up.
+//! makes the accept loop exit.
+//!
+//! Shutdown *drains*: connection threads read with a short timeout so
+//! they notice the stop flag between requests, and every request that
+//! was already being handled is answered before its connection
+//! closes. [`ServerHandle::drain`] blocks until the in-flight count
+//! reaches zero (or a budget expires), so an orderly shutdown drops
+//! nothing that was admitted.
 
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::proto::handle_line;
 use crate::service::PagerService;
@@ -20,11 +26,19 @@ use crate::service::PagerService;
 /// How often the accept loop re-checks the stop flag.
 const ACCEPT_POLL: Duration = Duration::from_millis(25);
 
+/// Read timeout on connection sockets: the gap between a peer going
+/// quiet and its thread noticing a stop request.
+const READ_POLL: Duration = Duration::from_millis(50);
+
+/// How often [`ServerHandle::drain`] re-checks the in-flight count.
+const DRAIN_POLL: Duration = Duration::from_millis(5);
+
 /// A running TCP server.
 pub struct ServerHandle {
     addr: std::net::SocketAddr,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    inflight: Arc<AtomicU64>,
 }
 
 impl ServerHandle {
@@ -40,13 +54,36 @@ impl ServerHandle {
         self.stop.load(Ordering::SeqCst)
     }
 
+    /// Requests currently being handled (between reading a line and
+    /// writing its response) across all connections.
+    #[must_use]
+    pub fn inflight(&self) -> u64 {
+        self.inflight.load(Ordering::SeqCst)
+    }
+
     /// Stops accepting connections and joins the accept thread.
-    /// Threads serving open connections run until their peers
-    /// disconnect.
+    /// Threads serving open connections finish the request they are
+    /// on (if any) and close at their next read-timeout tick.
     pub fn stop(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
         if let Some(handle) = self.accept_thread.take() {
             let _ = handle.join();
+        }
+    }
+
+    /// Orderly shutdown: stops accepting, then waits up to `budget`
+    /// for requests already being handled to finish. Returns the
+    /// number still in flight when it returned — `0` means a clean
+    /// drain with nothing dropped.
+    pub fn drain(&mut self, budget: Duration) -> u64 {
+        self.stop();
+        let deadline = Instant::now() + budget;
+        loop {
+            let pending = self.inflight.load(Ordering::SeqCst);
+            if pending == 0 || Instant::now() >= deadline {
+                return pending;
+            }
+            std::thread::sleep(DRAIN_POLL);
         }
     }
 
@@ -78,18 +115,26 @@ pub fn serve_tcp<A: ToSocketAddrs>(
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
     let stop = Arc::new(AtomicBool::new(false));
+    let inflight = Arc::new(AtomicU64::new(0));
     let accept_stop = Arc::clone(&stop);
+    let accept_inflight = Arc::clone(&inflight);
     let accept_thread = std::thread::Builder::new()
         .name("pager-accept".into())
-        .spawn(move || accept_loop(&listener, &service, &accept_stop))?;
+        .spawn(move || accept_loop(&listener, &service, &accept_stop, &accept_inflight))?;
     Ok(ServerHandle {
         addr,
         stop,
         accept_thread: Some(accept_thread),
+        inflight,
     })
 }
 
-fn accept_loop(listener: &TcpListener, service: &Arc<PagerService>, stop: &Arc<AtomicBool>) {
+fn accept_loop(
+    listener: &TcpListener,
+    service: &Arc<PagerService>,
+    stop: &Arc<AtomicBool>,
+    inflight: &Arc<AtomicU64>,
+) {
     let mut connection_id = 0u64;
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
@@ -97,9 +142,10 @@ fn accept_loop(listener: &TcpListener, service: &Arc<PagerService>, stop: &Arc<A
                 connection_id += 1;
                 let service = Arc::clone(service);
                 let stop = Arc::clone(stop);
+                let inflight = Arc::clone(inflight);
                 let spawned = std::thread::Builder::new()
                     .name(format!("pager-conn-{connection_id}"))
-                    .spawn(move || serve_connection(&stream, &service, &stop));
+                    .spawn(move || serve_connection(&stream, &service, &stop, &inflight));
                 if spawned.is_err() {
                     // Out of threads: drop the connection rather than
                     // the whole server.
@@ -117,29 +163,61 @@ fn accept_loop(listener: &TcpListener, service: &Arc<PagerService>, stop: &Arc<A
     }
 }
 
-fn serve_connection(stream: &TcpStream, service: &PagerService, stop: &AtomicBool) {
-    // Each line is handled synchronously; blocking reads are fine on
-    // a dedicated thread.
-    if stream.set_nonblocking(false).is_err() {
+fn serve_connection(
+    stream: &TcpStream,
+    service: &PagerService,
+    stop: &AtomicBool,
+    inflight: &AtomicU64,
+) {
+    // Each line is handled synchronously on this dedicated thread.
+    // Reads time out at READ_POLL so the thread can notice a stop
+    // request between lines instead of blocking in `read` forever.
+    if stream.set_read_timeout(Some(READ_POLL)).is_err() {
         return;
     }
-    let reader = BufReader::new(match stream.try_clone() {
+    let mut reader = BufReader::new(match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
     });
     let mut writer = BufWriter::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else { return };
-        if line.trim().is_empty() {
-            continue;
-        }
-        let outcome = handle_line(service, &line);
-        if writeln!(writer, "{}", outcome.response).is_err() || writer.flush().is_err() {
-            return;
-        }
-        if outcome.shutdown {
-            stop.store(true, Ordering::SeqCst);
-            return;
+    let mut line = String::new();
+    loop {
+        // NOTE: on timeout `read_line` keeps the bytes it already
+        // consumed in `line`, so a partially received request survives
+        // the poll tick; only a *processed* line clears the buffer.
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // EOF
+            Ok(_) => {
+                if !line.trim().is_empty() {
+                    // In-flight from here until the response is
+                    // written: a drain must wait this request out.
+                    inflight.fetch_add(1, Ordering::SeqCst);
+                    let outcome = handle_line(service, &line);
+                    let write_failed = writeln!(writer, "{}", outcome.response).is_err()
+                        || writer.flush().is_err();
+                    inflight.fetch_sub(1, Ordering::SeqCst);
+                    if write_failed {
+                        return;
+                    }
+                    if outcome.shutdown {
+                        stop.store(true, Ordering::SeqCst);
+                        return;
+                    }
+                }
+                line.clear();
+                if stop.load(Ordering::SeqCst) {
+                    return; // draining: the response above was the last
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if stop.load(Ordering::SeqCst) {
+                    return; // draining and idle: close
+                }
+            }
+            Err(_) => return,
         }
     }
 }
@@ -230,6 +308,39 @@ mod tests {
         assert_eq!(v.get("id").and_then(Value::as_i64), Some(9));
         handle.stop();
         assert!(handle.stopping());
+    }
+
+    #[test]
+    fn drain_answers_inflight_requests_before_closing() {
+        let svc = service();
+        let mut handle = serve_tcp(Arc::clone(&svc), ("127.0.0.1", 0)).unwrap();
+        let addr = handle.local_addr();
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+        // Ping round-trip first so the connection is accepted and its
+        // thread is serving before the drain starts (otherwise the
+        // drain could stop the accept loop before the connection
+        // exists at all).
+        writeln!(writer, r#"{{"cmd": "ping"}}"#).unwrap();
+        writer.flush().unwrap();
+        let mut pong = String::new();
+        reader.read_line(&mut pong).unwrap();
+        assert!(pong.contains("pong"));
+        let request = r#"{"id": 3, "instance": [[0.6, 0.4]], "delay": 2}"#;
+        writeln!(writer, "{request}").unwrap();
+        writer.flush().unwrap();
+        // Drain while the request may still be in flight: it must be
+        // answered (not dropped) and the drain must report zero
+        // pending.
+        let pending = handle.drain(Duration::from_secs(5));
+        assert_eq!(pending, 0, "drain left requests unanswered");
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let v = jsonio::parse(&line).unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(v.get("id").and_then(Value::as_i64), Some(3));
+        assert_eq!(handle.inflight(), 0);
     }
 
     #[test]

@@ -7,8 +7,10 @@ use pager_core::{Delay, Instance};
 use pager_profiles::{Estimator, ProfileStore, Sighting, StoreConfig, Time};
 
 use crate::cache::ShardedCache;
+use crate::deadline::Deadline;
+use crate::error::ServiceError;
 use crate::metrics::Metrics;
-use crate::planner::{plan, Plan, PlanError, TierPolicy, Variant};
+use crate::planner::{plan, Plan, TierPolicy, Variant};
 use crate::pool::Dispatcher;
 
 /// The full cache key: quantised probabilities plus everything else
@@ -35,26 +37,6 @@ pub struct PlanKey {
     profile_versions: Vec<u64>,
 }
 
-/// Why [`PagerService::try_new`] failed.
-#[derive(Debug)]
-pub enum ServiceInitError {
-    /// The profile-store configuration was invalid.
-    Profiles(String),
-    /// A worker thread could not be spawned.
-    Spawn(std::io::Error),
-}
-
-impl std::fmt::Display for ServiceInitError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ServiceInitError::Profiles(why) => write!(f, "invalid profile configuration: {why}"),
-            ServiceInitError::Spawn(e) => write!(f, "spawning worker threads: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for ServiceInitError {}
-
 /// Service configuration knobs.
 #[derive(Debug, Clone, Copy)]
 pub struct ServiceConfig {
@@ -74,6 +56,12 @@ pub struct ServiceConfig {
     /// Profile-store sizing and estimation knobs (capacity, shards,
     /// smoothing, staleness half-life).
     pub profiles: StoreConfig,
+    /// Bound of the admission queue: jobs beyond this many waiting are
+    /// shed with `"code": "overloaded"` instead of queueing.
+    pub queue_depth: usize,
+    /// Default per-request deadline budget, applied when a request
+    /// carries no `deadline_ms` of its own (`None` = unbounded).
+    pub default_deadline_ms: Option<u64>,
 }
 
 impl Default for ServiceConfig {
@@ -87,25 +75,99 @@ impl Default for ServiceConfig {
             grid: 1000,
             policy: TierPolicy::default(),
             profiles: StoreConfig::default(),
+            queue_depth: 256,
+            default_deadline_ms: Some(30_000),
         }
     }
 }
 
-/// Per-request options.
-#[derive(Debug, Clone, Copy)]
-pub struct PlanOptions {
-    /// What kind of plan to compute.
-    pub variant: Variant,
-    /// Whether this request may read/populate the strategy cache.
-    pub cache: bool,
+/// Everything one planning request asks for, in one typed value.
+///
+/// A spec carries the delay bound, the solver [`Variant`], the cache
+/// opt-out, and the deadline budget; [`PagerService::plan`],
+/// [`PagerService::plan_devices`] and the wire parser all construct
+/// one, and the cache key is derived from it in exactly one place.
+///
+/// # Examples
+///
+/// ```
+/// use pager_core::Delay;
+/// use pager_service::{PlanSpec, Variant};
+///
+/// let spec = PlanSpec::new(Delay::new(3)?)
+///     .with_variant(Variant::Greedy)
+///     .with_deadline_ms(250);
+/// assert_eq!(spec.variant(), Variant::Greedy);
+/// assert_eq!(spec.deadline_ms(), Some(250));
+/// assert!(spec.cache_enabled());
+/// # Ok::<(), pager_core::Error>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanSpec {
+    delay: Delay,
+    variant: Variant,
+    cache: bool,
+    deadline_ms: Option<u64>,
 }
 
-impl Default for PlanOptions {
-    fn default() -> PlanOptions {
-        PlanOptions {
+impl PlanSpec {
+    /// A spec with the given delay bound and the defaults: `Auto`
+    /// variant, caching on, server-default deadline.
+    #[must_use]
+    pub fn new(delay: Delay) -> PlanSpec {
+        PlanSpec {
+            delay,
             variant: Variant::Auto,
             cache: true,
+            deadline_ms: None,
         }
+    }
+
+    /// Selects the solver variant.
+    #[must_use]
+    pub fn with_variant(mut self, variant: Variant) -> PlanSpec {
+        self.variant = variant;
+        self
+    }
+
+    /// Opts in or out of the strategy cache.
+    #[must_use]
+    pub fn with_cache(mut self, cache: bool) -> PlanSpec {
+        self.cache = cache;
+        self
+    }
+
+    /// Sets an explicit deadline budget, overriding the server
+    /// default.
+    #[must_use]
+    pub fn with_deadline_ms(mut self, deadline_ms: u64) -> PlanSpec {
+        self.deadline_ms = Some(deadline_ms);
+        self
+    }
+
+    /// The delay bound (maximum paging rounds).
+    #[must_use]
+    pub fn delay(&self) -> Delay {
+        self.delay
+    }
+
+    /// The requested solver variant.
+    #[must_use]
+    pub fn variant(&self) -> Variant {
+        self.variant
+    }
+
+    /// Whether this request may read/populate the strategy cache.
+    #[must_use]
+    pub fn cache_enabled(&self) -> bool {
+        self.cache
+    }
+
+    /// The explicit deadline budget, if any (`None` defers to the
+    /// server default).
+    #[must_use]
+    pub fn deadline_ms(&self) -> Option<u64> {
+        self.deadline_ms
     }
 }
 
@@ -144,13 +206,14 @@ pub struct DevicePlanResponse {
 /// # Examples
 ///
 /// ```
-/// use pager_service::{PagerService, PlanOptions, ServiceConfig};
+/// use pager_service::{PagerService, PlanSpec, ServiceConfig};
 /// use pager_core::{Delay, Instance};
 ///
 /// let service = PagerService::new(ServiceConfig::default());
 /// let inst = Instance::from_rows(vec![vec![0.5, 0.3, 0.2]]).unwrap();
-/// let first = service.plan(&inst, Delay::new(2).unwrap(), PlanOptions::default()).unwrap();
-/// let again = service.plan(&inst, Delay::new(2).unwrap(), PlanOptions::default()).unwrap();
+/// let spec = PlanSpec::new(Delay::new(2).unwrap());
+/// let first = service.plan(&inst, spec).unwrap();
+/// let again = service.plan(&inst, spec).unwrap();
 /// assert!(!first.cached && again.cached);
 /// assert_eq!(first.plan.strategy, again.plan.strategy);
 /// ```
@@ -183,22 +246,24 @@ impl PagerService {
     ///
     /// # Errors
     ///
-    /// [`ServiceInitError::Profiles`] when the profile knobs in
+    /// [`ServiceError::BadRequest`] when the profile knobs in
     /// `config.profiles` are invalid (non-positive smoothing, decay
-    /// outside `(0, 1]`, ...); [`ServiceInitError::Spawn`] when worker
+    /// outside `(0, 1]`, ...); [`ServiceError::Internal`] when worker
     /// threads cannot be started.
-    pub fn try_new(config: ServiceConfig) -> Result<PagerService, ServiceInitError> {
-        let profiles =
-            Arc::new(ProfileStore::new(config.profiles).map_err(ServiceInitError::Profiles)?);
+    pub fn try_new(config: ServiceConfig) -> Result<PagerService, ServiceError> {
+        let profiles = Arc::new(ProfileStore::new(config.profiles).map_err(|why| {
+            ServiceError::BadRequest(format!("invalid profile configuration: {why}"))
+        })?);
         let cache = Arc::new(ShardedCache::new(config.capacity, config.shards));
         let metrics = Arc::new(Metrics::default());
         let dispatcher = Dispatcher::new(
             config.workers,
+            config.queue_depth,
             Arc::clone(&cache),
             Arc::clone(&metrics),
             config.policy,
         )
-        .map_err(ServiceInitError::Spawn)?;
+        .map_err(|e| ServiceError::Internal(format!("spawning worker threads: {e}")))?;
         Ok(PagerService {
             config,
             cache,
@@ -227,42 +292,60 @@ impl PagerService {
         &self.profiles
     }
 
-    /// The cache key and shard fingerprint for a request, exposed so
-    /// tests and tools can reason about hit behaviour.
+    /// The cache key for a request, exposed so tests and tools can
+    /// reason about hit behaviour.
     #[must_use]
-    pub fn cache_key(&self, instance: &Instance, delay: Delay, variant: Variant) -> PlanKey {
-        PlanKey {
+    pub fn cache_key(&self, instance: &Instance, spec: &PlanSpec) -> PlanKey {
+        self.derive_key(instance, spec, 0, &[]).0
+    }
+
+    /// The single place cache keys (and their shard fingerprints) are
+    /// derived. Both the matrix and the profile-driven paths funnel
+    /// through here, so key composition cannot drift between them.
+    ///
+    /// The deadline budget is deliberately *not* part of the key: a
+    /// strategy is equally valid however long the caller was willing
+    /// to wait for it.
+    fn derive_key(
+        &self,
+        instance: &Instance,
+        spec: &PlanSpec,
+        estimator: u64,
+        versions: &[u64],
+    ) -> (PlanKey, u64) {
+        let key = PlanKey {
             buckets: instance.quantized_buckets(self.config.grid),
             devices: instance.num_devices(),
             cells: instance.num_cells(),
-            delay: delay.get(),
-            variant,
+            delay: spec.delay().get(),
+            variant: spec.variant(),
             grid: self.config.grid,
-            estimator: 0,
-            profile_versions: Vec::new(),
-        }
-    }
-
-    fn fingerprint(
-        &self,
-        instance: &Instance,
-        delay: Delay,
-        variant: Variant,
-        estimator: u64,
-        versions: &[u64],
-    ) -> u64 {
+            estimator,
+            profile_versions: versions.to_vec(),
+        };
         let mut fp = instance.fingerprint64(self.config.grid);
         // Fold the non-instance key parts in FNV-style.
-        let words = [delay.get() as u64, variant_tag(variant), estimator]
-            .into_iter()
-            .chain(versions.iter().copied());
+        let words = [
+            spec.delay().get() as u64,
+            variant_tag(spec.variant()),
+            estimator,
+        ]
+        .into_iter()
+        .chain(versions.iter().copied());
         for word in words {
             for byte in word.to_le_bytes() {
                 fp ^= u64::from(byte);
                 fp = fp.wrapping_mul(0x0000_0100_0000_01B3);
             }
         }
-        fp
+        (key, fp)
+    }
+
+    /// Materialises the request's deadline budget (or the server
+    /// default) into an absolute instant at admission, so queueing
+    /// time counts against it.
+    fn admit(&self, spec: &PlanSpec) -> Deadline {
+        Deadline::from_budget_ms(spec.deadline_ms().or(self.config.default_deadline_ms))
     }
 
     /// Inline planning on the caller thread: the pool exists to dedupe
@@ -270,11 +353,24 @@ impl PagerService {
     fn plan_inline(
         &self,
         instance: &Instance,
-        delay: Delay,
-        variant: Variant,
-    ) -> Result<PlanResponse, PlanError> {
-        let fresh = plan(instance, delay, variant, &self.config.policy)
-            .inspect_err(|_| Metrics::inc(&self.metrics.errors))?;
+        spec: &PlanSpec,
+        deadline: Deadline,
+    ) -> Result<PlanResponse, ServiceError> {
+        let token = deadline.token();
+        let fresh = plan(
+            instance,
+            spec.delay(),
+            spec.variant(),
+            &self.config.policy,
+            &token,
+        )
+        .inspect_err(|_| Metrics::inc(&self.metrics.errors))?;
+        if fresh.downgraded {
+            Metrics::inc(&self.metrics.deadline_downgrades);
+        }
+        if deadline.expired() {
+            Metrics::inc(&self.metrics.deadline_misses);
+        }
         self.metrics
             .tier_latency(fresh.tier)
             .record(fresh.planning_micros);
@@ -286,15 +382,16 @@ impl PagerService {
     }
 
     /// Cacheable path shared by matrix and profile-driven requests:
-    /// cache lookup, then dispatch with in-flight coalescing.
+    /// cache lookup, then dispatch with in-flight coalescing and
+    /// bounded-queue admission.
     fn plan_via_cache(
         &self,
         key: PlanKey,
         fingerprint: u64,
         instance: &Instance,
-        delay: Delay,
-        variant: Variant,
-    ) -> Result<PlanResponse, PlanError> {
+        spec: &PlanSpec,
+        deadline: Deadline,
+    ) -> Result<PlanResponse, ServiceError> {
         if let Some(hit) = self.cache.get(fingerprint, &key) {
             Metrics::inc(&self.metrics.cache_hits);
             return Ok(PlanResponse {
@@ -304,15 +401,20 @@ impl PagerService {
             });
         }
         Metrics::inc(&self.metrics.cache_misses);
-        let (rx, coalesced) =
-            self.dispatcher
-                .submit(key, fingerprint, instance.clone(), delay, variant)?;
+        let (rx, coalesced) = self.dispatcher.submit(
+            key,
+            fingerprint,
+            instance.clone(),
+            spec.delay(),
+            spec.variant(),
+            deadline,
+        )?;
         if coalesced {
             Metrics::inc(&self.metrics.coalesced);
         }
         let result = rx
             .recv()
-            .map_err(|_| PlanError("worker pool dropped the request".into()))?;
+            .map_err(|_| ServiceError::Internal("worker pool dropped the request".into()))?;
         result.map(|plan| PlanResponse {
             plan,
             cached: false,
@@ -325,21 +427,19 @@ impl PagerService {
     ///
     /// # Errors
     ///
-    /// [`PlanError`] on invalid variant parameters, solver limits, or
-    /// when called during shutdown.
-    pub fn plan(
-        &self,
-        instance: &Instance,
-        delay: Delay,
-        options: PlanOptions,
-    ) -> Result<PlanResponse, PlanError> {
+    /// [`ServiceError::BadRequest`] / [`ServiceError::Unsupported`] on
+    /// invalid variant parameters or solver limits;
+    /// [`ServiceError::Overloaded`] when the admission queue is full or
+    /// the deadline expired on a non-degradable tier;
+    /// [`ServiceError::Internal`] when called during shutdown.
+    pub fn plan(&self, instance: &Instance, spec: PlanSpec) -> Result<PlanResponse, ServiceError> {
         Metrics::inc(&self.metrics.requests);
-        if !options.cache {
-            return self.plan_inline(instance, delay, options.variant);
+        let deadline = self.admit(&spec);
+        if !spec.cache_enabled() {
+            return self.plan_inline(instance, &spec, deadline);
         }
-        let key = self.cache_key(instance, delay, options.variant);
-        let fingerprint = self.fingerprint(instance, delay, options.variant, 0, &[]);
-        self.plan_via_cache(key, fingerprint, instance, delay, options.variant)
+        let (key, fingerprint) = self.derive_key(instance, &spec, 0, &[]);
+        self.plan_via_cache(key, fingerprint, instance, &spec, deadline)
     }
 
     /// Ingests a batch of sightings into the profile store, returning
@@ -354,8 +454,11 @@ impl PagerService {
         &self,
         cells: usize,
         sightings: &[Sighting],
-    ) -> Result<Vec<(String, u64)>, String> {
-        let result = self.profiles.observe_batch(cells, sightings);
+    ) -> Result<Vec<(String, u64)>, ServiceError> {
+        let result = self
+            .profiles
+            .observe_batch(cells, sightings)
+            .map_err(ServiceError::BadRequest);
         let stats = self.profiles.stats();
         self.metrics
             .sightings_ingested
@@ -377,27 +480,28 @@ impl PagerService {
     ///
     /// # Errors
     ///
-    /// [`PlanError`] on unknown devices, an empty device list, a store
-    /// without a usable clock, or any planner failure.
+    /// [`ServiceError::BadRequest`] on unknown devices, an empty
+    /// device list, or a store without a usable clock; otherwise the
+    /// same errors as [`PagerService::plan`].
     pub fn plan_devices(
         &self,
         devices: &[&str],
-        delay: Delay,
         estimator: Estimator,
         now: Option<Time>,
-        options: PlanOptions,
-    ) -> Result<DevicePlanResponse, PlanError> {
+        spec: PlanSpec,
+    ) -> Result<DevicePlanResponse, ServiceError> {
         Metrics::inc(&self.metrics.requests);
+        let deadline = self.admit(&spec);
         let now = now.or_else(|| self.profiles.latest_time()).ok_or_else(|| {
             Metrics::inc(&self.metrics.errors);
-            PlanError("store has no sightings and no \"now\" was given".into())
+            ServiceError::BadRequest("store has no sightings and no \"now\" was given".into())
         })?;
         let (instance, versions, staleness) = self
             .profiles
             .instance_for(devices, estimator, Some(now))
             .map_err(|e| {
                 Metrics::inc(&self.metrics.errors);
-                PlanError(e)
+                ServiceError::BadRequest(e)
             })?;
         let stale_profiles = staleness.iter().filter(|&&lambda| lambda < 0.5).count();
         if stale_profiles > 0 {
@@ -406,15 +510,13 @@ impl PagerService {
                 // lint:allow(atomics-ordering-audit): monotone metrics counter, no handoff
                 .fetch_add(stale_profiles as u64, Ordering::Relaxed);
         }
-        let response = if options.cache {
-            let mut key = self.cache_key(&instance, delay, options.variant);
-            key.estimator = estimator.tag() + 1; // 0 is reserved for matrix requests
-            key.profile_versions = versions.clone();
-            let fingerprint =
-                self.fingerprint(&instance, delay, options.variant, key.estimator, &versions);
-            self.plan_via_cache(key, fingerprint, &instance, delay, options.variant)?
+        let response = if spec.cache_enabled() {
+            // Estimator tag 0 is reserved for matrix requests.
+            let (key, fingerprint) =
+                self.derive_key(&instance, &spec, estimator.tag() + 1, &versions);
+            self.plan_via_cache(key, fingerprint, &instance, &spec, deadline)?
         } else {
-            self.plan_inline(&instance, delay, options.variant)?
+            self.plan_inline(&instance, &spec, deadline)?
         };
         Ok(DevicePlanResponse {
             response,
@@ -473,10 +575,10 @@ mod tests {
     #[test]
     fn second_identical_request_hits_cache() {
         let svc = service();
-        let d = Delay::new(2).unwrap();
-        let first = svc.plan(&inst(), d, PlanOptions::default()).unwrap();
+        let spec = PlanSpec::new(Delay::new(2).unwrap());
+        let first = svc.plan(&inst(), spec).unwrap();
         assert!(!first.cached);
-        let second = svc.plan(&inst(), d, PlanOptions::default()).unwrap();
+        let second = svc.plan(&inst(), spec).unwrap();
         assert!(second.cached);
         assert!(Arc::ptr_eq(&first.plan, &second.plan), "same shared plan");
         assert_eq!(Metrics::get(&svc.metrics().cache_hits), 1);
@@ -487,11 +589,11 @@ mod tests {
     #[test]
     fn nearby_instances_share_cache_entries() {
         let svc = service();
-        let d = Delay::new(2).unwrap();
+        let spec = PlanSpec::new(Delay::new(2).unwrap());
         let a = Instance::from_rows(vec![vec![0.50001, 0.49999]]).unwrap();
         let b = Instance::from_rows(vec![vec![0.49999, 0.50001]]).unwrap();
-        assert!(!svc.plan(&a, d, PlanOptions::default()).unwrap().cached);
-        assert!(svc.plan(&b, d, PlanOptions::default()).unwrap().cached);
+        assert!(!svc.plan(&a, spec).unwrap().cached);
+        assert!(svc.plan(&b, spec).unwrap().cached);
     }
 
     #[test]
@@ -499,32 +601,35 @@ mod tests {
         let svc = service();
         let d2 = Delay::new(2).unwrap();
         let d3 = Delay::new(3).unwrap();
-        svc.plan(&inst(), d2, PlanOptions::default()).unwrap();
-        let other_delay = svc.plan(&inst(), d3, PlanOptions::default()).unwrap();
+        svc.plan(&inst(), PlanSpec::new(d2)).unwrap();
+        let other_delay = svc.plan(&inst(), PlanSpec::new(d3)).unwrap();
         assert!(!other_delay.cached);
         let forced_greedy = svc
-            .plan(
-                &inst(),
-                d2,
-                PlanOptions {
-                    variant: Variant::Greedy,
-                    cache: true,
-                },
-            )
+            .plan(&inst(), PlanSpec::new(d2).with_variant(Variant::Greedy))
             .unwrap();
         assert!(!forced_greedy.cached);
     }
 
     #[test]
-    fn uncached_requests_bypass_cache() {
+    fn deadline_is_not_part_of_the_key() {
         let svc = service();
         let d = Delay::new(2).unwrap();
-        let opts = PlanOptions {
-            variant: Variant::Auto,
-            cache: false,
-        };
-        svc.plan(&inst(), d, opts).unwrap();
-        svc.plan(&inst(), d, opts).unwrap();
+        let patient = PlanSpec::new(d).with_deadline_ms(60_000);
+        let hurried = PlanSpec::new(d).with_deadline_ms(17);
+        assert_eq!(
+            svc.cache_key(&inst(), &patient),
+            svc.cache_key(&inst(), &hurried)
+        );
+        assert!(!svc.plan(&inst(), patient).unwrap().cached);
+        assert!(svc.plan(&inst(), hurried).unwrap().cached);
+    }
+
+    #[test]
+    fn uncached_requests_bypass_cache() {
+        let svc = service();
+        let spec = PlanSpec::new(Delay::new(2).unwrap()).with_cache(false);
+        svc.plan(&inst(), spec).unwrap();
+        svc.plan(&inst(), spec).unwrap();
         assert_eq!(svc.cached_strategies(), 0);
         assert_eq!(Metrics::get(&svc.metrics().cache_hits), 0);
     }
@@ -532,13 +637,9 @@ mod tests {
     #[test]
     fn errors_are_counted_and_not_cached() {
         let svc = service();
-        let d = Delay::new(2).unwrap();
-        let opts = PlanOptions {
-            variant: Variant::Signature(99),
-            cache: true,
-        };
-        assert!(svc.plan(&inst(), d, opts).is_err());
-        assert!(svc.plan(&inst(), d, opts).is_err());
+        let spec = PlanSpec::new(Delay::new(2).unwrap()).with_variant(Variant::Signature(99));
+        assert!(svc.plan(&inst(), spec).is_err());
+        assert!(svc.plan(&inst(), spec).is_err());
         assert_eq!(Metrics::get(&svc.metrics().errors), 2);
         assert_eq!(svc.cached_strategies(), 0);
     }
@@ -546,14 +647,14 @@ mod tests {
     #[test]
     fn concurrent_identical_requests_coalesce_or_hit() {
         let svc = Arc::new(service());
-        let d = Delay::new(3).unwrap();
+        let spec = PlanSpec::new(Delay::new(3).unwrap());
         // A moderately expensive exact instance so requests overlap.
         let heavy = Instance::uniform(3, 10).unwrap();
         let handles: Vec<_> = (0..16)
             .map(|_| {
                 let svc = Arc::clone(&svc);
                 let heavy = heavy.clone();
-                std::thread::spawn(move || svc.plan(&heavy, d, PlanOptions::default()).unwrap())
+                std::thread::spawn(move || svc.plan(&heavy, spec).unwrap())
             })
             .collect();
         let responses: Vec<PlanResponse> = handles.into_iter().map(|h| h.join().unwrap()).collect();
@@ -577,7 +678,7 @@ mod tests {
     fn shutdown_fails_fast() {
         let svc = service();
         svc.shutdown();
-        let err = svc.plan(&inst(), Delay::new(2).unwrap(), PlanOptions::default());
+        let err = svc.plan(&inst(), PlanSpec::new(Delay::new(2).unwrap()));
         assert!(err.is_err());
     }
 
@@ -602,15 +703,9 @@ mod tests {
             .collect();
         svc.observe(4, &batch).unwrap();
         assert_eq!(Metrics::get(&svc.metrics().sightings_ingested), 60);
-        let d = Delay::new(2).unwrap();
+        let spec = PlanSpec::new(Delay::new(2).unwrap());
         let served = svc
-            .plan_devices(
-                &["a", "b"],
-                d,
-                Estimator::Empirical,
-                None,
-                PlanOptions::default(),
-            )
+            .plan_devices(&["a", "b"], Estimator::Empirical, None, spec)
             .unwrap();
         assert!(!served.response.cached);
         assert_eq!(served.versions.len(), 2);
@@ -618,26 +713,17 @@ mod tests {
         assert_eq!(served.now, 29.0);
         // Identical request: same versions, served from cache.
         let again = svc
-            .plan_devices(
-                &["a", "b"],
-                d,
-                Estimator::Empirical,
-                None,
-                PlanOptions::default(),
-            )
+            .plan_devices(&["a", "b"], Estimator::Empirical, None, spec)
             .unwrap();
         assert!(again.response.cached);
         assert_eq!(again.versions, served.versions);
         // Unknown device errors and is counted.
-        assert!(svc
-            .plan_devices(
-                &["ghost"],
-                d,
-                Estimator::Empirical,
-                None,
-                PlanOptions::default()
-            )
-            .is_err());
+        let ghost = svc.plan_devices(&["ghost"], Estimator::Empirical, None, spec);
+        assert_eq!(
+            ghost.err().map(|e| e.code()),
+            Some("bad_request"),
+            "unknown devices are the client's fault"
+        );
         assert!(Metrics::get(&svc.metrics().errors) >= 1);
     }
 
@@ -654,23 +740,22 @@ mod tests {
             )
             .unwrap();
         }
-        let d = Delay::new(2).unwrap();
-        let opts = PlanOptions::default();
+        let spec = PlanSpec::new(Delay::new(2).unwrap());
         let first = svc
-            .plan_devices(&["a", "b"], d, Estimator::Empirical, Some(19.0), opts)
+            .plan_devices(&["a", "b"], Estimator::Empirical, Some(19.0), spec)
             .unwrap();
         // One more sighting for "b": its version bumps, so the same
         // request keys a different cache slot even if the quantised
         // rows coincide.
         svc.observe(3, &[sighting("b", 1, 19.5)]).unwrap();
         let second = svc
-            .plan_devices(&["a", "b"], d, Estimator::Empirical, Some(19.0), opts)
+            .plan_devices(&["a", "b"], Estimator::Empirical, Some(19.0), spec)
             .unwrap();
         assert!(second.versions[1] > first.versions[1]);
         assert!(!second.response.cached, "stale plan must not be served");
         // Different estimators never share cache entries either.
         let markov = svc
-            .plan_devices(&["a", "b"], d, Estimator::Markov, Some(19.0), opts)
+            .plan_devices(&["a", "b"], Estimator::Markov, Some(19.0), spec)
             .unwrap();
         assert!(!markov.response.cached);
     }
@@ -679,16 +764,10 @@ mod tests {
     fn stale_profiles_are_counted() {
         let svc = service();
         svc.observe(3, &[sighting("a", 0, 0.0)]).unwrap();
-        let d = Delay::new(2).unwrap();
+        let spec = PlanSpec::new(Delay::new(2).unwrap());
         // Query far beyond the staleness half-life (default 256).
         let served = svc
-            .plan_devices(
-                &["a"],
-                d,
-                Estimator::Empirical,
-                Some(10_000.0),
-                PlanOptions::default(),
-            )
+            .plan_devices(&["a"], Estimator::Empirical, Some(10_000.0), spec)
             .unwrap();
         assert_eq!(served.stale_profiles, 1);
         assert_eq!(Metrics::get(&svc.metrics().stale_profiles_served), 1);

@@ -16,7 +16,7 @@
 use cellnet::mobility::{MobilityModel, RandomWalk};
 use cellnet::Topology;
 use conference_call::profiles::{replay, Estimator, ReplayConfig, Step};
-use conference_call::service::{PagerService, PlanOptions, ServiceConfig};
+use conference_call::service::{PagerService, PlanSpec, ServiceConfig};
 use pager_core::Delay;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -44,7 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The serving stack: profile store + tiered planner + cache.
     let service = PagerService::new(ServiceConfig::default());
-    let delay = Delay::new(3)?;
+    let spec = PlanSpec::new(Delay::new(3)?);
     let config = ReplayConfig {
         estimator: Estimator::Markov,
         observe_every: 2,
@@ -53,7 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let report = replay(service.profiles(), cells, &truth, &config, |instance| {
         service
-            .plan(instance, delay, PlanOptions::default())
+            .plan(instance, spec)
             .map(|r| r.plan.strategy.clone())
             .map_err(|e| e.to_string())
     })?;
@@ -84,13 +84,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // The same profiles are addressable by name over the service API.
-    let served = service.plan_devices(
-        &["dev0", "dev1", "dev2"],
-        delay,
-        Estimator::Markov,
-        None,
-        PlanOptions::default(),
-    )?;
+    let served = service.plan_devices(&["dev0", "dev1", "dev2"], Estimator::Markov, None, spec)?;
     println!(
         "plan_devices: ep {:.3}, versions {:?}, stale {}",
         served.response.plan.expected_paging, served.versions, served.stale_profiles

@@ -3,19 +3,29 @@
 //! ```text
 //! USAGE:
 //!   pager-serve [--addr HOST:PORT] [--stdio] [--workers N] [--shards N]
-//!               [--capacity N] [--grid G] [--metrics-json]
+//!               [--capacity N] [--grid G] [--queue-depth N]
+//!               [--deadline-ms MS] [--drain-ms MS] [--metrics-json]
 //! ```
 //!
 //! Speaks the `pager_service::proto` JSON-lines protocol: one request
 //! per line, one response line per request. By default it listens on
 //! `127.0.0.1:7878`; with `--stdio` it serves a single session over
 //! stdin/stdout instead (handy for tests and pipelines). In TCP mode
-//! the process runs until a client sends `{"cmd": "shutdown"}`. With
+//! the process runs until a client sends `{"cmd": "shutdown"}`, then
+//! *drains*: it waits up to `--drain-ms` (default 5000) for requests
+//! already being handled to finish before exiting, so an orderly
+//! shutdown drops nothing that was admitted.
+//!
+//! `--queue-depth` bounds the planning admission queue (excess load is
+//! shed with `"code": "overloaded"`); `--deadline-ms` sets the default
+//! per-request deadline budget for requests that do not carry their
+//! own `"deadline_ms"` field (`0` disables the default). With
 //! `--metrics-json` the final metrics registry is dumped to stdout as
 //! one JSON object on exit.
 
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 use conference_call::service::{serve_lines, serve_tcp, PagerService, ServiceConfig};
 
@@ -23,12 +33,13 @@ struct Options {
     addr: String,
     stdio: bool,
     metrics_json: bool,
+    drain: Duration,
     config: ServiceConfig,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: pager-serve [--addr HOST:PORT] [--stdio] [--workers N] [--shards N] [--capacity N] [--grid G] [--metrics-json]"
+        "usage: pager-serve [--addr HOST:PORT] [--stdio] [--workers N] [--shards N] [--capacity N] [--grid G] [--queue-depth N] [--deadline-ms MS] [--drain-ms MS] [--metrics-json]"
     );
     ExitCode::from(2)
 }
@@ -39,6 +50,7 @@ fn parse_args(mut args: std::env::Args) -> Result<Options, String> {
         addr: "127.0.0.1:7878".into(),
         stdio: false,
         metrics_json: false,
+        drain: Duration::from_millis(5000),
         config: ServiceConfig::default(),
     };
     while let Some(arg) = args.next() {
@@ -59,6 +71,25 @@ fn parse_args(mut args: std::env::Args) -> Result<Options, String> {
                 let grid: usize = parse_positive(args.next(), "--grid")?;
                 opts.config.grid =
                     u32::try_from(grid).map_err(|_| "--grid is too large".to_string())?;
+            }
+            "--queue-depth" => {
+                opts.config.queue_depth = parse_positive(args.next(), "--queue-depth")?;
+            }
+            "--deadline-ms" => {
+                // 0 means "no default deadline": requests without a
+                // deadline_ms field get an unbounded budget.
+                let ms = args
+                    .next()
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .ok_or("--deadline-ms needs a non-negative integer")?;
+                opts.config.default_deadline_ms = (ms > 0).then_some(ms);
+            }
+            "--drain-ms" => {
+                let ms = args
+                    .next()
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .ok_or("--drain-ms needs a non-negative integer")?;
+                opts.drain = Duration::from_millis(ms);
             }
             other => return Err(format!("unknown argument {other:?}")),
         }
@@ -105,7 +136,13 @@ fn main() -> ExitCode {
         };
         eprintln!("pager-serve: listening on {}", handle.local_addr());
         handle.join();
-        eprintln!("pager-serve: shutting down");
+        eprintln!("pager-serve: draining");
+        let pending = handle.drain(opts.drain);
+        if pending == 0 {
+            eprintln!("pager-serve: shutting down (drained cleanly)");
+        } else {
+            eprintln!("pager-serve: shutting down ({pending} requests still in flight)");
+        }
     }
     service.shutdown();
     if opts.metrics_json {

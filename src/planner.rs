@@ -13,11 +13,19 @@
 //! path logs the event to stderr and counts it in
 //! [`GreedyPlanner::degenerate_inputs`] before falling back to
 //! blanket paging.
+//!
+//! There is exactly one tier-dispatch surface in the workspace:
+//! [`pager_service::planner`], re-exported here. The simulator bridge
+//! below routes through it (greedy tier, no deadline) rather than
+//! calling the solvers directly, so policy changes in the service
+//! planner apply everywhere.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use cellnet::PagingPlanner;
-use pager_core::{greedy_strategy, Delay, Instance};
+use pager_core::{CancelToken, Delay, Instance};
+
+pub use pager_service::planner::{plan, Plan, Tier, TierPolicy, Variant, RETRY_AFTER_MS};
 
 /// Why a planning request could not be served as asked.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -89,8 +97,15 @@ impl GreedyPlanner {
         let instance = Instance::from_rows(rows.to_vec())
             .map_err(|e| DegenerateInput::InvalidRows(e.to_string()))?;
         let delay = Delay::new(delay).map_err(|_| DegenerateInput::ZeroDelay)?;
-        let strategy = greedy_strategy(&instance, delay);
-        Ok(strategy.groups().to_vec())
+        let planned = plan(
+            &instance,
+            delay,
+            Variant::Greedy,
+            &TierPolicy::default(),
+            &CancelToken::never(),
+        )
+        .map_err(|e| DegenerateInput::InvalidRows(e.to_string()))?;
+        Ok(planned.strategy.groups().to_vec())
     }
 
     /// How many trait-path `plan` calls hit degenerate input and fell

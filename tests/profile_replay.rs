@@ -8,7 +8,7 @@
 use cellnet::mobility::{MobilityModel, RandomWalk};
 use cellnet::Topology;
 use conference_call::profiles::{replay, Estimator, ReplayConfig, Step};
-use conference_call::service::{Metrics, PagerService, PlanOptions, ServiceConfig};
+use conference_call::service::{Metrics, PagerService, PlanSpec, ServiceConfig};
 use pager_core::Delay;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -50,7 +50,7 @@ fn realized_paging_matches_lemma_2_1_expectation() {
     let cells = topology.num_cells();
     let truth = walk_truth(&topology, 3, 900, 0.3, 7);
     let service = PagerService::new(ServiceConfig::default());
-    let delay = Delay::new(3).unwrap();
+    let spec = PlanSpec::new(Delay::new(3).unwrap());
     let config = ReplayConfig {
         estimator: Estimator::Empirical,
         observe_every: 1,
@@ -59,7 +59,7 @@ fn realized_paging_matches_lemma_2_1_expectation() {
     };
     let report = replay(service.profiles(), cells, &truth, &config, |instance| {
         service
-            .plan(instance, delay, PlanOptions::default())
+            .plan(instance, spec)
             .map(|r| r.plan.strategy.clone())
             .map_err(|e| e.to_string())
     })
@@ -96,7 +96,7 @@ fn replay_cache_reuse_follows_profile_versions() {
         call_every: 10,
         warmup: 5,
     };
-    let delay = Delay::new(2).unwrap();
+    let spec = PlanSpec::new(Delay::new(2).unwrap());
     let report = replay(
         service.profiles(),
         topology.num_cells(),
@@ -104,7 +104,7 @@ fn replay_cache_reuse_follows_profile_versions() {
         &replay_config,
         |instance| {
             service
-                .plan(instance, delay, PlanOptions::default())
+                .plan(instance, spec)
                 .map(|r| r.plan.strategy.clone())
                 .map_err(|e| e.to_string())
         },

@@ -12,6 +12,7 @@
 use conference_call::pager::fingerprint::quantize_row;
 use conference_call::prelude::*;
 use conference_call::service::{plan, TierPolicy, Variant};
+use pager_core::CancelToken;
 use proptest::prelude::*;
 use proptest::strategy::Strategy as _;
 
@@ -98,8 +99,8 @@ proptest! {
         let policy = TierPolicy::default();
         // What the cache would serve the twin (planned for the
         // original) vs what the twin would get on a cold miss.
-        let served = plan(&original, delay, Variant::Exact, &policy).unwrap();
-        let own = plan(&twin, delay, Variant::Exact, &policy).unwrap();
+        let served = plan(&original, delay, Variant::Exact, &policy, &CancelToken::never()).unwrap();
+        let own = plan(&twin, delay, Variant::Exact, &policy, &CancelToken::never()).unwrap();
         let served_ep = twin.expected_paging(&served.strategy).unwrap();
         let own_ep = twin.expected_paging(&own.strategy).unwrap();
         // The twin's own plan is optimal for it, so the served plan
@@ -122,8 +123,8 @@ proptest! {
         prop_assume!(same_key(&original, &twin));
         let delay = Delay::new(d).unwrap();
         let policy = TierPolicy::default();
-        let served = plan(&original, delay, Variant::Greedy, &policy).unwrap();
-        let own = plan(&twin, delay, Variant::Greedy, &policy).unwrap();
+        let served = plan(&original, delay, Variant::Greedy, &policy, &CancelToken::never()).unwrap();
+        let own = plan(&twin, delay, Variant::Greedy, &policy, &CancelToken::never()).unwrap();
         let served_ep = twin.expected_paging(&served.strategy).unwrap();
         let own_ep = twin.expected_paging(&own.strategy).unwrap();
         let bound = ep_bound(twin.num_devices(), twin.num_cells());
