@@ -55,8 +55,15 @@ fn plan_next_group(
             );
         }
     }
-    let reduced = Instance::from_rows(rows).expect("conditional rows are valid");
-    let delay = Delay::new(rounds_left).expect("rounds_left >= 1");
+    // The conditional rows are normalized and `rounds_left >= 2` here,
+    // so neither constructor can fail for a valid instance; paging
+    // everything remaining is the safe fallback either way.
+    let Ok(reduced) = Instance::from_rows(rows) else {
+        return unpaged.to_vec();
+    };
+    let Ok(delay) = Delay::new(rounds_left) else {
+        return unpaged.to_vec();
+    };
     let strategy = greedy_strategy(&reduced, delay);
     strategy
         .group(0)

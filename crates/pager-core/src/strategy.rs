@@ -72,10 +72,11 @@ impl Strategy {
             }
         }
         if count != num_cells {
-            let first_missing = seen.iter().position(|&s| !s).expect("a gap exists");
-            return Err(Error::MissingCell {
-                cell: first_missing,
-            });
+            // count < num_cells with no duplicates means some cell in
+            // 0..num_cells is uncovered, so the search always finds one.
+            if let Some(cell) = seen.iter().position(|&s| !s) {
+                return Err(Error::MissingCell { cell });
+            }
         }
         Ok(Strategy { groups, num_cells })
     }

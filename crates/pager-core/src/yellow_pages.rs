@@ -19,7 +19,7 @@
 //!   least `OPT_i / 1`, giving `min_i EP_i ≤ m · OPT_YP`-style bounds;
 //! * [`optimal_yellow_exhaustive`] — ground truth on small instances.
 
-use crate::error::Result;
+use crate::error::{Error, Result};
 use crate::greedy::PlannedStrategy;
 use crate::instance::{Delay, Instance};
 use crate::signature::{expected_paging_signature, greedy_signature, optimal_signature_exhaustive};
@@ -65,7 +65,8 @@ pub fn best_single_device(instance: &Instance, delay: Delay) -> Result<PlannedSt
             });
         }
     }
-    Ok(best.expect("instances have at least one device"))
+    // A valid `Instance` has >= 1 device, so the loop always ran.
+    best.ok_or(Error::NoDevices)
 }
 
 /// Exhaustive optimal Yellow Pages strategy (small instances only).

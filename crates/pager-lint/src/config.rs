@@ -16,8 +16,10 @@ pub const LOCK_ORDER: &[&str] = &[
     "workers",
     "inflight",
     "worker_rx",
+    "wal",
     "shard",
     "latest_time",
+    "fs",
 ];
 
 /// Maps a `.lock()` receiver identifier to its lock class. Receivers
@@ -31,8 +33,14 @@ pub fn lock_class(receiver: &str) -> Option<&'static str> {
         "workers" => Some("workers"),
         "inflight" => Some("inflight"),
         "rx" | "worker_rx" => Some("worker_rx"),
+        // The durable store's WAL lock wraps apply + append + fsync,
+        // so it sits above the profile shards and the storage backend.
+        "wal" => Some("wal"),
         "shard" | "shards" | "shard_for" => Some("shard"),
         "latest_time" => Some("latest_time"),
+        // The in-memory storage backend's own state lock: always the
+        // innermost (I/O calls never take further locks).
+        "fs" => Some("fs"),
         _ => None,
     }
 }
@@ -54,9 +62,21 @@ impl Policy {
     #[must_use]
     pub fn unwrap_denied(&self, path: &str) -> bool {
         (path.starts_with("crates/pager-core/src/")
-            || path.starts_with("crates/pager-service/src/"))
+            || path.starts_with("crates/pager-service/src/")
+            || Self::DURABILITY_PATHS.contains(&path))
             && !Self::is_test_path(path)
     }
+
+    /// The durability modules are panic-free from day one: recovery
+    /// code runs against arbitrarily corrupt on-disk state, so every
+    /// unwrap there is a latent crash on someone's bad disk. The rest
+    /// of `pager-profiles` keeps its (pre-existing, baselined)
+    /// `expect`s until migrated.
+    const DURABILITY_PATHS: &'static [&'static str] = &[
+        "crates/pager-profiles/src/wal.rs",
+        "crates/pager-profiles/src/io.rs",
+        "crates/pager-profiles/src/durable.rs",
+    ];
 
     /// `atomics-ordering-audit` applies everywhere except the metrics
     /// module, whose counters are monotone and independent (Relaxed is
@@ -94,7 +114,13 @@ mod tests {
         }
         assert!(lock_rank("queue") < lock_rank("inflight"));
         assert!(lock_rank("shard") < lock_rank("latest_time"));
+        // The WAL lock wraps store applies; the storage backend's
+        // state lock is innermost of all.
+        assert!(lock_rank("wal") < lock_rank("shard"));
+        assert!(lock_rank("latest_time") < lock_rank("fs"));
         assert_eq!(lock_class("shard_for"), Some("shard"));
+        assert_eq!(lock_class("wal"), Some("wal"));
+        assert_eq!(lock_class("fs"), Some("fs"));
         assert_eq!(lock_class("mystery"), None);
     }
 
@@ -105,6 +131,12 @@ mod tests {
         assert!(p.unwrap_denied("crates/pager-service/src/server.rs"));
         assert!(!p.unwrap_denied("crates/cellnet/src/system.rs"));
         assert!(!p.unwrap_denied("crates/pager-core/tests/dp.rs"));
+        // Durability modules are covered; the rest of pager-profiles
+        // is not (yet).
+        assert!(p.unwrap_denied("crates/pager-profiles/src/wal.rs"));
+        assert!(p.unwrap_denied("crates/pager-profiles/src/io.rs"));
+        assert!(p.unwrap_denied("crates/pager-profiles/src/durable.rs"));
+        assert!(!p.unwrap_denied("crates/pager-profiles/src/store.rs"));
         assert!(!p.atomics_audited("crates/pager-service/src/metrics.rs"));
         assert!(p.atomics_audited("crates/pager-profiles/src/store.rs"));
         assert!(p.instance_literal_denied("crates/pager-service/src/service.rs"));

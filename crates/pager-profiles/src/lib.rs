@@ -29,12 +29,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod durable;
 pub mod estimators;
+pub mod io;
 mod markov;
 mod profile;
 mod replay;
 mod store;
+pub mod wal;
 
+pub use durable::{
+    DurabilityConfig, DurabilityStats, DurableError, DurableStore, FsyncPolicy, RecoveryReport,
+};
 pub use markov::MarkovModel;
 pub use profile::{DeviceProfile, Estimator, ProfileConfig, Time};
 pub use replay::{replay, CallRecord, ReplayConfig, ReplayReport, Step};

@@ -307,14 +307,8 @@ impl DeviceProfile {
             .and_then(Value::as_usize)
             .filter(|&c| c > 0)
             .ok_or_else(|| "profile needs a positive \"cells\"".to_string())?;
-        let version = value
-            .get("version")
-            .and_then(Value::as_u64)
-            .ok_or_else(|| "profile needs a \"version\"".to_string())?;
-        let sightings = value
-            .get("sightings")
-            .and_then(Value::as_u64)
-            .ok_or_else(|| "profile needs \"sightings\"".to_string())?;
+        let version = read_u64_field(value, "profile", "version")?;
+        let sightings = read_u64_field(value, "profile", "sightings")?;
         let counts = read_f64s(value, "counts", cells)?;
         let recency = read_f64s(value, "recency", cells)?;
         let markov = MarkovModel::from_json(
@@ -349,6 +343,20 @@ impl DeviceProfile {
             last,
         })
     }
+}
+
+/// Reads a required counter field, distinguishing a missing key from a
+/// malformed value: negative, fractional, and `u64`-overflowing
+/// numbers (jsonio degrades the latter to floats) all fail `as_u64`
+/// and get an error naming the offending value instead of a generic
+/// "needs field".
+pub(crate) fn read_u64_field(value: &Value, what: &str, key: &str) -> Result<u64, String> {
+    let field = value
+        .get(key)
+        .ok_or_else(|| format!("{what} needs {key:?}"))?;
+    field
+        .as_u64()
+        .ok_or_else(|| format!("{what} {key:?} must be a non-negative integer, got {field}"))
 }
 
 fn read_f64s(value: &Value, key: &str, expected: usize) -> Result<Vec<f64>, String> {

@@ -382,14 +382,8 @@ impl ProfileStore {
             other => return Err(format!("unknown snapshot format {other:?}")),
         }
         let store = ProfileStore::new(config)?;
-        let mut max_version = value
-            .get("version")
-            .and_then(Value::as_u64)
-            .ok_or_else(|| "snapshot needs a \"version\"".to_string())?;
-        let sightings = value
-            .get("sightings")
-            .and_then(Value::as_u64)
-            .ok_or_else(|| "snapshot needs \"sightings\"".to_string())?;
+        let mut max_version = crate::profile::read_u64_field(value, "snapshot", "version")?;
+        let sightings = crate::profile::read_u64_field(value, "snapshot", "sightings")?;
         let profiles = value
             .get("profiles")
             .and_then(Value::as_object)
@@ -425,24 +419,54 @@ impl ProfileStore {
         Ok(store)
     }
 
-    /// Writes the snapshot to a file (single JSON line).
+    /// The on-disk snapshot image: one JSON line ending in `\n`. The
+    /// trailing newline is the end-of-snapshot marker —
+    /// [`ProfileStore::from_snapshot_bytes`] rejects an image without
+    /// it, so a truncated file can never load as a smaller
+    /// "valid"-looking store.
+    #[must_use]
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        format!("{}\n", self.to_json()).into_bytes()
+    }
+
+    /// Parses a snapshot image written by
+    /// [`ProfileStore::snapshot_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// A message on bad UTF-8, a missing end-of-snapshot marker
+    /// (truncated file), or a malformed payload.
+    pub fn from_snapshot_bytes(bytes: &[u8], config: StoreConfig) -> Result<ProfileStore, String> {
+        let text = std::str::from_utf8(bytes).map_err(|e| format!("snapshot is not UTF-8: {e}"))?;
+        let line = text
+            .strip_suffix('\n')
+            .ok_or_else(|| "snapshot is truncated: missing trailing newline marker".to_string())?;
+        let value = jsonio::parse(line).map_err(|e| format!("snapshot does not parse: {e}"))?;
+        ProfileStore::from_json(&value, config)
+    }
+
+    /// Writes the snapshot to a file crash-atomically: temp file in
+    /// the same directory, `sync_all`, atomic rename, directory sync.
+    /// A crash at any point leaves either the old file or the new one,
+    /// never a torn mixture.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors.
     pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
-        std::fs::write(path, format!("{}\n", self.to_json()))
+        crate::io::write_atomic(&crate::io::DiskIo, path, &self.snapshot_bytes())
     }
 
     /// Loads a snapshot written by [`ProfileStore::save`].
     ///
     /// # Errors
     ///
-    /// A message on I/O or parse failure.
+    /// A message on I/O failure, a truncated file, or a malformed
+    /// payload.
     pub fn load(path: &std::path::Path, config: StoreConfig) -> Result<ProfileStore, String> {
-        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
-        let value = jsonio::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
-        ProfileStore::from_json(&value, config)
+        let bytes = std::fs::read(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        ProfileStore::from_snapshot_bytes(&bytes, config)
+            .map_err(|e| format!("{}: {e}", path.display()))
     }
 }
 
@@ -593,6 +617,77 @@ mod tests {
         let back = ProfileStore::load(&path, StoreConfig::default()).unwrap();
         assert_eq!(back.version("x"), s.version("x"));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_snapshot_never_loads_as_empty_but_valid() {
+        let s = store();
+        s.observe("x", 3, 1.0, 2).unwrap();
+        let image = s.snapshot_bytes();
+        // Any strict prefix must be rejected — in particular the
+        // prefix missing only the newline marker, whose JSON still
+        // parses.
+        let no_marker = &image[..image.len() - 1];
+        assert!(jsonio::parse(std::str::from_utf8(no_marker).unwrap()).is_ok());
+        let err = ProfileStore::from_snapshot_bytes(no_marker, StoreConfig::default())
+            .map(|_| ())
+            .unwrap_err();
+        assert!(err.contains("truncated"), "{err}");
+        for cut in 0..image.len() {
+            assert!(
+                ProfileStore::from_snapshot_bytes(&image[..cut], StoreConfig::default()).is_err(),
+                "prefix of {cut} bytes loaded"
+            );
+        }
+        // The full image loads.
+        let back = ProfileStore::from_snapshot_bytes(&image, StoreConfig::default()).unwrap();
+        assert_eq!(back.version("x"), s.version("x"));
+    }
+
+    #[test]
+    fn malformed_numeric_fields_get_descriptive_errors() {
+        let s = store();
+        s.observe("x", 3, 1.0, 2).unwrap();
+        let good = s.to_json().to_string();
+        let cases = [
+            // (field replacement, substring the error must carry)
+            (r#""version":1"#, r#""version":-1"#, "non-negative integer"),
+            (r#""version":1"#, r#""version":1.5"#, "non-negative integer"),
+            (
+                r#""version":1"#,
+                r#""version":99999999999999999999"#,
+                "non-negative integer",
+            ),
+            (
+                r#""sightings":1"#,
+                r#""sightings":-3"#,
+                "non-negative integer",
+            ),
+            (
+                r#""sightings":1"#,
+                r#""sightings":"many""#,
+                "non-negative integer",
+            ),
+        ];
+        for (from, to, needle) in cases {
+            let bad = good.replacen(from, to, 2);
+            assert_ne!(bad, good, "replacement {to:?} did not apply");
+            let err =
+                ProfileStore::from_json(&jsonio::parse(&bad).unwrap(), StoreConfig::default())
+                    .map(|_| ())
+                    .unwrap_err();
+            assert!(err.contains(needle), "{to}: error was {err:?}");
+            assert!(err.contains("got"), "{to}: error hides the value: {err:?}");
+        }
+        // A malformed per-profile row names the device.
+        let bad_row = good.replacen(r#""counts":[0.0,"#, r#""counts":[-7.0,"#, 1);
+        assert_ne!(bad_row, good);
+        let err =
+            ProfileStore::from_json(&jsonio::parse(&bad_row).unwrap(), StoreConfig::default())
+                .map(|_| ())
+                .unwrap_err();
+        assert!(err.contains("\"x\""), "{err}");
+        assert!(err.contains("counts"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,307 @@
+//! Append-only write-ahead log for sightings.
+//!
+//! Each record is framed as
+//!
+//! ```text
+//! ┌────────────┬────────────┬─────────┬──────────────────┐
+//! │ len: u32 LE│ crc: u32 LE│ ver: u8 │ payload (len-1 B)│
+//! └────────────┴────────────┴─────────┴──────────────────┘
+//! ```
+//!
+//! `len` counts the version byte plus the payload; `crc` is CRC-32
+//! (IEEE) over those same bytes. Version 1 payloads encode one
+//! sighting:
+//!
+//! ```text
+//! cells: u32 LE | cell: u32 LE | time: f64 bits LE | dev_len: u32 LE | device: utf-8
+//! ```
+//!
+//! Recovery scans from the start and stops at the first frame that is
+//! short, oversized, or fails its checksum — everything before that
+//! point is replayed, everything after is truncated. The scanner never
+//! resyncs past a bad frame: a mid-log corruption conservatively
+//! discards the suffix, which preserves the invariant that the
+//! recovered log is always a *prefix* of what was appended (the
+//! property the proptests pin down).
+
+/// One durable sighting: [`crate::store::Sighting`] plus the cell
+/// count it was observed against (a separate argument on the ingest
+/// path, so the WAL carries it explicitly).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SightingRecord {
+    /// Opaque device identifier.
+    pub device: String,
+    /// Number of cells in the device's network at observation time.
+    pub cells: usize,
+    /// When it was seen.
+    pub time: f64,
+    /// The cell it was seen in.
+    pub cell: usize,
+}
+
+/// Frame header size: `len` + `crc`.
+pub const HEADER_BYTES: usize = 8;
+
+/// Current record version.
+pub const RECORD_VERSION: u8 = 1;
+
+/// Upper bound on `len` — a corrupt length field must not cause a
+/// gigabyte allocation. Generous next to a real sighting (device name
+/// plus ~17 bytes).
+pub const MAX_RECORD_BYTES: u32 = 1 << 20;
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320).
+#[must_use]
+pub fn crc32(data: &[u8]) -> u32 {
+    // Nibble-driven table: 16 entries is enough to stay fast without
+    // a build-time table generator.
+    const TABLE: [u32; 16] = [
+        0x0000_0000,
+        0x1DB7_1064,
+        0x3B6E_20C8,
+        0x26D9_30AC,
+        0x76DC_4190,
+        0x6B6B_51F4,
+        0x4DB2_6158,
+        0x5005_713C,
+        0xEDB8_8320,
+        0xF00F_9344,
+        0xD6D6_A3E8,
+        0xCB61_B38C,
+        0x9B64_C2B0,
+        0x86D3_D2D4,
+        0xA00A_E278,
+        0xBDBD_F21C,
+    ];
+    let mut crc = !0u32;
+    for &byte in data {
+        crc = (crc >> 4) ^ TABLE[((crc ^ u32::from(byte)) & 0xF) as usize];
+        crc = (crc >> 4) ^ TABLE[((crc ^ (u32::from(byte) >> 4)) & 0xF) as usize];
+    }
+    !crc
+}
+
+/// Encodes one sighting as a framed v1 record.
+#[must_use]
+pub fn encode_record(sighting: &SightingRecord) -> Vec<u8> {
+    let device = sighting.device.as_bytes();
+    let mut body = Vec::with_capacity(1 + 16 + 4 + device.len());
+    body.push(RECORD_VERSION);
+    body.extend_from_slice(
+        &u32::try_from(sighting.cells)
+            .unwrap_or(u32::MAX)
+            .to_le_bytes(),
+    );
+    body.extend_from_slice(
+        &u32::try_from(sighting.cell)
+            .unwrap_or(u32::MAX)
+            .to_le_bytes(),
+    );
+    body.extend_from_slice(&sighting.time.to_bits().to_le_bytes());
+    body.extend_from_slice(
+        &u32::try_from(device.len())
+            .unwrap_or(u32::MAX)
+            .to_le_bytes(),
+    );
+    body.extend_from_slice(device);
+    let mut frame = Vec::with_capacity(HEADER_BYTES + body.len());
+    frame.extend_from_slice(&u32::try_from(body.len()).unwrap_or(u32::MAX).to_le_bytes());
+    frame.extend_from_slice(&crc32(&body).to_le_bytes());
+    frame.extend_from_slice(&body);
+    frame
+}
+
+fn read_u32(bytes: &[u8], at: usize) -> Option<u32> {
+    let end = at.checked_add(4)?;
+    let chunk: [u8; 4] = bytes.get(at..end)?.try_into().ok()?;
+    Some(u32::from_le_bytes(chunk))
+}
+
+/// Decodes a checksum-verified v1 payload (the bytes after the
+/// version byte). `None` means the payload is structurally invalid —
+/// possible only if a corrupted record also collided the CRC, so the
+/// scanner treats it like a bad checksum.
+fn decode_v1(payload: &[u8]) -> Option<SightingRecord> {
+    let cells = read_u32(payload, 0)? as usize;
+    let cell = read_u32(payload, 4)? as usize;
+    let time_bits: [u8; 8] = payload.get(8..16)?.try_into().ok()?;
+    let time = f64::from_bits(u64::from_le_bytes(time_bits));
+    let dev_len = read_u32(payload, 16)? as usize;
+    let device_bytes = payload.get(20..)?;
+    if device_bytes.len() != dev_len {
+        return None;
+    }
+    let device = std::str::from_utf8(device_bytes).ok()?.to_string();
+    Some(SightingRecord {
+        device,
+        cells,
+        time,
+        cell,
+    })
+}
+
+/// Outcome of scanning a WAL image.
+#[derive(Debug)]
+pub struct WalScan {
+    /// Decoded records, in append order.
+    pub records: Vec<SightingRecord>,
+    /// Byte length of the valid prefix; everything past it should be
+    /// truncated.
+    pub valid_len: u64,
+    /// Bytes past the valid prefix (torn tail, corruption).
+    pub truncated_bytes: u64,
+}
+
+/// Scans a WAL image, stopping at the first bad frame. Never panics,
+/// whatever the input: corrupt lengths are bounds-checked before any
+/// allocation and unknown record versions stop the scan like a torn
+/// tail (a v2 log must not half-load under v1 code).
+#[must_use]
+pub fn scan(bytes: &[u8]) -> WalScan {
+    let mut records = Vec::new();
+    let mut at = 0usize;
+    while let Some(len) = read_u32(bytes, at) {
+        let Some(expected_crc) = read_u32(bytes, at + 4) else {
+            break;
+        };
+        if len == 0 || len > MAX_RECORD_BYTES {
+            break;
+        }
+        let body_start = at + HEADER_BYTES;
+        let Some(body_end) = body_start.checked_add(len as usize) else {
+            break;
+        };
+        let Some(body) = bytes.get(body_start..body_end) else {
+            break;
+        };
+        if crc32(body) != expected_crc {
+            break;
+        }
+        let (&version, payload) = match body.split_first() {
+            Some(split) => split,
+            None => break,
+        };
+        if version != RECORD_VERSION {
+            break;
+        }
+        let Some(sighting) = decode_v1(payload) else {
+            break;
+        };
+        records.push(sighting);
+        at = body_end;
+    }
+    WalScan {
+        records,
+        valid_len: at as u64,
+        truncated_bytes: (bytes.len() - at) as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sighting(device: &str, cells: usize, time: f64, cell: usize) -> SightingRecord {
+        SightingRecord {
+            device: device.to_string(),
+            cells,
+            time,
+            cell,
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE check values.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn encode_scan_round_trip() {
+        let records = vec![
+            sighting("alice", 8, 1.5, 3),
+            sighting("bob", 8, 2.0, 0),
+            sighting("", 1, 0.0, 0),
+            sighting("π-device", 16, 1e9, 15),
+        ];
+        let mut log = Vec::new();
+        for record in &records {
+            log.extend_from_slice(&encode_record(record));
+        }
+        let scan = scan(&log);
+        assert_eq!(scan.valid_len, log.len() as u64);
+        assert_eq!(scan.truncated_bytes, 0);
+        assert_eq!(scan.records.len(), records.len());
+        for (got, want) in scan.records.iter().zip(&records) {
+            assert_eq!(got.device, want.device);
+            assert_eq!(got.cells, want.cells);
+            assert_eq!(got.cell, want.cell);
+            assert!((got.time - want.time).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn truncated_tail_is_dropped_cleanly() {
+        let full = encode_record(&sighting("alice", 4, 1.0, 2));
+        let mut log = full.clone();
+        log.extend_from_slice(&encode_record(&sighting("bob", 4, 2.0, 3)));
+        // Cut anywhere inside the second record.
+        for cut in full.len()..log.len() {
+            let scan = scan(&log[..cut]);
+            assert_eq!(scan.records.len(), 1, "cut at {cut}");
+            assert_eq!(scan.valid_len, full.len() as u64);
+            assert_eq!(scan.truncated_bytes, (cut - full.len()) as u64);
+        }
+    }
+
+    #[test]
+    fn bad_checksum_stops_the_scan() {
+        let mut log = encode_record(&sighting("alice", 4, 1.0, 2));
+        let tail = encode_record(&sighting("bob", 4, 2.0, 3));
+        let flip_at = log.len() + HEADER_BYTES + 3; // inside bob's body
+        log.extend_from_slice(&tail);
+        log[flip_at] ^= 0x01;
+        let scan = scan(&log);
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.truncated_bytes, tail.len() as u64);
+    }
+
+    #[test]
+    fn corrupt_length_does_not_allocate_or_panic() {
+        let mut log = Vec::new();
+        log.extend_from_slice(&u32::MAX.to_le_bytes()); // absurd len
+        log.extend_from_slice(&0u32.to_le_bytes());
+        log.extend_from_slice(&[0u8; 64]);
+        let scan = scan(&log);
+        assert!(scan.records.is_empty());
+        assert_eq!(scan.valid_len, 0);
+    }
+
+    #[test]
+    fn unknown_version_stops_the_scan() {
+        let mut frame = encode_record(&sighting("alice", 4, 1.0, 2));
+        // Bump the version byte and re-checksum so only the version is
+        // "wrong".
+        frame[HEADER_BYTES] = RECORD_VERSION + 1;
+        let crc = crc32(&frame[HEADER_BYTES..]).to_le_bytes();
+        frame[4..8].copy_from_slice(&crc);
+        let scan = scan(&frame);
+        assert!(scan.records.is_empty());
+        assert_eq!(scan.truncated_bytes, frame.len() as u64);
+    }
+
+    #[test]
+    fn empty_and_garbage_inputs_never_panic() {
+        assert!(scan(&[]).records.is_empty());
+        assert!(scan(&[0x00]).records.is_empty());
+        let garbage: Vec<u8> = (0..255u8).cycle().take(4096).collect();
+        let result = scan(&garbage);
+        // Whatever it decodes, the prefix property holds.
+        assert!(result.valid_len + result.truncated_bytes == 4096);
+    }
+}

@@ -29,6 +29,11 @@ pub enum ServiceError {
     /// Something went wrong inside the server (worker pool gone,
     /// spawn failure, shutdown race). Not the client's fault.
     Internal(String),
+    /// The data disk failed: writes (`observe`) are refused because
+    /// their durability can no longer be guaranteed, while planning
+    /// keeps serving from in-memory profiles. Clears only on restart
+    /// with a healthy disk.
+    Degraded(String),
 }
 
 impl ServiceError {
@@ -40,6 +45,7 @@ impl ServiceError {
             ServiceError::Unsupported(_) => "unsupported",
             ServiceError::Overloaded { .. } => "overloaded",
             ServiceError::Internal(_) => "internal",
+            ServiceError::Degraded(_) => "degraded",
         }
     }
 
@@ -50,7 +56,8 @@ impl ServiceError {
         match self {
             ServiceError::BadRequest(m)
             | ServiceError::Unsupported(m)
-            | ServiceError::Internal(m) => m.clone(),
+            | ServiceError::Internal(m)
+            | ServiceError::Degraded(m) => m.clone(),
             ServiceError::Overloaded { retry_after_ms } => {
                 format!("server overloaded, retry after {retry_after_ms} ms")
             }
@@ -79,6 +86,7 @@ mod tests {
             "overloaded"
         );
         assert_eq!(ServiceError::Internal("x".into()).code(), "internal");
+        assert_eq!(ServiceError::Degraded("x".into()).code(), "degraded");
     }
 
     #[test]

@@ -69,5 +69,6 @@ pub use planner::{plan, Plan, Tier, TierPolicy, Variant, RETRY_AFTER_MS};
 pub use proto::{handle_line, parse_request, LineOutcome, Request};
 pub use server::{serve_lines, serve_tcp, ServerHandle};
 pub use service::{
-    DevicePlanResponse, PagerService, PlanKey, PlanResponse, PlanSpec, ServiceConfig,
+    DevicePlanResponse, DurabilityOptions, PagerService, PlanKey, PlanResponse, PlanSpec,
+    ServiceConfig,
 };

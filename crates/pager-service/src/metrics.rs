@@ -128,6 +128,20 @@ pub struct Metrics {
     /// Profiles that served a `plan_devices` request while stale
     /// (staleness weight below ½ — mostly decayed toward uniform).
     pub stale_profiles_served: AtomicU64,
+    /// WAL records appended (mirrors the durable store; 0 when the
+    /// server runs without `--data-dir`).
+    pub wal_appends: AtomicU64,
+    /// Fsyncs issued for the WAL.
+    pub wal_fsyncs: AtomicU64,
+    /// WAL records replayed at startup recovery.
+    pub wal_recovered_records: AtomicU64,
+    /// Bytes truncated from a torn WAL tail at startup recovery.
+    pub wal_truncated_bytes: AtomicU64,
+    /// Snapshot checkpoints rotated.
+    pub checkpoints: AtomicU64,
+    /// Degraded-mode gauge: 1 after a data-disk failure (observes are
+    /// refused, planning keeps serving), 0 otherwise.
+    pub degraded: AtomicU64,
     /// Planning latency per solver tier.
     pub exact_latency: LatencyHistogram,
     /// Fig. 1 greedy tier latency.
@@ -200,6 +214,18 @@ impl Metrics {
                 "stale_profiles_served",
                 Value::from(Self::get(&self.stale_profiles_served)),
             ),
+            ("wal_appends", Value::from(Self::get(&self.wal_appends))),
+            ("wal_fsyncs", Value::from(Self::get(&self.wal_fsyncs))),
+            (
+                "wal_recovered_records",
+                Value::from(Self::get(&self.wal_recovered_records)),
+            ),
+            (
+                "wal_truncated_bytes",
+                Value::from(Self::get(&self.wal_truncated_bytes)),
+            ),
+            ("checkpoints", Value::from(Self::get(&self.checkpoints))),
+            ("degraded", Value::from(Self::get(&self.degraded))),
             (
                 "tier_latency",
                 Value::object(vec![
@@ -246,6 +272,16 @@ mod tests {
             Some(0)
         );
         assert_eq!(json.get("queue_depth").and_then(Value::as_u64), Some(0));
+        for field in [
+            "wal_appends",
+            "wal_fsyncs",
+            "wal_recovered_records",
+            "wal_truncated_bytes",
+            "checkpoints",
+            "degraded",
+        ] {
+            assert_eq!(json.get(field).and_then(Value::as_u64), Some(0), "{field}");
+        }
         let tiers = json.get("tier_latency").unwrap();
         assert_eq!(
             tiers

@@ -31,7 +31,7 @@ use crate::{cache::ShardedCache, metrics::Metrics};
 /// Result fanned out to every subscriber of one computation.
 pub(crate) type PlanResult = Result<Arc<Plan>, ServiceError>;
 
-struct Job {
+struct PlanJob {
     key: PlanKey,
     fingerprint: u64,
     instance: Instance,
@@ -41,6 +41,15 @@ struct Job {
     /// the budget, so a job that waited too long is already expired
     /// when a worker picks it up and cancels at the first checkpoint.
     deadline: Deadline,
+}
+
+/// Work the pool executes: planning requests (the hot path, coalesced
+/// and shed) or one-off maintenance closures (snapshot checkpoints)
+/// that share the same threads so background work can never outnumber
+/// the configured worker count.
+enum Job {
+    Plan(PlanJob),
+    Maintenance(Box<dyn FnOnce() + Send>),
 }
 
 /// What happened when a job was offered to the bounded queue.
@@ -145,14 +154,14 @@ impl Dispatcher {
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
             match queue.as_ref() {
                 None => Enqueue::Closed,
-                Some(tx) => match tx.try_send(Job {
+                Some(tx) => match tx.try_send(Job::Plan(PlanJob {
                     key: key.clone(),
                     fingerprint,
                     instance,
                     delay,
                     variant,
                     deadline,
-                }) {
+                })) {
                     Ok(()) => Enqueue::Accepted,
                     Err(mpsc::TrySendError::Full(_)) => Enqueue::Full,
                     Err(mpsc::TrySendError::Disconnected(_)) => Enqueue::Closed,
@@ -180,6 +189,32 @@ impl Dispatcher {
                 Err(error)
             }
         }
+    }
+
+    /// Offers a one-off maintenance closure (e.g. a snapshot
+    /// checkpoint) to the worker pool. Maintenance bypasses the
+    /// in-flight table (there is nothing to coalesce or wait on) but
+    /// respects the bounded queue: under full load the checkpoint is
+    /// simply not scheduled this round, and the caller's trigger will
+    /// re-fire on a later observe.
+    ///
+    /// Returns whether the job was accepted.
+    pub(crate) fn submit_maintenance(&self, work: Box<dyn FnOnce() + Send>) -> bool {
+        Metrics::inc(&self.metrics.queue_depth);
+        let accepted = {
+            let queue = self
+                .queue
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            match queue.as_ref() {
+                None => false,
+                Some(tx) => tx.try_send(Job::Maintenance(work)).is_ok(),
+            }
+        };
+        if !accepted {
+            Metrics::dec(&self.metrics.queue_depth);
+        }
+        accepted
     }
 
     /// Removes a key's in-flight registration and sends `error` to
@@ -238,6 +273,13 @@ fn worker_loop(
             Err(_) => return, // queue closed: shut down
         };
         Metrics::dec(&metrics.queue_depth);
+        let job = match job {
+            Job::Plan(job) => job,
+            Job::Maintenance(work) => {
+                work();
+                continue;
+            }
+        };
         // A coalesced burst may have already populated the cache by
         // the time this job reaches the front of the queue.
         let result: PlanResult = match cache.get(job.fingerprint, &job.key) {

@@ -388,6 +388,7 @@ pub fn handle_line(service: &PagerService, line: &str) -> LineOutcome {
                                 None => Value::Null,
                             },
                         ),
+                        ("degraded", Value::Bool(service.degraded())),
                     ]),
                 )]),
                 shutdown: false,

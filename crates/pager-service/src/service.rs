@@ -1,10 +1,15 @@
 //! The planning service façade: cache → coalesce → plan.
 
+use std::path::PathBuf;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use pager_core::{Delay, Instance};
-use pager_profiles::{Estimator, ProfileStore, Sighting, StoreConfig, Time};
+use pager_profiles::io::{DiskIo, StorageIo};
+use pager_profiles::{
+    DurabilityConfig, DurableError, DurableStore, Estimator, FsyncPolicy, ProfileStore,
+    RecoveryReport, Sighting, StoreConfig, Time,
+};
 
 use crate::cache::ShardedCache;
 use crate::deadline::Deadline;
@@ -37,8 +42,53 @@ pub struct PlanKey {
     profile_versions: Vec<u64>,
 }
 
+/// Where and how profile state is persisted.
+///
+/// Attached to [`ServiceConfig::durability`]; `None` there keeps the
+/// pre-durability behaviour (profiles are in-memory only and vanish on
+/// restart).
+#[derive(Clone)]
+pub struct DurabilityOptions {
+    /// Directory holding the generation-numbered snapshot + WAL pair.
+    pub data_dir: PathBuf,
+    /// When WAL appends are fsynced relative to the ack.
+    pub fsync: FsyncPolicy,
+    /// Rotate a snapshot after this many WAL records (0 disables
+    /// count-triggered checkpoints).
+    pub checkpoint_every: u64,
+    /// Storage backend override; `None` uses the real filesystem.
+    /// Tests inject `pager_profiles::io::FaultyIo` here to drive the
+    /// degraded path deterministically.
+    pub io: Option<Arc<dyn StorageIo>>,
+}
+
+impl DurabilityOptions {
+    /// Durability in `data_dir` with the defaults: fsync on every
+    /// ack, checkpoint every 10 000 records, real filesystem.
+    #[must_use]
+    pub fn new(data_dir: impl Into<PathBuf>) -> DurabilityOptions {
+        DurabilityOptions {
+            data_dir: data_dir.into(),
+            fsync: FsyncPolicy::Always,
+            checkpoint_every: 10_000,
+            io: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for DurabilityOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurabilityOptions")
+            .field("data_dir", &self.data_dir)
+            .field("fsync", &self.fsync)
+            .field("checkpoint_every", &self.checkpoint_every)
+            .field("io", &self.io.as_ref().map(|_| "injected"))
+            .finish()
+    }
+}
+
 /// Service configuration knobs.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServiceConfig {
     /// Planner threads consuming the request queue.
     pub workers: usize,
@@ -62,6 +112,8 @@ pub struct ServiceConfig {
     /// Default per-request deadline budget, applied when a request
     /// carries no `deadline_ms` of its own (`None` = unbounded).
     pub default_deadline_ms: Option<u64>,
+    /// Crash-safe profile persistence (`None` = in-memory only).
+    pub durability: Option<DurabilityOptions>,
 }
 
 impl Default for ServiceConfig {
@@ -77,6 +129,7 @@ impl Default for ServiceConfig {
             profiles: StoreConfig::default(),
             queue_depth: 256,
             default_deadline_ms: Some(30_000),
+            durability: None,
         }
     }
 }
@@ -223,6 +276,11 @@ pub struct PagerService {
     metrics: Arc<Metrics>,
     dispatcher: Dispatcher,
     profiles: Arc<ProfileStore>,
+    /// Present when the service was configured with a data directory;
+    /// `observe` then appends to the WAL before acking.
+    durable: Option<Arc<DurableStore>>,
+    /// What startup recovery found (None without durability).
+    recovery: Option<RecoveryReport>,
 }
 
 impl PagerService {
@@ -251,11 +309,39 @@ impl PagerService {
     /// outside `(0, 1]`, ...); [`ServiceError::Internal`] when worker
     /// threads cannot be started.
     pub fn try_new(config: ServiceConfig) -> Result<PagerService, ServiceError> {
-        let profiles = Arc::new(ProfileStore::new(config.profiles).map_err(|why| {
-            ServiceError::BadRequest(format!("invalid profile configuration: {why}"))
-        })?);
+        let (profiles, durable, recovery) = match &config.durability {
+            None => {
+                let profiles = Arc::new(ProfileStore::new(config.profiles).map_err(|why| {
+                    ServiceError::BadRequest(format!("invalid profile configuration: {why}"))
+                })?);
+                (profiles, None, None)
+            }
+            Some(opts) => {
+                let io: Arc<dyn StorageIo> = opts.io.clone().unwrap_or_else(|| Arc::new(DiskIo));
+                let (durable, report) = DurableStore::open(
+                    io,
+                    &opts.data_dir,
+                    config.profiles,
+                    DurabilityConfig {
+                        fsync: opts.fsync,
+                        checkpoint_every: opts.checkpoint_every,
+                    },
+                )
+                .map_err(|why| {
+                    ServiceError::Internal(format!(
+                        "opening data dir {}: {why}",
+                        opts.data_dir.display()
+                    ))
+                })?;
+                let durable = Arc::new(durable);
+                (Arc::clone(durable.store()), Some(durable), Some(report))
+            }
+        };
         let cache = Arc::new(ShardedCache::new(config.capacity, config.shards));
         let metrics = Arc::new(Metrics::default());
+        if let Some(report) = &recovery {
+            self_mirror_recovery(&metrics, report);
+        }
         let dispatcher = Dispatcher::new(
             config.workers,
             config.queue_depth,
@@ -270,6 +356,8 @@ impl PagerService {
             metrics,
             dispatcher,
             profiles,
+            durable,
+            recovery,
         })
     }
 
@@ -290,6 +378,22 @@ impl PagerService {
     #[must_use]
     pub fn profiles(&self) -> &ProfileStore {
         &self.profiles
+    }
+
+    /// What startup recovery found: `None` when the service runs
+    /// without durability, otherwise the generation, records
+    /// replayed, and torn-tail bytes truncated.
+    #[must_use]
+    pub fn recovery(&self) -> Option<RecoveryReport> {
+        self.recovery
+    }
+
+    /// Whether the data disk has failed and observes are being
+    /// refused with `"code": "degraded"`. Always `false` without
+    /// durability.
+    #[must_use]
+    pub fn degraded(&self) -> bool {
+        self.durable.as_ref().is_some_and(|d| d.degraded())
     }
 
     /// The cache key for a request, exposed so tests and tools can
@@ -455,10 +559,21 @@ impl PagerService {
         cells: usize,
         sightings: &[Sighting],
     ) -> Result<Vec<(String, u64)>, ServiceError> {
-        let result = self
-            .profiles
-            .observe_batch(cells, sightings)
-            .map_err(ServiceError::BadRequest);
+        let result = match &self.durable {
+            None => self
+                .profiles
+                .observe_batch(cells, sightings)
+                .map_err(ServiceError::BadRequest),
+            // Durable path: the batch is applied, WAL-appended, and
+            // (per policy) fsynced before this returns — an Ok here is
+            // the acked-write guarantee.
+            Some(durable) => durable
+                .observe_batch(cells, sightings)
+                .map_err(|e| match e {
+                    DurableError::Rejected(m) => ServiceError::BadRequest(m),
+                    DurableError::Degraded(m) => ServiceError::Degraded(m),
+                }),
+        };
         let stats = self.profiles.stats();
         self.metrics
             .sightings_ingested
@@ -468,7 +583,33 @@ impl PagerService {
             .profile_evictions
             // lint:allow(atomics-ordering-audit): metrics mirror of store stats, no handoff
             .store(stats.evictions, Ordering::Relaxed);
+        if let Some(durable) = &self.durable {
+            mirror_durability(&self.metrics, durable);
+            self.maybe_schedule_checkpoint(durable);
+        }
         result
+    }
+
+    /// Schedules a checkpoint on the worker pool when enough WAL
+    /// records have accumulated. The maintenance job shares the
+    /// planning threads (checkpoints can never outnumber workers) and
+    /// respects the bounded queue: a full queue skips this round and
+    /// the trigger re-arms on the next observe.
+    fn maybe_schedule_checkpoint(&self, durable: &Arc<DurableStore>) {
+        if !durable.take_checkpoint_due() {
+            return;
+        }
+        let durable_job = Arc::clone(durable);
+        let metrics = Arc::clone(&self.metrics);
+        let accepted = self.dispatcher.submit_maintenance(Box::new(move || {
+            // A failed checkpoint flips the store to degraded; the
+            // mirror below surfaces it on the gauge either way.
+            let _ = durable_job.checkpoint();
+            mirror_durability(&metrics, &durable_job);
+        }));
+        if !accepted {
+            durable.cancel_checkpoint_schedule();
+        }
     }
 
     /// Plans a strategy for named devices out of the profile store.
@@ -538,11 +679,52 @@ impl PagerService {
         self.cache.evictions()
     }
 
-    /// Stops the worker pool. In-flight requests finish; later calls
-    /// to [`PagerService::plan`] on the cacheable path fail fast.
+    /// Stops the worker pool (in-flight requests and scheduled
+    /// checkpoints finish) and fsyncs any unsynced WAL tail, so a
+    /// clean shutdown loses nothing even under `--fsync interval` /
+    /// `never`. Later calls to [`PagerService::plan`] on the cacheable
+    /// path fail fast.
     pub fn shutdown(&self) {
         self.dispatcher.shutdown();
+        if let Some(durable) = &self.durable {
+            let _ = durable.flush();
+            mirror_durability(&self.metrics, durable);
+        }
     }
+}
+
+/// Copies the durable store's counters onto the service metrics (the
+/// atomics are mirrors, not sources of truth).
+fn mirror_durability(metrics: &Metrics, durable: &DurableStore) {
+    let stats = durable.stats();
+    metrics
+        .wal_appends
+        // lint:allow(atomics-ordering-audit): metrics mirror of durable-store stats, no handoff
+        .store(stats.wal_appends, Ordering::Relaxed);
+    metrics
+        .wal_fsyncs
+        // lint:allow(atomics-ordering-audit): metrics mirror of durable-store stats, no handoff
+        .store(stats.wal_fsyncs, Ordering::Relaxed);
+    metrics
+        .checkpoints
+        // lint:allow(atomics-ordering-audit): metrics mirror of durable-store stats, no handoff
+        .store(stats.checkpoints, Ordering::Relaxed);
+    metrics
+        .degraded
+        // lint:allow(atomics-ordering-audit): advisory gauge, no handoff
+        .store(u64::from(stats.degraded), Ordering::Relaxed);
+}
+
+/// Seeds the recovery counters once at startup.
+fn self_mirror_recovery(metrics: &Metrics, report: &RecoveryReport) {
+    metrics
+        .wal_recovered_records
+        // lint:allow(atomics-ordering-audit): set once before the service is shared
+        .store(report.recovered_records, Ordering::Relaxed);
+    metrics
+        .wal_truncated_bytes
+        // lint:allow(atomics-ordering-audit): set once before the service is shared
+        .store(report.truncated_bytes, Ordering::Relaxed);
 }
 
 fn variant_tag(variant: Variant) -> u64 {
@@ -758,6 +940,118 @@ mod tests {
             .plan_devices(&["a", "b"], Estimator::Markov, Some(19.0), spec)
             .unwrap();
         assert!(!markov.response.cached);
+    }
+
+    fn durable_config(io: Arc<dyn StorageIo>, checkpoint_every: u64) -> ServiceConfig {
+        ServiceConfig {
+            workers: 2,
+            durability: Some(DurabilityOptions {
+                data_dir: "/svc-data".into(),
+                fsync: FsyncPolicy::Always,
+                checkpoint_every,
+                io: Some(io),
+            }),
+            ..ServiceConfig::default()
+        }
+    }
+
+    #[test]
+    fn durable_observe_survives_service_restart() {
+        let mem = Arc::new(pager_profiles::io::MemIo::new());
+        {
+            let svc = PagerService::try_new(durable_config(
+                Arc::<pager_profiles::io::MemIo>::clone(&mem),
+                0,
+            ))
+            .unwrap();
+            svc.observe(4, &[sighting("a", 1, 1.0), sighting("b", 2, 2.0)])
+                .unwrap();
+            assert!(Metrics::get(&svc.metrics().wal_appends) >= 2);
+            assert!(Metrics::get(&svc.metrics().wal_fsyncs) >= 1);
+            svc.shutdown();
+        }
+        mem.crash(17);
+        let svc = PagerService::try_new(durable_config(
+            Arc::<pager_profiles::io::MemIo>::clone(&mem),
+            0,
+        ))
+        .unwrap();
+        let report = svc.recovery().unwrap();
+        assert_eq!(report.recovered_records, 2);
+        assert_eq!(Metrics::get(&svc.metrics().wal_recovered_records), 2);
+        // The recovered profiles plan.
+        let spec = PlanSpec::new(Delay::new(2).unwrap());
+        let served = svc
+            .plan_devices(&["a", "b"], Estimator::Empirical, None, spec)
+            .unwrap();
+        assert_eq!(served.versions.len(), 2);
+    }
+
+    #[test]
+    fn degraded_disk_rejects_observes_but_keeps_planning() {
+        use pager_profiles::io::{FaultKind, FaultyIo, MemIo};
+        let mem = Arc::new(MemIo::new());
+        // Let open() succeed, then fail a later WAL operation.
+        let io: Arc<dyn StorageIo> = Arc::new(FaultyIo::new(mem, 9, FaultKind::Error, 5));
+        let svc = PagerService::try_new(durable_config(io, 0)).unwrap();
+        let mut degraded_error = None;
+        for t in 0..8u32 {
+            match svc.observe(4, &[sighting("a", (t % 4) as usize, f64::from(t))]) {
+                Ok(_) => {}
+                Err(e) => {
+                    degraded_error = Some(e);
+                    break;
+                }
+            }
+        }
+        let error = degraded_error.expect("fault never fired");
+        assert_eq!(error.code(), "degraded");
+        assert!(svc.degraded());
+        assert_eq!(Metrics::get(&svc.metrics().degraded), 1);
+        // Further observes are refused with the same stable code...
+        assert_eq!(
+            svc.observe(4, &[sighting("a", 0, 99.0)])
+                .unwrap_err()
+                .code(),
+            "degraded"
+        );
+        // ...while planning keeps serving from the in-memory profiles.
+        let spec = PlanSpec::new(Delay::new(2).unwrap());
+        let served = svc
+            .plan_devices(&["a"], Estimator::Empirical, None, spec)
+            .unwrap();
+        assert!(served.response.plan.expected_paging >= 1.0);
+    }
+
+    #[test]
+    fn checkpoints_run_on_the_worker_pool() {
+        let mem = Arc::new(pager_profiles::io::MemIo::new());
+        let svc = PagerService::try_new(durable_config(
+            Arc::<pager_profiles::io::MemIo>::clone(&mem),
+            4,
+        ))
+        .unwrap();
+        for t in 0..12u32 {
+            svc.observe(4, &[sighting("a", (t % 4) as usize, f64::from(t))])
+                .unwrap();
+        }
+        // The maintenance job runs asynchronously on the pool.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while Metrics::get(&svc.metrics().checkpoints) == 0 && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert!(
+            Metrics::get(&svc.metrics().checkpoints) >= 1,
+            "checkpoint never ran"
+        );
+        svc.shutdown();
+        // The rotated snapshot is the recovery point.
+        let names = mem.list(std::path::Path::new("/svc-data")).unwrap();
+        assert!(
+            names.iter().any(|n| n.starts_with("snapshot.")),
+            "{names:?}"
+        );
     }
 
     #[test]

@@ -5,6 +5,8 @@
 //!   pager-serve [--addr HOST:PORT] [--stdio] [--workers N] [--shards N]
 //!               [--capacity N] [--grid G] [--queue-depth N]
 //!               [--deadline-ms MS] [--drain-ms MS] [--metrics-json]
+//!               [--data-dir DIR] [--fsync always|never|interval:N]
+//!               [--checkpoint-every N]
 //! ```
 //!
 //! Speaks the `pager_service::proto` JSON-lines protocol: one request
@@ -22,12 +24,24 @@
 //! own `"deadline_ms"` field (`0` disables the default). With
 //! `--metrics-json` the final metrics registry is dumped to stdout as
 //! one JSON object on exit.
+//!
+//! With `--data-dir` the profile store is crash-safe: startup replays
+//! the newest snapshot plus its write-ahead log (reporting records
+//! recovered and torn-tail bytes truncated), every acked `observe` is
+//! WAL-appended first (fsynced per `--fsync`, default `always`), and a
+//! snapshot is rotated every `--checkpoint-every` sightings (default
+//! 10000). If the data disk fails mid-run the server degrades instead
+//! of crashing: observes answer `"code": "degraded"` while planning
+//! keeps serving from the in-memory profiles.
 
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
-use conference_call::service::{serve_lines, serve_tcp, PagerService, ServiceConfig};
+use conference_call::service::{
+    serve_lines, serve_tcp, DurabilityOptions, PagerService, ServiceConfig,
+};
+use pager_profiles::FsyncPolicy;
 
 struct Options {
     addr: String,
@@ -39,7 +53,7 @@ struct Options {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: pager-serve [--addr HOST:PORT] [--stdio] [--workers N] [--shards N] [--capacity N] [--grid G] [--queue-depth N] [--deadline-ms MS] [--drain-ms MS] [--metrics-json]"
+        "usage: pager-serve [--addr HOST:PORT] [--stdio] [--workers N] [--shards N] [--capacity N] [--grid G] [--queue-depth N] [--deadline-ms MS] [--drain-ms MS] [--metrics-json] [--data-dir DIR] [--fsync always|never|interval:N] [--checkpoint-every N]"
     );
     ExitCode::from(2)
 }
@@ -53,6 +67,9 @@ fn parse_args(mut args: std::env::Args) -> Result<Options, String> {
         drain: Duration::from_millis(5000),
         config: ServiceConfig::default(),
     };
+    let mut fsync = FsyncPolicy::Always;
+    let mut checkpoint_every = 10_000u64;
+    let mut data_dir: Option<std::path::PathBuf> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--addr" => opts.addr = args.next().ok_or("--addr needs HOST:PORT")?,
@@ -84,6 +101,20 @@ fn parse_args(mut args: std::env::Args) -> Result<Options, String> {
                     .ok_or("--deadline-ms needs a non-negative integer")?;
                 opts.config.default_deadline_ms = (ms > 0).then_some(ms);
             }
+            "--data-dir" => {
+                data_dir = Some(args.next().ok_or("--data-dir needs a directory")?.into());
+            }
+            "--fsync" => {
+                let policy = args.next().ok_or("--fsync needs a policy")?;
+                fsync = FsyncPolicy::parse(&policy)?;
+            }
+            "--checkpoint-every" => {
+                // 0 disables count-triggered checkpoints.
+                checkpoint_every = args
+                    .next()
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .ok_or("--checkpoint-every needs a non-negative integer")?;
+            }
             "--drain-ms" => {
                 let ms = args
                     .next()
@@ -93,6 +124,14 @@ fn parse_args(mut args: std::env::Args) -> Result<Options, String> {
             }
             other => return Err(format!("unknown argument {other:?}")),
         }
+    }
+    if let Some(data_dir) = data_dir {
+        opts.config.durability = Some(DurabilityOptions {
+            data_dir,
+            fsync,
+            checkpoint_every,
+            io: None,
+        });
     }
     Ok(opts)
 }
@@ -119,6 +158,15 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(report) = service.recovery() {
+        eprintln!(
+            "pager-serve: recovered generation {} ({} snapshot, {} WAL records replayed, {} torn bytes truncated)",
+            report.generation,
+            if report.snapshot_loaded { "with" } else { "no" },
+            report.recovered_records,
+            report.truncated_bytes,
+        );
+    }
     if opts.stdio {
         let stdin = std::io::stdin();
         let stdout = std::io::stdout();
