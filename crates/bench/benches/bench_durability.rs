@@ -44,13 +44,16 @@ fn wal_bytes(records: usize) -> Vec<u8> {
     let mut rng = StdRng::seed_from_u64(7);
     let mut bytes = Vec::new();
     for i in 0..records {
-        bytes.extend_from_slice(&encode_record(&SightingRecord {
-            device: format!("dev{}", i % 32),
-            cells: CELLS,
-            #[allow(clippy::cast_precision_loss)]
-            time: i as f64,
-            cell: rng.gen_range(0..CELLS),
-        }));
+        bytes.extend_from_slice(
+            &encode_record(&SightingRecord {
+                device: format!("dev{}", i % 32),
+                cells: CELLS,
+                #[allow(clippy::cast_precision_loss)]
+                time: i as f64,
+                cell: rng.gen_range(0..CELLS),
+            })
+            .unwrap(),
+        );
     }
     bytes
 }

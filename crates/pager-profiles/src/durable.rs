@@ -15,9 +15,18 @@
 //!
 //! [`DurableStore::observe_batch`] applies sightings to the in-memory
 //! store, appends their WAL records, and (under
-//! [`FsyncPolicy::Always`]) fsyncs — all before returning. A success
-//! return therefore means the sightings are durable: any later crash
-//! recovers them from `snapshot.G + wal.G`.
+//! [`FsyncPolicy::Always`]) fsyncs — all before returning. The first
+//! append of each generation also fsyncs the data directory, so the
+//! freshly created WAL file's *entry* is durable, not just its bytes.
+//! A success return therefore means the sightings are durable: any
+//! later crash recovers them from `snapshot.G + wal.G`.
+//!
+//! The guarantee is protected at ingest: a sighting that cannot be
+//! encoded within the WAL's frame bounds (device name over
+//! [`crate::wal::MAX_DEVICE_BYTES`], values that do not fit the wire)
+//! is rejected before it is applied or logged — otherwise one
+//! oversized record would be acked now and truncate the log (plus
+//! every acked record after it) at the next recovery.
 //!
 //! # Checkpoint ordering
 //!
@@ -162,6 +171,12 @@ struct WalState {
     generation: u64,
     unsynced_records: u64,
     records_since_checkpoint: u64,
+    /// Whether this generation's WAL file has had its directory entry
+    /// made durable (`sync_dir` after the append that created it). A
+    /// file fsync alone does not guarantee the *entry* survives a
+    /// crash on every filesystem, so the first ack of a generation
+    /// must wait for the directory sync too.
+    dir_synced: bool,
 }
 
 /// A [`ProfileStore`] whose acked sightings survive crashes.
@@ -207,10 +222,17 @@ impl DurableStore {
     /// *latest* snapshot can only mean its WAL never received durable
     /// records), replays its WAL, and truncates any torn WAL tail.
     ///
+    /// Absence and corruption are the only states recovery works
+    /// around: a *transient* read error (anything other than
+    /// `NotFound`) fails the open instead. Falling back to an older
+    /// generation — or skipping WAL replay — because a read hiccuped
+    /// would let the store accept new acked writes on stale state and
+    /// silently lose the unread records at the next healthy restart.
+    ///
     /// # Errors
     ///
     /// A message when the directory is unusable or a snapshot/WAL
-    /// pair is unreadable for reasons other than torn state.
+    /// read fails for any reason other than the file not existing.
     pub fn open(
         io: Arc<dyn StorageIo>,
         dir: &Path,
@@ -246,7 +268,13 @@ impl DurableStore {
                     }
                     Err(_) => continue,
                 },
-                Err(_) => continue,
+                // Listed a moment ago but gone now (e.g. a competing
+                // cleanup): treat like corruption and fall back.
+                Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+                // A transient read error is not evidence the snapshot
+                // is bad — refusing to open beats recovering stale
+                // state and losing acked records behind its back.
+                Err(e) => return Err(format!("read {}: {e}", path.display())),
             }
         }
         let store = match store {
@@ -259,10 +287,20 @@ impl DurableStore {
         let wal_path = dir.join(wal_name(generation));
         let mut recovered = 0u64;
         let mut truncated = 0u64;
-        if let Ok(bytes) = io.read(&wal_path) {
+        let wal_bytes = match io.read(&wal_path) {
+            Ok(bytes) => Some(bytes),
+            // No WAL for this generation: nothing was ingested since
+            // its snapshot (or the store is brand new).
+            Err(e) if e.kind() == io::ErrorKind::NotFound => None,
+            // Skipping replay on a transient error would append new
+            // records after unreplayed ones and truncate them away at
+            // the next healthy open — fail loudly instead.
+            Err(e) => return Err(format!("read {}: {e}", wal_path.display())),
+        };
+        if let Some(bytes) = wal_bytes {
             let scanned = scan(&bytes);
             let mut valid_len = 0u64;
-            for record in &scanned.records {
+            for (record, &frame_end) in scanned.records.iter().zip(&scanned.frame_ends) {
                 if store
                     .observe(&record.device, record.cells, record.time, record.cell)
                     .is_err()
@@ -270,7 +308,7 @@ impl DurableStore {
                     break;
                 }
                 recovered += 1;
-                valid_len += encode_record(record).len() as u64;
+                valid_len = frame_end;
             }
             truncated = bytes.len() as u64 - valid_len;
             if truncated > 0 {
@@ -289,6 +327,10 @@ impl DurableStore {
                 generation,
                 unsynced_records: 0,
                 records_since_checkpoint: 0,
+                // Conservative: re-sync the directory on the first
+                // append after any open (one cheap fsync), covering a
+                // WAL whose entry never became durable before a crash.
+                dir_synced: false,
             }),
             degraded: AtomicBool::new(false),
             checkpoint_pending: AtomicBool::new(false),
@@ -386,21 +428,32 @@ impl DurableStore {
             return Err(DurableError::Degraded("data disk previously failed".into()));
         }
         let mut wal = self.wal.lock().unwrap_or_else(PoisonError::into_inner);
-        // Apply first, encoding as each sighting is accepted: the WAL
-        // never holds a record that would fail replay, and replay
+        // Encode before applying: a sighting that cannot be framed
+        // (device name over the WAL's size bound, values that do not
+        // fit the wire) is rejected before it touches memory or the
+        // log, so an acked record is always one recovery will replay —
+        // never a poison frame that truncates the log behind it. The
+        // WAL never holds a record that would fail replay, and replay
         // order equals apply order.
         let mut frames = Vec::new();
         let mut versions = Vec::with_capacity(sightings.len());
         let mut rejected = None;
         for (i, s) in sightings.iter().enumerate() {
+            let frame = match encode_record(&SightingRecord {
+                device: s.device.clone(),
+                cells,
+                time: s.time,
+                cell: s.cell,
+            }) {
+                Ok(frame) => frame,
+                Err(e) => {
+                    rejected = Some(format!("sighting {i}: {e}"));
+                    break;
+                }
+            };
             match self.store.observe(&s.device, cells, s.time, s.cell) {
                 Ok(version) => {
-                    frames.extend_from_slice(&encode_record(&SightingRecord {
-                        device: s.device.clone(),
-                        cells,
-                        time: s.time,
-                        cell: s.cell,
-                    }));
+                    frames.extend_from_slice(&frame);
                     versions.push((s.device.clone(), version));
                 }
                 Err(e) => {
@@ -431,6 +484,16 @@ impl DurableStore {
                 // lint:allow(atomics-ordering-audit): monotone stats counter, no handoff
                 self.wal_fsyncs.fetch_add(1, Ordering::Relaxed);
                 wal.unsynced_records = 0;
+            }
+            // Once per generation: make the WAL file's directory entry
+            // durable before acking. A file fsync alone does not
+            // guarantee a freshly created file survives a crash on
+            // every filesystem.
+            if !wal.dir_synced {
+                if let Err(e) = self.io.sync_dir(&self.dir) {
+                    return Err(self.enter_degraded(&e));
+                }
+                wal.dir_synced = true;
             }
         }
         match rejected {
@@ -489,10 +552,13 @@ impl DurableStore {
         if let Err(e) = write_atomic(self.io.as_ref(), &snapshot_path, &bytes) {
             return Err(self.enter_degraded(&e));
         }
-        // The new snapshot is durable: appends may now switch.
+        // The new snapshot is durable: appends may now switch. The
+        // next generation's WAL file does not exist yet, so its first
+        // append must sync the directory entry again.
         wal.generation = new;
         wal.records_since_checkpoint = 0;
         wal.unsynced_records = 0;
+        wal.dir_synced = false;
         // lint:allow(atomics-ordering-audit): monotone stats counter, no handoff
         self.checkpoints.fetch_add(1, Ordering::Relaxed);
         // Old generation is now garbage; removal is best-effort (a
@@ -710,6 +776,79 @@ mod tests {
         assert_eq!(report.recovered_records, 1);
         assert!(recovered.store().version("alice").is_some());
         assert!(recovered.store().version("bob").is_none());
+    }
+
+    #[test]
+    fn oversize_device_is_rejected_before_it_can_poison_the_log() {
+        use crate::wal::MAX_DEVICE_BYTES;
+        let mem = Arc::new(MemIo::new());
+        let (durable, _) = open_mem(&mem, DurabilityConfig::default());
+        durable
+            .observe_batch(4, &[sighting("alice", 1.0, 2)])
+            .unwrap();
+        let giant = "g".repeat(MAX_DEVICE_BYTES + 1);
+        let err = durable
+            .observe_batch(4, &[sighting("bob", 2.0, 0), sighting(&giant, 3.0, 1)])
+            .unwrap_err();
+        assert!(matches!(err, DurableError::Rejected(_)), "{err:?}");
+        // The oversize sighting never touched memory or the log; the
+        // valid prefix (bob) was applied and logged.
+        assert!(durable.store().version(&giant).is_none());
+        assert!(durable.store().version("bob").is_some());
+
+        // Every record acked so far must survive recovery intact — no
+        // poison frame, no truncation.
+        mem.crash(17);
+        let (recovered, report) = open_mem(&mem, DurabilityConfig::default());
+        assert_eq!(report.recovered_records, 2);
+        assert_eq!(report.truncated_bytes, 0);
+        assert!(recovered.store().version("alice").is_some());
+        assert!(recovered.store().version("bob").is_some());
+    }
+
+    #[test]
+    fn transient_read_error_fails_open_instead_of_recovering_stale_state() {
+        use crate::io::{FaultKind, FaultyIo};
+        // Healthy history: a checkpointed snapshot plus a live WAL.
+        let mem = Arc::new(MemIo::new());
+        let (durable, _) = open_mem(&mem, DurabilityConfig::default());
+        durable
+            .observe_batch(4, &[sighting("alice", 1.0, 2)])
+            .unwrap();
+        durable.checkpoint().unwrap();
+        durable
+            .observe_batch(4, &[sighting("bob", 2.0, 3)])
+            .unwrap();
+        drop(durable);
+
+        // Open ops: create_dir_all, list, read snapshot.1, read wal.1.
+        // A transient error on either read must fail the open — not
+        // fall back to an older generation or skip WAL replay.
+        for fault_at in [2u64, 3] {
+            let faulty: Arc<dyn StorageIo> = Arc::new(FaultyIo::new(
+                Arc::clone(&mem),
+                fault_at,
+                FaultKind::Error,
+                1,
+            ));
+            let result = DurableStore::open(
+                faulty,
+                &dir(),
+                StoreConfig::default(),
+                DurabilityConfig::default(),
+            );
+            assert!(
+                result.is_err(),
+                "open succeeded past a read error at op {fault_at}"
+            );
+        }
+
+        // The same state opens cleanly on a healthy disk.
+        let (recovered, report) = open_mem(&mem, DurabilityConfig::default());
+        assert_eq!(report.generation, 1);
+        assert_eq!(report.recovered_records, 1);
+        assert!(recovered.store().version("alice").is_some());
+        assert!(recovered.store().version("bob").is_some());
     }
 
     #[test]

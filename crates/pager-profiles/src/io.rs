@@ -7,7 +7,8 @@
 //! - [`DiskIo`] — the real filesystem (what `pager-serve` uses);
 //! - [`MemIo`] — a deterministic in-memory filesystem that models
 //!   *crash durability*: written bytes are volatile until `sync`, new
-//!   directory entries are volatile until `sync_dir`, and
+//!   directory entries (created, renamed, or removed names alike) are
+//!   volatile until `sync_dir`, and
 //!   [`MemIo::crash`] collapses the volatile state exactly the way a
 //!   power cut would (unsynced appends survive only as a seeded torn
 //!   prefix, unsynced renames roll back);
@@ -345,10 +346,11 @@ impl StorageIo for MemIo {
         let mut fs = self.lock();
         let file = fs.files.get_mut(path).ok_or_else(|| not_found(path))?;
         file.synced = file.live.clone();
-        // fsync on a fresh file also persists its entry on every
-        // filesystem this repo targets; directory syncs cover renames.
-        fs.durable_names.insert(path.to_path_buf());
-        fs.orphans.remove(path);
+        // Pessimistic POSIX: fsync makes the *content* durable, but a
+        // freshly created entry survives a crash only once its
+        // directory is synced. Modeling the ext4-style
+        // entry-on-fsync courtesy here would hide missing sync_dir
+        // calls from every crash test.
         Ok(())
     }
 
@@ -651,10 +653,25 @@ mod tests {
         let io = MemIo::new();
         io.write(&p("/d/a"), b"durable").unwrap();
         io.sync(&p("/d/a")).unwrap();
+        io.sync_dir(&p("/d")).unwrap();
         io.write(&p("/d/b"), b"volatile").unwrap();
         io.crash(1);
         assert_eq!(io.read(&p("/d/a")).unwrap(), b"durable");
         assert!(io.read(&p("/d/b")).is_err(), "unsynced file survived");
+    }
+
+    #[test]
+    fn fsync_alone_does_not_persist_a_new_entry() {
+        // Pessimistic POSIX: the file's bytes are synced but its
+        // directory entry is not — a crash loses the whole file.
+        let io = MemIo::new();
+        io.write(&p("/d/a"), b"content").unwrap();
+        io.sync(&p("/d/a")).unwrap();
+        io.crash(1);
+        assert!(
+            io.read(&p("/d/a")).is_err(),
+            "entry survived without a directory sync"
+        );
     }
 
     #[test]
@@ -663,6 +680,7 @@ mod tests {
             let io = MemIo::new();
             io.write(&p("/d/wal"), b"synced").unwrap();
             io.sync(&p("/d/wal")).unwrap();
+            io.sync_dir(&p("/d")).unwrap();
             io.append(&p("/d/wal"), b"0123456789").unwrap();
             io.crash(seed);
             let after = io.read(&p("/d/wal")).unwrap();
@@ -677,8 +695,9 @@ mod tests {
         let io = MemIo::new();
         io.write(&p("/d/tmp"), b"snapshot").unwrap();
         io.sync(&p("/d/tmp")).unwrap();
+        io.sync_dir(&p("/d")).unwrap();
         io.rename(&p("/d/tmp"), &p("/d/snap")).unwrap();
-        // No sync_dir: the rename is volatile.
+        // No second sync_dir: the rename is volatile.
         io.crash(7);
         assert_eq!(io.read(&p("/d/tmp")).unwrap(), b"snapshot");
         assert!(io.read(&p("/d/snap")).is_err(), "volatile rename survived");

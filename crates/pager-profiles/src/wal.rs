@@ -50,6 +50,13 @@ pub const RECORD_VERSION: u8 = 1;
 /// plus ~17 bytes).
 pub const MAX_RECORD_BYTES: u32 = 1 << 20;
 
+/// Upper bound on a device identifier, in bytes. Enforced at encode
+/// time (and again by the scanner) so every encodable record frames
+/// well under [`MAX_RECORD_BYTES`]: a record the ingest path acks is
+/// always one the recovery scan will accept, never a poison frame that
+/// truncates the log and the acked records behind it.
+pub const MAX_DEVICE_BYTES: usize = 4096;
+
 /// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320).
 #[must_use]
 pub fn crc32(data: &[u8]) -> u32 {
@@ -82,33 +89,45 @@ pub fn crc32(data: &[u8]) -> u32 {
 }
 
 /// Encodes one sighting as a framed v1 record.
-#[must_use]
-pub fn encode_record(sighting: &SightingRecord) -> Vec<u8> {
+///
+/// # Errors
+///
+/// A message when the sighting cannot be represented losslessly: a
+/// device name over [`MAX_DEVICE_BYTES`], or a `cells`/`cell` value
+/// that does not fit the wire's `u32`. Rejecting here (rather than
+/// saturating) keeps the round-trip exact and keeps every encoded
+/// frame within [`MAX_RECORD_BYTES`], which the recovery scanner
+/// relies on.
+pub fn encode_record(sighting: &SightingRecord) -> Result<Vec<u8>, String> {
     let device = sighting.device.as_bytes();
+    if device.len() > MAX_DEVICE_BYTES {
+        return Err(format!(
+            "device name is {} bytes, over the {MAX_DEVICE_BYTES}-byte limit",
+            device.len()
+        ));
+    }
+    let cells = u32::try_from(sighting.cells)
+        .map_err(|_| format!("cell count {} does not fit u32", sighting.cells))?;
+    let cell = u32::try_from(sighting.cell)
+        .map_err(|_| format!("cell index {} does not fit u32", sighting.cell))?;
+    // Bounded by MAX_DEVICE_BYTES above, so the frame length always
+    // fits u32 and stays far below MAX_RECORD_BYTES.
+    let dev_len = u32::try_from(device.len())
+        .map_err(|_| format!("device length {} does not fit u32", device.len()))?;
     let mut body = Vec::with_capacity(1 + 16 + 4 + device.len());
     body.push(RECORD_VERSION);
-    body.extend_from_slice(
-        &u32::try_from(sighting.cells)
-            .unwrap_or(u32::MAX)
-            .to_le_bytes(),
-    );
-    body.extend_from_slice(
-        &u32::try_from(sighting.cell)
-            .unwrap_or(u32::MAX)
-            .to_le_bytes(),
-    );
+    body.extend_from_slice(&cells.to_le_bytes());
+    body.extend_from_slice(&cell.to_le_bytes());
     body.extend_from_slice(&sighting.time.to_bits().to_le_bytes());
-    body.extend_from_slice(
-        &u32::try_from(device.len())
-            .unwrap_or(u32::MAX)
-            .to_le_bytes(),
-    );
+    body.extend_from_slice(&dev_len.to_le_bytes());
     body.extend_from_slice(device);
+    let len = u32::try_from(body.len())
+        .map_err(|_| format!("record body {} bytes does not fit u32", body.len()))?;
     let mut frame = Vec::with_capacity(HEADER_BYTES + body.len());
-    frame.extend_from_slice(&u32::try_from(body.len()).unwrap_or(u32::MAX).to_le_bytes());
+    frame.extend_from_slice(&len.to_le_bytes());
     frame.extend_from_slice(&crc32(&body).to_le_bytes());
     frame.extend_from_slice(&body);
-    frame
+    Ok(frame)
 }
 
 fn read_u32(bytes: &[u8], at: usize) -> Option<u32> {
@@ -127,6 +146,11 @@ fn decode_v1(payload: &[u8]) -> Option<SightingRecord> {
     let time_bits: [u8; 8] = payload.get(8..16)?.try_into().ok()?;
     let time = f64::from_bits(u64::from_le_bytes(time_bits));
     let dev_len = read_u32(payload, 16)? as usize;
+    if dev_len > MAX_DEVICE_BYTES {
+        // Symmetric with encode: a frame no encoder could have
+        // produced is corruption, not data.
+        return None;
+    }
     let device_bytes = payload.get(20..)?;
     if device_bytes.len() != dev_len {
         return None;
@@ -145,6 +169,10 @@ fn decode_v1(payload: &[u8]) -> Option<SightingRecord> {
 pub struct WalScan {
     /// Decoded records, in append order.
     pub records: Vec<SightingRecord>,
+    /// End offset of each valid frame: `frame_ends[i]` is the log
+    /// length that covers exactly `records[..=i]` (so replay can
+    /// truncate after any record without re-encoding it).
+    pub frame_ends: Vec<u64>,
     /// Byte length of the valid prefix; everything past it should be
     /// truncated.
     pub valid_len: u64,
@@ -159,6 +187,7 @@ pub struct WalScan {
 #[must_use]
 pub fn scan(bytes: &[u8]) -> WalScan {
     let mut records = Vec::new();
+    let mut frame_ends = Vec::new();
     let mut at = 0usize;
     while let Some(len) = read_u32(bytes, at) {
         let Some(expected_crc) = read_u32(bytes, at + 4) else {
@@ -189,9 +218,11 @@ pub fn scan(bytes: &[u8]) -> WalScan {
         };
         records.push(sighting);
         at = body_end;
+        frame_ends.push(at as u64);
     }
     WalScan {
         records,
+        frame_ends,
         valid_len: at as u64,
         truncated_bytes: (bytes.len() - at) as u64,
     }
@@ -231,7 +262,7 @@ mod tests {
         ];
         let mut log = Vec::new();
         for record in &records {
-            log.extend_from_slice(&encode_record(record));
+            log.extend_from_slice(&encode_record(record).unwrap());
         }
         let scan = scan(&log);
         assert_eq!(scan.valid_len, log.len() as u64);
@@ -247,9 +278,9 @@ mod tests {
 
     #[test]
     fn truncated_tail_is_dropped_cleanly() {
-        let full = encode_record(&sighting("alice", 4, 1.0, 2));
+        let full = encode_record(&sighting("alice", 4, 1.0, 2)).unwrap();
         let mut log = full.clone();
-        log.extend_from_slice(&encode_record(&sighting("bob", 4, 2.0, 3)));
+        log.extend_from_slice(&encode_record(&sighting("bob", 4, 2.0, 3)).unwrap());
         // Cut anywhere inside the second record.
         for cut in full.len()..log.len() {
             let scan = scan(&log[..cut]);
@@ -261,8 +292,8 @@ mod tests {
 
     #[test]
     fn bad_checksum_stops_the_scan() {
-        let mut log = encode_record(&sighting("alice", 4, 1.0, 2));
-        let tail = encode_record(&sighting("bob", 4, 2.0, 3));
+        let mut log = encode_record(&sighting("alice", 4, 1.0, 2)).unwrap();
+        let tail = encode_record(&sighting("bob", 4, 2.0, 3)).unwrap();
         let flip_at = log.len() + HEADER_BYTES + 3; // inside bob's body
         log.extend_from_slice(&tail);
         log[flip_at] ^= 0x01;
@@ -284,7 +315,7 @@ mod tests {
 
     #[test]
     fn unknown_version_stops_the_scan() {
-        let mut frame = encode_record(&sighting("alice", 4, 1.0, 2));
+        let mut frame = encode_record(&sighting("alice", 4, 1.0, 2)).unwrap();
         // Bump the version byte and re-checksum so only the version is
         // "wrong".
         frame[HEADER_BYTES] = RECORD_VERSION + 1;
@@ -293,6 +324,40 @@ mod tests {
         let scan = scan(&frame);
         assert!(scan.records.is_empty());
         assert_eq!(scan.truncated_bytes, frame.len() as u64);
+    }
+
+    #[test]
+    fn oversize_or_unrepresentable_records_are_rejected_at_encode() {
+        let long_device = "x".repeat(MAX_DEVICE_BYTES + 1);
+        let err = encode_record(&sighting(&long_device, 4, 1.0, 2)).unwrap_err();
+        assert!(err.contains("byte limit"), "{err}");
+        // Exactly at the limit still encodes and round-trips.
+        let at_limit = "y".repeat(MAX_DEVICE_BYTES);
+        let frame = encode_record(&sighting(&at_limit, 4, 1.0, 2)).unwrap();
+        assert!(frame.len() as u32 <= MAX_RECORD_BYTES);
+        let scanned = scan(&frame);
+        assert_eq!(scanned.records.len(), 1);
+        assert_eq!(scanned.records[0].device, at_limit);
+        // cells/cell over u32 are rejected, not silently saturated.
+        #[cfg(target_pointer_width = "64")]
+        {
+            let too_many_cells = u64::from(u32::MAX) as usize + 1;
+            assert!(encode_record(&sighting("a", too_many_cells, 1.0, 0)).is_err());
+            assert!(encode_record(&sighting("a", 4, 1.0, too_many_cells)).is_err());
+        }
+    }
+
+    #[test]
+    fn scan_reports_a_frame_end_per_record() {
+        let a = encode_record(&sighting("alice", 4, 1.0, 2)).unwrap();
+        let b = encode_record(&sighting("bob", 4, 2.0, 3)).unwrap();
+        let mut log = a.clone();
+        log.extend_from_slice(&b);
+        let scanned = scan(&log);
+        assert_eq!(
+            scanned.frame_ends,
+            vec![a.len() as u64, (a.len() + b.len()) as u64]
+        );
     }
 
     #[test]

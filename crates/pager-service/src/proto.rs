@@ -61,6 +61,7 @@
 
 use jsonio::Value;
 use pager_core::{Delay, Instance};
+use pager_profiles::wal::MAX_DEVICE_BYTES;
 use pager_profiles::{Estimator, Sighting};
 use rational::Ratio;
 
@@ -192,6 +193,15 @@ fn parse_observe(value: &Value) -> Result<Request, String> {
             .get("device")
             .and_then(Value::as_str)
             .ok_or_else(|| format!("sighting {i} needs a string \"device\""))?;
+        // Bound device names at the door: the durable store's WAL
+        // enforces the same limit, and rejecting here keeps the
+        // in-memory and durable configurations behaving identically.
+        if device.len() > MAX_DEVICE_BYTES {
+            return Err(format!(
+                "sighting {i}: device name is {} bytes, over the {MAX_DEVICE_BYTES}-byte limit",
+                device.len()
+            ));
+        }
         let cell = s
             .get("cell")
             .and_then(Value::as_usize)
@@ -587,6 +597,30 @@ mod tests {
         let unknown_cmd = handle_line(&svc, r#"{"cmd": "dance"}"#);
         let v = jsonio::parse(&unknown_cmd.response).unwrap();
         assert_eq!(v.get("code").and_then(Value::as_str), Some("unsupported"));
+    }
+
+    #[test]
+    fn oversize_device_names_are_rejected_at_parse() {
+        let svc = service();
+        let giant = "d".repeat(MAX_DEVICE_BYTES + 1);
+        let line = format!(
+            r#"{{"cmd": "observe", "cells": 4,
+                "sightings": [{{"device": "ok", "cell": 0, "time": 1.0}},
+                              {{"device": "{giant}", "cell": 1, "time": 2.0}}]}}"#
+        );
+        let v = jsonio::parse(&handle_line(&svc, &line).response).unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+        assert_eq!(v.get("code").and_then(Value::as_str), Some("bad_request"));
+        // Rejected at parse: nothing from the batch was ingested.
+        assert_eq!(svc.profiles().stats().devices, 0);
+        // At the limit is accepted.
+        let at_limit = "d".repeat(MAX_DEVICE_BYTES);
+        let line = format!(
+            r#"{{"cmd": "observe", "cells": 4,
+                "sightings": [{{"device": "{at_limit}", "cell": 0, "time": 1.0}}]}}"#
+        );
+        let v = jsonio::parse(&handle_line(&svc, &line).response).unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "{v}");
     }
 
     #[test]
