@@ -1,0 +1,166 @@
+//! C10k transport comparison: the event-loop server versus a
+//! thread-per-connection baseline, both serving the same
+//! [`pager_service`] JSON-lines protocol in-process.
+//!
+//! For each transport the bench opens `CONNS` idle connections
+//! (default 2000, env-overridable), measures how many OS threads the
+//! server added to hold them, and then measures ping round-trip
+//! latency through the loaded server. The output is one JSON object on
+//! stdout — `BENCH_service.json` in the repo root is a checked-in run
+//! of this bench plus `bench_service`.
+//!
+//! Both sides of every connection live in this process (one client fd
+//! plus one server fd per connection), so `CONNS` needs an `ulimit -n`
+//! headroom of at least `2 * CONNS` plus slack.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pager_service::{serve_lines, serve_tcp_with, PagerService, ServiceConfig};
+
+const EVENT_LOOPS: usize = 2;
+const WORKERS: usize = 2;
+const PING_SAMPLES: usize = 500;
+
+fn conns() -> usize {
+    std::env::var("CONNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2000)
+}
+
+fn service() -> Arc<PagerService> {
+    Arc::new(PagerService::new(ServiceConfig {
+        workers: WORKERS,
+        ..ServiceConfig::default()
+    }))
+}
+
+/// Current thread count of this process, from /proc.
+fn thread_count() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find_map(|line| line.strip_prefix("Threads:"))
+                .and_then(|v| v.trim().parse().ok())
+        })
+        .expect("Threads: line in /proc/self/status")
+}
+
+struct TransportResult {
+    threads_added: usize,
+    connect_ms: f64,
+    ping_p50_us: f64,
+    ping_p99_us: f64,
+}
+
+/// Opens `n` idle connections to `addr`, then measures ping latency on
+/// one more connection while they sit there.
+fn measure(addr: std::net::SocketAddr, n: usize, threads_before: usize) -> TransportResult {
+    let started = Instant::now();
+    let mut idle = Vec::with_capacity(n);
+    for _ in 0..n {
+        idle.push(TcpStream::connect(addr).expect("connect idle"));
+    }
+    let connect_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    // Give thread-per-connection servers a beat to finish spawning.
+    std::thread::sleep(Duration::from_millis(200));
+    let threads_added = thread_count().saturating_sub(threads_before);
+
+    let probe = TcpStream::connect(addr).expect("connect probe");
+    probe.set_nodelay(true).expect("nodelay");
+    let mut reader = BufReader::new(probe.try_clone().expect("clone probe"));
+    let mut writer = BufWriter::new(probe);
+    let mut samples_us = Vec::with_capacity(PING_SAMPLES);
+    let mut line = String::new();
+    for _ in 0..PING_SAMPLES {
+        let t = Instant::now();
+        writeln!(writer, r#"{{"cmd": "ping"}}"#).expect("send ping");
+        writer.flush().expect("flush ping");
+        line.clear();
+        reader.read_line(&mut line).expect("read pong");
+        samples_us.push(t.elapsed().as_secs_f64() * 1e6);
+        assert!(line.contains("pong"), "bad ping response: {line:?}");
+    }
+    samples_us.sort_by(f64::total_cmp);
+    let pct = |p: f64| samples_us[((samples_us.len() - 1) as f64 * p) as usize];
+    drop(idle);
+    TransportResult {
+        threads_added,
+        connect_ms,
+        ping_p50_us: pct(0.50),
+        ping_p99_us: pct(0.99),
+    }
+}
+
+/// The baseline the event loop replaced: accept loop + one OS thread
+/// per connection running [`serve_lines`] over the socket.
+fn spawn_thread_per_conn(service: Arc<PagerService>) -> std::net::SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind baseline");
+    let addr = listener.local_addr().expect("baseline addr");
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { continue };
+            let service = Arc::clone(&service);
+            let spawned = std::thread::Builder::new().spawn(move || {
+                let reader = BufReader::new(match stream.try_clone() {
+                    Ok(s) => s,
+                    Err(_) => return,
+                });
+                let _ = serve_lines(&service, reader, BufWriter::new(stream));
+            });
+            if spawned.is_err() {
+                // Out of threads: the connection drops, mirroring the
+                // old server's behaviour under thread exhaustion.
+                continue;
+            }
+        }
+    });
+    addr
+}
+
+fn transport_json(label: &str, n: usize, r: &TransportResult) -> String {
+    format!(
+        "    \"{label}\": {{\"idle_conns\": {n}, \"threads_added\": {}, \"connect_ms\": {:.1}, \"ping_p50_us\": {:.1}, \"ping_p99_us\": {:.1}}}",
+        r.threads_added, r.connect_ms, r.ping_p50_us, r.ping_p99_us
+    )
+}
+
+fn main() {
+    let n = conns();
+
+    // Event-loop transport first so its thread delta is not polluted
+    // by baseline threads still unwinding.
+    let svc = service();
+    let threads_before = thread_count();
+    let mut handle =
+        serve_tcp_with(Arc::clone(&svc), ("127.0.0.1", 0), EVENT_LOOPS).expect("serve_tcp_with");
+    let event_loop = measure(handle.local_addr(), n, threads_before);
+    handle.stop();
+    svc.shutdown();
+
+    // Thread-per-connection baseline.
+    let svc = service();
+    let threads_before = thread_count();
+    let addr = spawn_thread_per_conn(Arc::clone(&svc));
+    let baseline = measure(addr, n, threads_before);
+    // Idle sockets just dropped: their serve_lines threads see EOF and
+    // exit; give them a moment before the service is torn down.
+    std::thread::sleep(Duration::from_millis(200));
+    svc.shutdown();
+
+    println!("{{");
+    println!("  \"bench\": \"c10k_transport_comparison\",");
+    println!(
+        "  \"config\": {{\"idle_conns\": {n}, \"ping_samples\": {PING_SAMPLES}, \"event_loops\": {EVENT_LOOPS}, \"workers\": {WORKERS}}},"
+    );
+    println!("  \"transports\": {{");
+    println!("{},", transport_json("event_loop", n, &event_loop));
+    println!("{}", transport_json("thread_per_conn", n, &baseline));
+    println!("  }}");
+    println!("}}");
+}

@@ -86,8 +86,7 @@ pub fn greedy_strategy_planned_cancel(
     let split =
         // lint:allow(no-unwrap-outside-tests): d <= c after clamping, so the split exists
         optimal_split_cancel(&g, d, None, cancel)?.expect("clamped delay always feasible");
-    let strategy = Strategy::from_order_and_sizes(&order, &split.sizes)
-        .expect("DP split sizes partition the order");
+    let strategy = Strategy::from_order_and_sizes(&order, &split.sizes)?;
     Ok(PlannedStrategy {
         expected_paging: c as f64 - split.savings,
         strategy,

@@ -145,8 +145,7 @@ pub fn greedy_signature_cancel(
     cancel.check()?;
     // lint:allow(no-unwrap-outside-tests): d <= c after clamping, so the split exists
     let split = optimal_split_cancel(&g, d, None, cancel)?.expect("clamped delay is feasible");
-    let strategy =
-        Strategy::from_order_and_sizes(&order, &split.sizes).expect("split partitions the order");
+    let strategy = Strategy::from_order_and_sizes(&order, &split.sizes)?;
     Ok(PlannedStrategy {
         expected_paging: c as f64 - split.savings,
         strategy,
@@ -183,7 +182,7 @@ pub fn optimal_signature_exhaustive(
     let mut assignment = vec![0usize; c];
     loop {
         if let Some(groups) = assignment_groups(&assignment, d) {
-            let strategy = Strategy::new(groups).expect("valid partition");
+            let strategy = Strategy::new(groups)?;
             let ep = expected_paging_signature(instance, &strategy, k)?;
             if best.as_ref().is_none_or(|b| ep < b.expected_paging) {
                 best = Some(PlannedStrategy {
@@ -196,7 +195,7 @@ pub fn optimal_signature_exhaustive(
             break;
         }
     }
-    Ok(best.expect("d <= c guarantees a strategy"))
+    best.ok_or(Error::DelayExceedsCells { delay: d, cells: c })
 }
 
 fn assignment_groups(assignment: &[usize], d: usize) -> Option<Vec<Vec<usize>>> {

@@ -46,9 +46,9 @@ pub fn single_user_optimal(instance: &Instance, delay: Delay) -> Result<PlannedS
     let order = instance.cells_by_weight_desc();
     let rows: Vec<&[f64]> = instance.rows().collect();
     let g = conference_stop_probs(&rows, &order);
-    let split = optimal_split(&g, d, None).expect("clamped delay is feasible");
-    let strategy = Strategy::from_order_and_sizes(&order, &split.sizes)
-        .expect("split sizes partition the order");
+    let split =
+        optimal_split(&g, d, None).ok_or(Error::DelayExceedsCells { delay: d, cells: c })?;
+    let strategy = Strategy::from_order_and_sizes(&order, &split.sizes)?;
     Ok(PlannedStrategy {
         expected_paging: c as f64 - split.savings,
         strategy,

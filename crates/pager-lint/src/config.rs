@@ -20,6 +20,8 @@ pub const LOCK_ORDER: &[&str] = &[
     "shard",
     "latest_time",
     "fs",
+    "lifecycle",
+    "injector",
 ];
 
 /// Maps a `.lock()` receiver identifier to its lock class. Receivers
@@ -41,6 +43,15 @@ pub fn lock_class(receiver: &str) -> Option<&'static str> {
         // The in-memory storage backend's own state lock: always the
         // innermost (I/O calls never take further locks).
         "fs" => Some("fs"),
+        // The TCP server's lifecycle state (stop/active-loop counts):
+        // held only for flag flips and condvar waits, never while
+        // calling into the service or a loop.
+        "lifecycle" => Some("lifecycle"),
+        // The reactor's cross-thread task queue: the most leaf-like
+        // lock in the workspace. `inject` pushes and wakes without
+        // calling out, and the event loop pops one task at a time,
+        // never holding it across driver code.
+        "injector" => Some("injector"),
         _ => None,
     }
 }
@@ -63,6 +74,7 @@ impl Policy {
     pub fn unwrap_denied(&self, path: &str) -> bool {
         (path.starts_with("crates/pager-core/src/")
             || path.starts_with("crates/pager-service/src/")
+            || path.starts_with("crates/pager-reactor/src/")
             || Self::DURABILITY_PATHS.contains(&path))
             && !Self::is_test_path(path)
     }
@@ -118,9 +130,15 @@ mod tests {
         // state lock is innermost of all.
         assert!(lock_rank("wal") < lock_rank("shard"));
         assert!(lock_rank("latest_time") < lock_rank("fs"));
+        // The reactor's injector queue is the innermost lock of all:
+        // everything may inject, and inject calls nothing.
+        assert!(lock_rank("lifecycle") < lock_rank("injector"));
+        assert_eq!(lock_rank("injector"), Some(LOCK_ORDER.len() - 1));
         assert_eq!(lock_class("shard_for"), Some("shard"));
         assert_eq!(lock_class("wal"), Some("wal"));
         assert_eq!(lock_class("fs"), Some("fs"));
+        assert_eq!(lock_class("lifecycle"), Some("lifecycle"));
+        assert_eq!(lock_class("injector"), Some("injector"));
         assert_eq!(lock_class("mystery"), None);
     }
 
@@ -129,6 +147,7 @@ mod tests {
         let p = Policy;
         assert!(p.unwrap_denied("crates/pager-core/src/dp.rs"));
         assert!(p.unwrap_denied("crates/pager-service/src/server.rs"));
+        assert!(p.unwrap_denied("crates/pager-reactor/src/poll.rs"));
         assert!(!p.unwrap_denied("crates/cellnet/src/system.rs"));
         assert!(!p.unwrap_denied("crates/pager-core/tests/dp.rs"));
         // Durability modules are covered; the rest of pager-profiles

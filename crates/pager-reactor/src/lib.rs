@@ -1,0 +1,520 @@
+//! `pager-reactor`: a std-only readiness-driven event loop.
+//!
+//! The paging service's original transport parked one OS thread per
+//! connection; idle pagers held threads hostage and every shutdown
+//! path polled on a sleep. This crate replaces that with the classic
+//! reactor shape, built from first principles on raw `epoll(7)` and
+//! `eventfd(2)` syscalls (see [`sys`] — no `libc` crate, keeping the
+//! workspace's offline/no-dependency constraint):
+//!
+//! - [`poll::Poller`] — level-triggered epoll: register fds under
+//!   [`Token`]s, wait for readiness.
+//! - [`wake::Waker`] — an eventfd any thread can poke to interrupt a
+//!   blocked `epoll_wait`; wakeups coalesce.
+//! - [`timer::TimerWheel`] — hashed wheel for deadlines, with
+//!   same-tick coalescing and O(1) lazy cancel.
+//! - [`EventLoop`] / [`Driver`] — ties the three together: one thread
+//!   runs `epoll_wait → events → injected tasks → expired timers`
+//!   forever, calling into a caller-supplied [`Driver`]. A cloneable
+//!   [`LoopHandle`] injects tasks from other threads (worker pools,
+//!   other shards) with an eventfd wakeup.
+//! - [`net::bind_reuseport`] — an `SO_REUSEPORT` listener factory so
+//!   every loop shard owns its own acceptor on one port and the
+//!   kernel load-balances accepts.
+//!
+//! The loop is deliberately single-threaded and the [`Driver`] gets
+//! `&mut self`: all per-connection state lives on its owning shard,
+//! no locks in the hot path. Cross-thread communication is only ever
+//! "inject a task and wake" — the one mutex in this crate guards the
+//! injection queue and is never held across user code.
+
+pub mod poll;
+pub mod sys;
+pub mod timer;
+pub mod wake;
+
+pub use poll::{Event, Interest, Poller, Token};
+pub use timer::{TimerKey, TimerWheel};
+pub use wake::Waker;
+
+use std::collections::VecDeque;
+use std::io;
+use std::os::unix::io::RawFd;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// The token the loop's own waker eventfd is registered under. User
+/// registrations must stay below it (practically: any token you'd
+/// mint by counting up is fine).
+pub const WAKE_TOKEN: Token = Token(u64::MAX);
+
+/// Per-loop timer granularity. Deadlines in this codebase are tens of
+/// milliseconds (admission deadlines, drain bounds), so 1ms ticks
+/// over-resolve rather than under-resolve them.
+const TIMER_TICK: Duration = Duration::from_millis(1);
+const TIMER_SLOTS: usize = 256;
+
+/// What a loop calls back into. One driver per loop thread; `&mut`
+/// everywhere because the loop is the only thread touching it.
+pub trait Driver {
+    /// Cross-thread message type delivered through [`LoopHandle::inject`].
+    type Task: Send + 'static;
+
+    /// An fd registered via [`Ring::register`] became ready.
+    fn on_event(&mut self, ring: &mut Ring, event: Event);
+
+    /// A task injected from another thread arrived.
+    fn on_task(&mut self, ring: &mut Ring, task: Self::Task);
+
+    /// A timer armed via [`Ring::arm_timer`] fired.
+    fn on_timer(&mut self, ring: &mut Ring, token: Token) {
+        let _ = (ring, token);
+    }
+}
+
+/// The loop-side surface a [`Driver`] programs against: registration,
+/// timers, and stop. Passed `&mut` into every driver callback.
+#[derive(Debug)]
+pub struct Ring {
+    poller: Poller,
+    wheel: TimerWheel,
+    stop: bool,
+    wakeups: u64,
+}
+
+impl Ring {
+    /// Registers `fd` under `token`. Tokens are the driver's to mint;
+    /// they must be unique per live registration and below
+    /// [`WAKE_TOKEN`].
+    ///
+    /// # Errors
+    ///
+    /// The underlying `epoll_ctl` error.
+    pub fn register(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        self.poller.add(fd, token, interest)
+    }
+
+    /// Changes the interest of a registered fd (e.g. add writable
+    /// while output is queued).
+    ///
+    /// # Errors
+    ///
+    /// The underlying `epoll_ctl` error.
+    pub fn reregister(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        self.poller.modify(fd, token, interest)
+    }
+
+    /// Deregisters an fd ahead of closing it.
+    ///
+    /// # Errors
+    ///
+    /// The underlying `epoll_ctl` error.
+    pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        self.poller.remove(fd)
+    }
+
+    /// Arms a timer; [`Driver::on_timer`] fires with `token` at (or
+    /// one tick after) `fire_at`.
+    pub fn arm_timer(&mut self, fire_at: Instant, token: Token) -> TimerKey {
+        self.wheel.insert_at(fire_at, token)
+    }
+
+    /// Cancels an armed timer; returns whether it was still pending.
+    pub fn cancel_timer(&mut self, key: TimerKey) -> bool {
+        self.wheel.cancel(key)
+    }
+
+    /// Asks the loop to exit after the current iteration finishes
+    /// (remaining events, tasks, and due timers of this batch are
+    /// still delivered).
+    pub fn stop(&mut self) {
+        self.stop = true;
+    }
+
+    /// How many times this loop returned from `epoll_wait` — the
+    /// `loop_wakeups` metric feedstock.
+    #[must_use]
+    pub fn wakeups(&self) -> u64 {
+        self.wakeups
+    }
+}
+
+/// Shared slot between a loop and its handles: the injected-task queue
+/// plus the waker that announces it.
+#[derive(Debug)]
+struct Shared<T> {
+    injector: Mutex<VecDeque<T>>,
+    waker: Waker,
+}
+
+/// One event loop, meant to own one thread via [`EventLoop::run`].
+#[derive(Debug)]
+pub struct EventLoop<T> {
+    ring: Ring,
+    shared: Arc<Shared<T>>,
+}
+
+/// Cloneable, `Send` handle for injecting tasks into a loop from any
+/// thread.
+#[derive(Debug)]
+pub struct LoopHandle<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Clone for LoopHandle<T> {
+    fn clone(&self) -> LoopHandle<T> {
+        LoopHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T: Send + 'static> LoopHandle<T> {
+    /// Queues `task` for the loop and wakes it. Unbounded by design:
+    /// admission control belongs to the service layer (the bounded
+    /// dispatcher queue), not the transport — a response that was
+    /// already computed must always be deliverable.
+    pub fn inject(&self, task: T) {
+        {
+            let mut injector = self
+                .shared
+                .injector
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            injector.push_back(task);
+        }
+        self.shared.waker.wake();
+    }
+
+    /// Wakes the loop without a task (e.g. to make it notice a stop
+    /// flag the caller set elsewhere).
+    pub fn wake(&self) {
+        self.shared.waker.wake();
+    }
+}
+
+impl<T: Send + 'static> EventLoop<T> {
+    /// Creates a loop and its injection handle. The waker eventfd is
+    /// already registered under [`WAKE_TOKEN`].
+    ///
+    /// # Errors
+    ///
+    /// epoll/eventfd creation errors (fd exhaustion, mostly).
+    pub fn new() -> io::Result<(EventLoop<T>, LoopHandle<T>)> {
+        let poller = Poller::new()?;
+        let waker = Waker::new()?;
+        poller.add(waker.raw_fd(), WAKE_TOKEN, Interest::READABLE)?;
+        let shared = Arc::new(Shared {
+            injector: Mutex::new(VecDeque::new()),
+            waker,
+        });
+        let event_loop = EventLoop {
+            ring: Ring {
+                poller,
+                wheel: TimerWheel::new(TIMER_TICK, TIMER_SLOTS),
+                stop: false,
+                wakeups: 0,
+            },
+            shared: Arc::clone(&shared),
+        };
+        Ok((event_loop, LoopHandle { shared }))
+    }
+
+    /// Registration surface for pre-`run` setup (e.g. adding the
+    /// acceptor before the loop thread starts).
+    pub fn ring(&mut self) -> &mut Ring {
+        &mut self.ring
+    }
+
+    /// Runs the loop until a driver callback calls [`Ring::stop`].
+    /// Consumes the loop; the driver's final state is returned so the
+    /// owner can harvest it (open-connection teardown, counters).
+    ///
+    /// # Errors
+    ///
+    /// A failed `epoll_wait` — unrecoverable for this loop; the
+    /// driver is still returned for cleanup.
+    pub fn run<D: Driver<Task = T>>(mut self, mut driver: D) -> Result<D, (D, io::Error)> {
+        let mut events = Vec::new();
+        let mut fired = Vec::new();
+        while !self.ring.stop {
+            let timeout = self
+                .ring
+                .wheel
+                .next_deadline()
+                .map(|deadline| deadline.saturating_duration_since(Instant::now()));
+            if let Err(e) = self.ring.poller.wait(&mut events, timeout) {
+                return Err((driver, e));
+            }
+            self.ring.wakeups += 1;
+
+            let mut woken = false;
+            for event in events.drain(..) {
+                if event.token == WAKE_TOKEN {
+                    woken = true;
+                } else {
+                    driver.on_event(&mut self.ring, event);
+                }
+            }
+
+            if woken {
+                // Reset the counter BEFORE draining the queue: a task
+                // injected after this point re-signals and the next
+                // poll returns immediately. The reverse order would
+                // lose that edge. A false drain (spurious wakeup) is
+                // fine — the queue scan below just comes up empty.
+                self.shared.waker.drain();
+                loop {
+                    // Pop one at a time so the injector lock is never
+                    // held across driver code.
+                    let task = {
+                        let mut injector = self
+                            .shared
+                            .injector
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        injector.pop_front()
+                    };
+                    match task {
+                        Some(task) => driver.on_task(&mut self.ring, task),
+                        None => break,
+                    }
+                }
+            }
+
+            self.ring.wheel.expire(Instant::now(), &mut fired);
+            for token in fired.drain(..) {
+                driver.on_timer(&mut self.ring, token);
+            }
+        }
+        Ok(driver)
+    }
+}
+
+/// `SO_REUSEPORT` listener setup.
+pub mod net {
+    use std::io;
+    use std::net::{SocketAddr, TcpListener};
+    use std::os::unix::io::FromRawFd;
+
+    /// Binds a nonblocking TCP listener with `SO_REUSEPORT` (and
+    /// `SO_REUSEADDR`) set before bind, so several loop shards can
+    /// each own an acceptor on the same address and the kernel
+    /// spreads incoming connections across them. Bind the first
+    /// listener with port 0, then bind the rest to the resolved
+    /// concrete port via [`TcpListener::local_addr`].
+    ///
+    /// # Errors
+    ///
+    /// socket/setsockopt/bind/listen errors.
+    pub fn bind_reuseport(addr: SocketAddr) -> io::Result<TcpListener> {
+        let fd = crate::sys::bind_reuseport_fd(&addr, 1024)?;
+        // SAFETY: the fd is a freshly created listening socket we own.
+        Ok(unsafe { TcpListener::from_raw_fd(fd) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+    use std::net::TcpStream;
+    use std::os::unix::io::AsRawFd;
+    use std::sync::mpsc;
+
+    /// A driver that records what happened, for loop-behavior tests.
+    #[derive(Debug)]
+    struct Recorder {
+        events: Vec<Token>,
+        tasks: Vec<u32>,
+        timers: Vec<Token>,
+        stop_after_tasks: usize,
+    }
+
+    impl Driver for Recorder {
+        type Task = u32;
+
+        fn on_event(&mut self, _ring: &mut Ring, event: Event) {
+            self.events.push(event.token);
+        }
+
+        fn on_task(&mut self, ring: &mut Ring, task: u32) {
+            self.tasks.push(task);
+            if self.tasks.len() >= self.stop_after_tasks {
+                ring.stop();
+            }
+        }
+
+        fn on_timer(&mut self, _ring: &mut Ring, token: Token) {
+            self.timers.push(token);
+        }
+    }
+
+    #[test]
+    fn injected_tasks_reach_driver_in_order() {
+        let (event_loop, handle) = EventLoop::new().unwrap();
+        let shipper = handle.clone();
+        let thread = std::thread::spawn(move || {
+            for task in 0..100u32 {
+                shipper.inject(task);
+            }
+        });
+        let recorder = event_loop
+            .run(Recorder {
+                events: Vec::new(),
+                tasks: Vec::new(),
+                timers: Vec::new(),
+                stop_after_tasks: 100,
+            })
+            .unwrap();
+        thread.join().unwrap();
+        assert_eq!(recorder.tasks, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tasks_route_to_their_own_shard() {
+        // Two loops, two handles; tasks injected at each handle must
+        // surface only on that loop. This is the cross-shard routing
+        // the server relies on when a worker finishes a plan for a
+        // connection owned by loop N.
+        let (loop_a, handle_a) = EventLoop::<u32>::new().unwrap();
+        let (loop_b, handle_b) = EventLoop::<u32>::new().unwrap();
+        let run = |event_loop: EventLoop<u32>, expect: usize| {
+            std::thread::spawn(move || {
+                event_loop
+                    .run(Recorder {
+                        events: Vec::new(),
+                        tasks: Vec::new(),
+                        timers: Vec::new(),
+                        stop_after_tasks: expect,
+                    })
+                    .unwrap()
+            })
+        };
+        let thread_a = run(loop_a, 3);
+        let thread_b = run(loop_b, 2);
+        for task in [10, 11, 12] {
+            handle_a.inject(task);
+        }
+        for task in [20, 21] {
+            handle_b.inject(task);
+        }
+        let got_a = thread_a.join().unwrap().tasks;
+        let got_b = thread_b.join().unwrap().tasks;
+        assert_eq!(got_a, vec![10, 11, 12]);
+        assert_eq!(got_b, vec![20, 21]);
+    }
+
+    #[test]
+    fn bare_wake_is_tolerated_as_spurious() {
+        let (event_loop, handle) = EventLoop::new().unwrap();
+        // Wake twice with no task, then send the real one.
+        handle.wake();
+        handle.wake();
+        let late = handle.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            late.inject(7u32);
+        });
+        let recorder = event_loop
+            .run(Recorder {
+                events: Vec::new(),
+                tasks: Vec::new(),
+                timers: Vec::new(),
+                stop_after_tasks: 1,
+            })
+            .unwrap();
+        assert_eq!(recorder.tasks, vec![7]);
+    }
+
+    #[test]
+    fn timer_fires_through_the_loop() {
+        #[derive(Debug)]
+        struct TimerStop {
+            fired_at: Option<Instant>,
+        }
+        impl Driver for TimerStop {
+            type Task = ();
+            fn on_event(&mut self, _ring: &mut Ring, _event: Event) {}
+            fn on_task(&mut self, _ring: &mut Ring, (): ()) {}
+            fn on_timer(&mut self, ring: &mut Ring, _token: Token) {
+                self.fired_at = Some(Instant::now());
+                ring.stop();
+            }
+        }
+        let (mut event_loop, _handle) = EventLoop::<()>::new().unwrap();
+        let armed_at = Instant::now();
+        event_loop
+            .ring()
+            .arm_timer(armed_at + Duration::from_millis(30), Token(1));
+        let driver = event_loop.run(TimerStop { fired_at: None }).unwrap();
+        let fired_at = driver.fired_at.expect("timer fired");
+        let waited = fired_at - armed_at;
+        assert!(
+            waited >= Duration::from_millis(29),
+            "fired early: {waited:?}"
+        );
+        assert!(
+            waited < Duration::from_secs(2),
+            "fired far too late: {waited:?}"
+        );
+    }
+
+    #[test]
+    fn reuseport_shards_share_one_port() {
+        // Bind two REUSEPORT listeners on the same port, serve an echo
+        // byte from whichever gets each connection, and check clients
+        // connect fine — the kernel may route all of them to one
+        // listener on loopback, so only delivery is asserted, not
+        // balance.
+        let first = net::bind_reuseport("127.0.0.1:0".parse().unwrap()).unwrap();
+        let addr = first.local_addr().unwrap();
+        let second = net::bind_reuseport(addr).unwrap();
+        assert_eq!(second.local_addr().unwrap(), addr);
+
+        let (done_tx, done_rx) = mpsc::channel::<()>();
+        let mut shard_threads = Vec::new();
+        for listener in [first, second] {
+            let done = done_tx.clone();
+            shard_threads.push(std::thread::spawn(move || {
+                let poller = Poller::new().unwrap();
+                poller
+                    .add(listener.as_raw_fd(), Token(0), Interest::READABLE)
+                    .unwrap();
+                let mut events = Vec::new();
+                // Serve until the main thread closes the channel.
+                loop {
+                    poller
+                        .wait(&mut events, Some(Duration::from_millis(20)))
+                        .unwrap();
+                    for _ in &events {
+                        if let Ok((mut conn, _)) = listener.accept() {
+                            conn.set_nonblocking(false).unwrap();
+                            conn.write_all(b"y").unwrap();
+                        }
+                    }
+                    match done.send(()) {
+                        Ok(()) => {}
+                        Err(_) => return,
+                    }
+                }
+            }));
+        }
+        drop(done_tx);
+
+        for _ in 0..8 {
+            let mut client = TcpStream::connect(addr).unwrap();
+            client
+                .set_read_timeout(Some(Duration::from_secs(5)))
+                .unwrap();
+            let mut byte = [0u8; 1];
+            client.read_exact(&mut byte).unwrap();
+            assert_eq!(&byte, b"y");
+        }
+        // Stop the shard threads by closing our end of the channel.
+        drop(done_rx);
+        for thread in shard_threads {
+            thread.join().unwrap();
+        }
+    }
+}

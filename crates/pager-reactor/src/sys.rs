@@ -1,0 +1,251 @@
+//! Raw Linux syscall FFI.
+//!
+//! The workspace is offline and std-only, so instead of the `libc`
+//! crate this module declares the handful of C symbols the reactor
+//! needs directly — std already links the platform libc on Linux, so
+//! the symbols resolve with no new dependency (the same vendored
+//! stand-in discipline as `crates/rand` et al., applied to FFI).
+//!
+//! Everything here is a thin `io::Result` wrapper that turns `-1` into
+//! [`std::io::Error::last_os_error`]; policy (what to register, when
+//! to wake) lives in the safe modules above.
+
+use std::ffi::{c_int, c_uint, c_void};
+use std::io;
+use std::os::unix::io::RawFd;
+
+// epoll_ctl ops.
+pub const EPOLL_CTL_ADD: c_int = 1;
+pub const EPOLL_CTL_DEL: c_int = 2;
+pub const EPOLL_CTL_MOD: c_int = 3;
+
+// epoll event bits.
+pub const EPOLLIN: u32 = 0x001;
+pub const EPOLLOUT: u32 = 0x004;
+pub const EPOLLERR: u32 = 0x008;
+pub const EPOLLHUP: u32 = 0x010;
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EFD_CLOEXEC: c_int = 0o2000000;
+const EFD_NONBLOCK: c_int = 0o4000;
+
+// Socket constants (Linux values).
+const AF_INET: c_int = 2;
+const AF_INET6: c_int = 10;
+const SOCK_STREAM: c_int = 1;
+const SOCK_NONBLOCK: c_int = 0o4000;
+const SOCK_CLOEXEC: c_int = 0o2000000;
+const SOL_SOCKET: c_int = 1;
+const SO_REUSEADDR: c_int = 2;
+const SO_REUSEPORT: c_int = 15;
+
+/// One epoll readiness record. On x86-64 the kernel ABI packs the
+/// struct (u32 events directly followed by the u64 payload); other
+/// architectures use natural alignment.
+#[repr(C)]
+#[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(packed))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    /// `EPOLLIN` / `EPOLLOUT` / error bits.
+    pub events: u32,
+    /// Caller-chosen token echoed back on readiness.
+    pub data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    fn close(fd: c_int) -> c_int;
+    fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+    fn setsockopt(fd: c_int, level: c_int, name: c_int, value: *const c_void, len: c_uint)
+        -> c_int;
+    fn bind(fd: c_int, addr: *const c_void, len: c_uint) -> c_int;
+    fn listen(fd: c_int, backlog: c_int) -> c_int;
+}
+
+fn check(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// `epoll_create1(EPOLL_CLOEXEC)`.
+pub fn epoll_create() -> io::Result<RawFd> {
+    // SAFETY: no pointers involved; the kernel validates the flag.
+    check(unsafe { epoll_create1(EPOLL_CLOEXEC) })
+}
+
+/// `epoll_ctl` with an interest record (`ADD`/`MOD`).
+pub fn epoll_control(epfd: RawFd, op: c_int, fd: RawFd, events: u32, data: u64) -> io::Result<()> {
+    let mut event = EpollEvent { events, data };
+    // SAFETY: `event` outlives the call; the kernel copies it.
+    check(unsafe { epoll_ctl(epfd, op, fd, &mut event) })?;
+    Ok(())
+}
+
+/// `epoll_ctl(EPOLL_CTL_DEL)`.
+pub fn epoll_delete(epfd: RawFd, fd: RawFd) -> io::Result<()> {
+    // SAFETY: DEL ignores the event pointer (non-null for pre-2.6.9
+    // kernel compatibility, per epoll_ctl(2)).
+    let mut unused = EpollEvent { events: 0, data: 0 };
+    check(unsafe { epoll_ctl(epfd, EPOLL_CTL_DEL, fd, &mut unused) })?;
+    Ok(())
+}
+
+/// `epoll_wait`; `timeout_ms < 0` blocks indefinitely. Returns the
+/// number of records filled into `events`. `EINTR` is reported as
+/// zero events rather than an error so callers simply re-poll.
+pub fn epoll_pwait(epfd: RawFd, events: &mut [EpollEvent], timeout_ms: c_int) -> io::Result<usize> {
+    let max = c_int::try_from(events.len()).unwrap_or(c_int::MAX);
+    // SAFETY: the buffer is valid for `events.len()` records and the
+    // kernel writes at most `max` of them.
+    let ret = unsafe { epoll_wait(epfd, events.as_mut_ptr(), max, timeout_ms) };
+    if ret < 0 {
+        let err = io::Error::last_os_error();
+        if err.kind() == io::ErrorKind::Interrupted {
+            return Ok(0);
+        }
+        return Err(err);
+    }
+    #[allow(clippy::cast_sign_loss)]
+    Ok(ret as usize)
+}
+
+/// A nonblocking close-on-exec `eventfd(2)` counter.
+pub fn eventfd_create() -> io::Result<RawFd> {
+    // SAFETY: no pointers involved.
+    check(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })
+}
+
+/// Adds 1 to an eventfd counter (the wakeup edge). A full counter
+/// (`EAGAIN`) already means "wakeup pending", so it is not an error.
+pub fn eventfd_signal(fd: RawFd) -> io::Result<()> {
+    let one: u64 = 1;
+    // SAFETY: 8 valid bytes, as eventfd requires.
+    let ret = unsafe { write(fd, std::ptr::addr_of!(one).cast(), 8) };
+    if ret < 0 {
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::WouldBlock {
+            return Err(err);
+        }
+    }
+    Ok(())
+}
+
+/// Reads an eventfd counter back to zero. Returns whether anything was
+/// pending.
+pub fn eventfd_drain(fd: RawFd) -> io::Result<bool> {
+    let mut count: u64 = 0;
+    // SAFETY: 8 valid bytes, as eventfd requires.
+    let ret = unsafe { read(fd, std::ptr::addr_of_mut!(count).cast(), 8) };
+    if ret < 0 {
+        let err = io::Error::last_os_error();
+        if err.kind() == io::ErrorKind::WouldBlock {
+            return Ok(false);
+        }
+        return Err(err);
+    }
+    Ok(count > 0)
+}
+
+/// `close(2)`; errors are ignored (nothing sensible to do with them in
+/// a destructor, and the fd is gone either way).
+pub fn close_fd(fd: RawFd) {
+    // SAFETY: the caller owns the fd and never reuses it after this.
+    let _ = unsafe { close(fd) };
+}
+
+#[repr(C)]
+struct SockAddrIn {
+    family: u16,
+    /// Big-endian port.
+    port: [u8; 2],
+    /// Network-order address octets.
+    addr: [u8; 4],
+    zero: [u8; 8],
+}
+
+#[repr(C)]
+struct SockAddrIn6 {
+    family: u16,
+    port: [u8; 2],
+    flowinfo: u32,
+    addr: [u8; 16],
+    scope_id: u32,
+}
+
+/// Creates a nonblocking TCP socket with `SO_REUSEADDR` +
+/// `SO_REUSEPORT` set *before* bind, binds it to `addr`, and starts
+/// listening. This is what lets every event loop own its own acceptor
+/// on the same port: the kernel load-balances incoming connections
+/// across the listeners.
+pub fn bind_reuseport_fd(addr: &std::net::SocketAddr, backlog: c_int) -> io::Result<RawFd> {
+    let domain = if addr.is_ipv4() { AF_INET } else { AF_INET6 };
+    // SAFETY: no pointers involved.
+    let fd = check(unsafe { socket(domain, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0) })?;
+    let result = (|| {
+        let enable: c_int = 1;
+        for opt in [SO_REUSEADDR, SO_REUSEPORT] {
+            // SAFETY: `enable` is a valid c_int for the option's lifetime.
+            check(unsafe {
+                setsockopt(
+                    fd,
+                    SOL_SOCKET,
+                    opt,
+                    std::ptr::addr_of!(enable).cast(),
+                    c_uint::try_from(std::mem::size_of::<c_int>()).unwrap_or(4),
+                )
+            })?;
+        }
+        match addr {
+            std::net::SocketAddr::V4(v4) => {
+                let sa = SockAddrIn {
+                    family: u16::try_from(AF_INET).unwrap_or(2),
+                    port: v4.port().to_be_bytes(),
+                    addr: v4.ip().octets(),
+                    zero: [0; 8],
+                };
+                // SAFETY: `sa` is a correctly laid out sockaddr_in.
+                check(unsafe {
+                    bind(
+                        fd,
+                        std::ptr::addr_of!(sa).cast(),
+                        c_uint::try_from(std::mem::size_of::<SockAddrIn>()).unwrap_or(16),
+                    )
+                })?;
+            }
+            std::net::SocketAddr::V6(v6) => {
+                let sa = SockAddrIn6 {
+                    family: u16::try_from(AF_INET6).unwrap_or(10),
+                    port: v6.port().to_be_bytes(),
+                    flowinfo: v6.flowinfo(),
+                    addr: v6.ip().octets(),
+                    scope_id: v6.scope_id(),
+                };
+                // SAFETY: `sa` is a correctly laid out sockaddr_in6.
+                check(unsafe {
+                    bind(
+                        fd,
+                        std::ptr::addr_of!(sa).cast(),
+                        c_uint::try_from(std::mem::size_of::<SockAddrIn6>()).unwrap_or(28),
+                    )
+                })?;
+            }
+        }
+        // SAFETY: no pointers involved.
+        check(unsafe { listen(fd, backlog) })?;
+        Ok(())
+    })();
+    if let Err(e) = result {
+        close_fd(fd);
+        return Err(e);
+    }
+    Ok(fd)
+}

@@ -1,0 +1,299 @@
+//! A hashed timer wheel for deadline bookkeeping.
+//!
+//! Deadlines are rounded *up* to a tick and hashed into a fixed ring
+//! of slots; timers landing on the same tick fire together in one
+//! batch (deliberate coalescing — a thousand connections arming
+//! "drain deadline + ~4ms" wake the loop once, not a thousand times).
+//! Insert and cancel are O(1); expiry visits only the slots between
+//! the last processed tick and now.
+//!
+//! Cancellation is lazy: a cancelled timer's entry stays in its slot
+//! until its tick comes around, but it no longer counts as armed and
+//! never fires. That keeps cancel O(1) without back-pointers.
+
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+use crate::poll::Token;
+
+/// Handle for cancelling one armed timer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimerKey(u64);
+
+#[derive(Debug, Clone, Copy)]
+struct TimerEntry {
+    /// Absolute tick the timer fires at.
+    at: u64,
+    id: u64,
+    token: Token,
+}
+
+/// The wheel. Single-threaded — each event loop owns one.
+#[derive(Debug)]
+pub struct TimerWheel {
+    start: Instant,
+    tick: Duration,
+    slots: Vec<Vec<TimerEntry>>,
+    mask: u64,
+    /// First tick not yet processed by [`TimerWheel::expire`].
+    cursor: u64,
+    next_id: u64,
+    cancelled: HashSet<u64>,
+    armed: usize,
+}
+
+impl TimerWheel {
+    /// A wheel with the given tick granularity and at least
+    /// `slots` slots (rounded up to a power of two).
+    #[must_use]
+    pub fn new(tick: Duration, slots: usize) -> TimerWheel {
+        let slots = slots.next_power_of_two().max(2);
+        TimerWheel {
+            start: Instant::now(),
+            tick: tick.max(Duration::from_micros(100)),
+            slots: (0..slots).map(|_| Vec::new()).collect(),
+            mask: slots as u64 - 1,
+            cursor: 0,
+            next_id: 0,
+            cancelled: HashSet::new(),
+            armed: 0,
+        }
+    }
+
+    /// Ticks elapsed from wheel start to `t`, rounded up.
+    fn ticks_ceil(&self, t: Instant) -> u64 {
+        let elapsed = t.saturating_duration_since(self.start);
+        let nanos = elapsed.as_nanos();
+        let tick = self.tick.as_nanos();
+        u64::try_from(nanos.div_ceil(tick)).unwrap_or(u64::MAX)
+    }
+
+    /// Arms a timer firing at or just after `fire_at` (tick rounding).
+    /// A deadline already in the past fires on the next
+    /// [`TimerWheel::expire`] call.
+    pub fn insert_at(&mut self, fire_at: Instant, token: Token) -> TimerKey {
+        // Never earlier than the cursor: expired slots are not
+        // revisited, so an overdue timer lands on the next tick due.
+        let at = self.ticks_ceil(fire_at).max(self.cursor);
+        let id = self.next_id;
+        self.next_id += 1;
+        #[allow(clippy::cast_possible_truncation)]
+        let slot = (at & self.mask) as usize;
+        self.slots[slot].push(TimerEntry { at, id, token });
+        self.armed += 1;
+        TimerKey(id)
+    }
+
+    /// Arms a timer firing `after` from now.
+    pub fn insert_after(&mut self, after: Duration, token: Token) -> TimerKey {
+        self.insert_at(Instant::now() + after, token)
+    }
+
+    /// Cancels an armed timer. Returns whether it was still pending
+    /// (false: already fired or already cancelled).
+    pub fn cancel(&mut self, key: TimerKey) -> bool {
+        if key.0 >= self.next_id || !self.cancelled.insert(key.0) {
+            return false;
+        }
+        // The entry may have fired already; `expire` removes fired ids
+        // from the set again, so a stale cancel cannot leak.
+        if self.armed == 0 {
+            self.cancelled.remove(&key.0);
+            return false;
+        }
+        self.armed -= 1;
+        true
+    }
+
+    /// Live (armed, not cancelled) timer count.
+    #[must_use]
+    pub fn armed(&self) -> usize {
+        self.armed
+    }
+
+    /// Fires everything due at `now`, appending tokens to `fired` in
+    /// deadline order (coalesced timers of one tick fire in insertion
+    /// order). Safe to call with nothing due — a spurious wakeup is a
+    /// no-op.
+    pub fn expire(&mut self, now: Instant, fired: &mut Vec<Token>) {
+        let elapsed = now.saturating_duration_since(self.start);
+        let now_tick = u64::try_from(elapsed.as_nanos() / self.tick.as_nanos()).unwrap_or(u64::MAX);
+        if now_tick < self.cursor {
+            return;
+        }
+        let span = now_tick - self.cursor + 1;
+        if span >= self.slots.len() as u64 {
+            // The loop slept through a full rotation: one pass over
+            // every slot catches everything due.
+            for slot in 0..self.slots.len() {
+                self.drain_slot(slot, now_tick, fired);
+            }
+        } else {
+            for tick in self.cursor..=now_tick {
+                #[allow(clippy::cast_possible_truncation)]
+                let slot = (tick & self.mask) as usize;
+                self.drain_slot(slot, now_tick, fired);
+            }
+        }
+        self.cursor = now_tick + 1;
+    }
+
+    fn drain_slot(&mut self, slot: usize, now_tick: u64, fired: &mut Vec<Token>) {
+        let mut kept = Vec::new();
+        for entry in self.slots[slot].drain(..) {
+            if entry.at > now_tick {
+                kept.push(entry);
+            } else if self.cancelled.remove(&entry.id) {
+                // Cancelled: drop silently (already un-counted).
+            } else {
+                self.armed -= 1;
+                fired.push(entry.token);
+            }
+        }
+        self.slots[slot] = kept;
+    }
+
+    /// When the next live timer fires, for the poll timeout. `None`
+    /// with nothing armed. With entries more than one rotation out the
+    /// bound is conservative (the loop wakes, finds nothing due, and
+    /// re-arms) — correctness never depends on the estimate.
+    #[must_use]
+    pub fn next_deadline(&self) -> Option<Instant> {
+        if self.armed == 0 {
+            return None;
+        }
+        let mut nearest: Option<u64> = None;
+        for slot in &self.slots {
+            for entry in slot {
+                if !self.cancelled.contains(&entry.id) && nearest.is_none_or(|best| entry.at < best)
+                {
+                    nearest = Some(entry.at);
+                }
+            }
+        }
+        nearest.map(|at| {
+            self.start
+                + self
+                    .tick
+                    .saturating_mul(u32::try_from(at).unwrap_or(u32::MAX))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wheel_ms() -> TimerWheel {
+        TimerWheel::new(Duration::from_millis(1), 64)
+    }
+
+    #[test]
+    fn timers_fire_in_deadline_order() {
+        let mut wheel = wheel_ms();
+        let base = Instant::now();
+        // Insert out of order; firing must come back sorted by deadline.
+        wheel.insert_at(base + Duration::from_millis(30), Token(3));
+        wheel.insert_at(base + Duration::from_millis(10), Token(1));
+        wheel.insert_at(base + Duration::from_millis(20), Token(2));
+        assert_eq!(wheel.armed(), 3);
+        let mut fired = Vec::new();
+        wheel.expire(base + Duration::from_millis(60), &mut fired);
+        assert_eq!(fired, vec![Token(1), Token(2), Token(3)]);
+        assert_eq!(wheel.armed(), 0);
+    }
+
+    #[test]
+    fn same_tick_timers_coalesce_into_one_batch() {
+        let mut wheel = TimerWheel::new(Duration::from_millis(4), 64);
+        let base = Instant::now();
+        // All three land in the same 4ms tick.
+        for t in 0..3u64 {
+            wheel.insert_at(base + Duration::from_micros(9_000 + t), Token(t));
+        }
+        // The wheel reports ONE wakeup instant for all of them...
+        let deadline = wheel.next_deadline().expect("armed");
+        let mut fired = Vec::new();
+        wheel.expire(deadline, &mut fired);
+        // ...and that single expiry fires the whole batch.
+        assert_eq!(fired.len(), 3, "coalesced timers fire together");
+    }
+
+    #[test]
+    fn early_expire_fires_nothing() {
+        let mut wheel = wheel_ms();
+        let base = Instant::now();
+        wheel.insert_at(base + Duration::from_millis(50), Token(7));
+        let mut fired = Vec::new();
+        wheel.expire(base + Duration::from_millis(10), &mut fired);
+        assert!(fired.is_empty(), "not due yet");
+        assert_eq!(wheel.armed(), 1);
+        // Spurious second call with nothing new: still nothing.
+        wheel.expire(base + Duration::from_millis(10), &mut fired);
+        assert!(fired.is_empty());
+    }
+
+    #[test]
+    fn cancel_prevents_firing() {
+        let mut wheel = wheel_ms();
+        let base = Instant::now();
+        let keep = wheel.insert_at(base + Duration::from_millis(5), Token(1));
+        let drop_it = wheel.insert_at(base + Duration::from_millis(5), Token(2));
+        assert!(wheel.cancel(drop_it));
+        assert!(!wheel.cancel(drop_it), "double cancel is a no-op");
+        assert_eq!(wheel.armed(), 1);
+        let mut fired = Vec::new();
+        wheel.expire(base + Duration::from_millis(20), &mut fired);
+        assert_eq!(fired, vec![Token(1)]);
+        // Cancelling after the fact reports nothing pending.
+        assert!(!wheel.cancel(keep));
+    }
+
+    #[test]
+    fn overdue_insert_fires_on_next_expire() {
+        let mut wheel = wheel_ms();
+        let base = Instant::now();
+        let mut fired = Vec::new();
+        wheel.expire(base + Duration::from_millis(100), &mut fired);
+        // Deadline far in the past, inserted after that tick was
+        // processed: must still fire (on the next expire), never be
+        // silently lost.
+        wheel.insert_at(base, Token(9));
+        wheel.expire(base + Duration::from_millis(200), &mut fired);
+        assert_eq!(fired, vec![Token(9)]);
+    }
+
+    #[test]
+    fn wrap_around_keeps_future_rounds() {
+        // 4 slots: ticks 1 and 5 share slot 1.
+        let mut wheel = TimerWheel::new(Duration::from_millis(1), 4);
+        let base = wheel.start;
+        wheel.insert_at(base + Duration::from_millis(1), Token(1));
+        wheel.insert_at(base + Duration::from_millis(5), Token(5));
+        let mut fired = Vec::new();
+        wheel.expire(base + Duration::from_millis(2), &mut fired);
+        assert_eq!(
+            fired,
+            vec![Token(1)],
+            "the same-slot future timer must wait"
+        );
+        fired.clear();
+        wheel.expire(base + Duration::from_millis(6), &mut fired);
+        assert_eq!(fired, vec![Token(5)]);
+    }
+
+    #[test]
+    fn next_deadline_tracks_nearest_live_timer() {
+        let mut wheel = wheel_ms();
+        assert!(wheel.next_deadline().is_none());
+        let base = Instant::now();
+        let near = wheel.insert_at(base + Duration::from_millis(10), Token(1));
+        wheel.insert_at(base + Duration::from_millis(40), Token(2));
+        let d1 = wheel.next_deadline().expect("armed");
+        assert!(d1 <= base + Duration::from_millis(12));
+        // Cancelling the near one moves the deadline out.
+        wheel.cancel(near);
+        let d2 = wheel.next_deadline().expect("one left");
+        assert!(d2 > d1);
+    }
+}

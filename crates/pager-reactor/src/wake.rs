@@ -1,0 +1,86 @@
+//! Cross-thread loop wakeup over an `eventfd`.
+
+use std::io;
+use std::os::unix::io::RawFd;
+
+use crate::sys;
+
+/// Wakes an event loop blocked in `epoll_wait` from another thread.
+///
+/// The eventfd is registered with the loop's poller under
+/// [`crate::WAKE_TOKEN`]; [`Waker::wake`] makes it readable, which
+/// ends the poll. Safe to call from any thread, any number of times —
+/// wakeups coalesce in the counter (a million `wake()` calls while the
+/// loop is busy cost one drain).
+#[derive(Debug)]
+pub struct Waker {
+    fd: RawFd,
+}
+
+impl Waker {
+    /// Creates the eventfd.
+    ///
+    /// # Errors
+    ///
+    /// The `eventfd` error (fd exhaustion, mostly).
+    pub fn new() -> io::Result<Waker> {
+        Ok(Waker {
+            fd: sys::eventfd_create()?,
+        })
+    }
+
+    /// The fd to register with the poller.
+    #[must_use]
+    pub fn raw_fd(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Signals the loop. Never blocks; a saturated counter already
+    /// means a wakeup is pending.
+    pub fn wake(&self) {
+        let _ = sys::eventfd_signal(self.fd);
+    }
+
+    /// Resets the counter after a wakeup (called by the loop itself).
+    /// Returns whether a signal was actually pending — `false` is a
+    /// spurious wakeup, which callers must tolerate.
+    pub fn drain(&self) -> bool {
+        sys::eventfd_drain(self.fd).unwrap_or(false)
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        sys::close_fd(self.fd);
+    }
+}
+
+// SAFETY: the only state is an fd; eventfd reads/writes are atomic
+// syscalls, safe from any thread.
+unsafe impl Send for Waker {}
+unsafe impl Sync for Waker {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wake_coalesces_and_drains() {
+        let waker = Waker::new().unwrap();
+        assert!(!waker.drain(), "fresh eventfd has nothing pending");
+        waker.wake();
+        waker.wake();
+        waker.wake();
+        assert!(waker.drain(), "wakeups were pending");
+        assert!(!waker.drain(), "drain resets the counter");
+    }
+
+    #[test]
+    fn wake_from_other_thread() {
+        let waker = std::sync::Arc::new(Waker::new().unwrap());
+        let remote = std::sync::Arc::clone(&waker);
+        std::thread::spawn(move || remote.wake()).join().unwrap();
+        // The write is visible from this thread once join returns.
+        assert!(waker.drain());
+    }
+}

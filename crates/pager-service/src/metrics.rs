@@ -142,6 +142,17 @@ pub struct Metrics {
     /// Degraded-mode gauge: 1 after a data-disk failure (observes are
     /// refused, planning keeps serving), 0 otherwise.
     pub degraded: AtomicU64,
+    /// Times the event-loop server's loops returned from `epoll_wait`
+    /// (summed across loops; 0 under `--stdio` or the test harness).
+    pub loop_wakeups: AtomicU64,
+    /// Connections currently open across all event loops (gauge).
+    pub open_connections: AtomicU64,
+    /// Connections accepted since startup, across all event loops.
+    pub accepted_connections: AtomicU64,
+    /// `SO_REUSEPORT` accept skew: the difference between the
+    /// busiest and idlest loop's accepted-connection counts (gauge,
+    /// recomputed on every accept; 0 with one loop).
+    pub accept_balance: AtomicU64,
     /// Planning latency per solver tier.
     pub exact_latency: LatencyHistogram,
     /// Fig. 1 greedy tier latency.
@@ -226,6 +237,19 @@ impl Metrics {
             ),
             ("checkpoints", Value::from(Self::get(&self.checkpoints))),
             ("degraded", Value::from(Self::get(&self.degraded))),
+            ("loop_wakeups", Value::from(Self::get(&self.loop_wakeups))),
+            (
+                "open_connections",
+                Value::from(Self::get(&self.open_connections)),
+            ),
+            (
+                "accepted_connections",
+                Value::from(Self::get(&self.accepted_connections)),
+            ),
+            (
+                "accept_balance",
+                Value::from(Self::get(&self.accept_balance)),
+            ),
             (
                 "tier_latency",
                 Value::object(vec![

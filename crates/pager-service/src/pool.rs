@@ -31,16 +31,42 @@ use crate::{cache::ShardedCache, metrics::Metrics};
 /// Result fanned out to every subscriber of one computation.
 pub(crate) type PlanResult = Result<Arc<Plan>, ServiceError>;
 
-struct PlanJob {
-    key: PlanKey,
-    fingerprint: u64,
-    instance: Instance,
-    delay: Delay,
-    variant: Variant,
+/// How one subscriber receives its result: a blocking channel (the
+/// synchronous [`crate::PagerService::plan`] path) or a callback (the
+/// event-loop server, which must never park a thread on a recv).
+/// Callbacks run on whichever worker thread finishes the plan; the
+/// reactor's callbacks only format a response and inject it into the
+/// owning event loop, so they are cheap and nonblocking.
+pub(crate) enum Waiter {
+    Channel(mpsc::Sender<PlanResult>),
+    Callback(Box<dyn FnOnce(PlanResult) + Send>),
+}
+
+impl Waiter {
+    fn complete(self, result: PlanResult) {
+        match self {
+            // A waiter that hung up is its own problem.
+            Waiter::Channel(tx) => {
+                let _ = tx.send(result);
+            }
+            Waiter::Callback(callback) => callback(result),
+        }
+    }
+}
+
+/// One planning request as admitted to the pool — also the submit
+/// API's parameter object, so the channel and callback flavours share
+/// a signature.
+pub(crate) struct PlanJob {
+    pub(crate) key: PlanKey,
+    pub(crate) fingerprint: u64,
+    pub(crate) instance: Instance,
+    pub(crate) delay: Delay,
+    pub(crate) variant: Variant,
     /// The *admission-time* deadline: queueing delay counts against
     /// the budget, so a job that waited too long is already expired
     /// when a worker picks it up and cancels at the first checkpoint.
-    deadline: Deadline,
+    pub(crate) deadline: Deadline,
 }
 
 /// Work the pool executes: planning requests (the hot path, coalesced
@@ -63,7 +89,7 @@ enum Enqueue {
 /// threads.
 pub(crate) struct Dispatcher {
     queue: Mutex<Option<mpsc::SyncSender<Job>>>,
-    inflight: Arc<Mutex<HashMap<PlanKey, Vec<mpsc::Sender<PlanResult>>>>>,
+    inflight: Arc<Mutex<HashMap<PlanKey, Vec<Waiter>>>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
     metrics: Arc<Metrics>,
 }
@@ -82,7 +108,7 @@ impl Dispatcher {
     ) -> std::io::Result<Dispatcher> {
         let (tx, rx) = mpsc::sync_channel::<Job>(queue_depth.max(1));
         let rx = Arc::new(Mutex::new(rx));
-        let inflight: Arc<Mutex<HashMap<PlanKey, Vec<mpsc::Sender<PlanResult>>>>> =
+        let inflight: Arc<Mutex<HashMap<PlanKey, Vec<Waiter>>>> =
             Arc::new(Mutex::new(HashMap::new()));
         let handles = (0..workers.max(1))
             .map(|i| {
@@ -114,29 +140,63 @@ impl Dispatcher {
     /// during shutdown.
     pub(crate) fn submit(
         &self,
-        key: PlanKey,
-        fingerprint: u64,
-        instance: Instance,
-        delay: Delay,
-        variant: Variant,
-        deadline: Deadline,
+        job: PlanJob,
     ) -> Result<(mpsc::Receiver<PlanResult>, bool), ServiceError> {
         let (result_tx, result_rx) = mpsc::channel();
+        let coalesced = self.submit_with(job, |_| Waiter::Channel(result_tx))?;
+        Ok((result_rx, coalesced))
+    }
+
+    /// Callback flavour of [`Dispatcher::submit`] for the event-loop
+    /// server: instead of parking on a channel, `callback` fires (on a
+    /// worker thread) with the result and whether the request was
+    /// coalesced. Returns the coalesced flag immediately so the caller
+    /// can count the metric without waiting.
+    ///
+    /// Exactly-once contract: on `Ok`, the callback fires exactly once,
+    /// later; on `Err`, it never fires — the submitter handles the
+    /// error synchronously (any *coalescers* that joined between
+    /// registration and the failure are failed through their own
+    /// waiters).
+    ///
+    /// # Errors
+    ///
+    /// As [`Dispatcher::submit`].
+    pub(crate) fn submit_callback(
+        &self,
+        job: PlanJob,
+        callback: Box<dyn FnOnce(PlanResult, bool) + Send>,
+    ) -> Result<bool, ServiceError> {
+        self.submit_with(job, |coalesced| {
+            Waiter::Callback(Box::new(move |result| callback(result, coalesced)))
+        })
+    }
+
+    /// The shared registration + admission path. `make_waiter` is
+    /// invoked *under the in-flight lock* with the coalesced flag, so
+    /// callback waiters can capture it at the only moment it is known
+    /// race-free. Returns whether the request coalesced.
+    fn submit_with(
+        &self,
+        job: PlanJob,
+        make_waiter: impl FnOnce(bool) -> Waiter,
+    ) -> Result<bool, ServiceError> {
+        let key = job.key.clone();
         let coalesced = {
             let mut inflight = self
                 .inflight
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
             if let Some(waiters) = inflight.get_mut(&key) {
-                waiters.push(result_tx);
+                waiters.push(make_waiter(true));
                 true
             } else {
-                inflight.insert(key.clone(), vec![result_tx]);
+                inflight.insert(key.clone(), vec![make_waiter(false)]);
                 false
             }
         };
         if coalesced {
-            return Ok((result_rx, true));
+            return Ok(true);
         }
         // Gauge before the offer: the moment the job lands in the
         // channel a worker may dequeue it and run the matching `dec`,
@@ -154,14 +214,7 @@ impl Dispatcher {
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
             match queue.as_ref() {
                 None => Enqueue::Closed,
-                Some(tx) => match tx.try_send(Job::Plan(PlanJob {
-                    key: key.clone(),
-                    fingerprint,
-                    instance,
-                    delay,
-                    variant,
-                    deadline,
-                })) {
+                Some(tx) => match tx.try_send(Job::Plan(job)) {
                     Ok(()) => Enqueue::Accepted,
                     Err(mpsc::TrySendError::Full(_)) => Enqueue::Full,
                     Err(mpsc::TrySendError::Disconnected(_)) => Enqueue::Closed,
@@ -169,7 +222,7 @@ impl Dispatcher {
             }
         };
         match outcome {
-            Enqueue::Accepted => Ok((result_rx, false)),
+            Enqueue::Accepted => Ok(false),
             Enqueue::Full => {
                 // Shed: un-register and fail everyone who coalesced
                 // onto this key between our insert and now, so nobody
@@ -179,13 +232,13 @@ impl Dispatcher {
                     retry_after_ms: RETRY_AFTER_MS,
                 };
                 Metrics::inc(&self.metrics.requests_shed);
-                self.fail_waiters(&key, &error);
+                self.fail_coalescers(&key, &error);
                 Err(error)
             }
             Enqueue::Closed => {
                 Metrics::dec(&self.metrics.queue_depth);
                 let error = ServiceError::Internal("service is shutting down".into());
-                self.fail_waiters(&key, &error);
+                self.fail_coalescers(&key, &error);
                 Err(error)
             }
         }
@@ -218,16 +271,20 @@ impl Dispatcher {
     }
 
     /// Removes a key's in-flight registration and sends `error` to
-    /// every subscriber it had accumulated.
-    fn fail_waiters(&self, key: &PlanKey, error: &ServiceError) {
+    /// every subscriber that *coalesced* onto it. The first waiter —
+    /// the submitter whose enqueue just failed — is skipped: it gets
+    /// the error as the `submit` return value, and completing its
+    /// waiter too would deliver the answer twice (fatal for callback
+    /// waiters, which write a response line each time they fire).
+    fn fail_coalescers(&self, key: &PlanKey, error: &ServiceError) {
         let waiters = self
             .inflight
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .remove(key)
             .unwrap_or_default();
-        for waiter in waiters {
-            let _ = waiter.send(Err(error.clone()));
+        for waiter in waiters.into_iter().skip(1) {
+            waiter.complete(Err(error.clone()));
         }
     }
 
@@ -259,7 +316,7 @@ fn worker_loop(
     rx: &Mutex<mpsc::Receiver<Job>>,
     cache: &ShardedCache<PlanKey, Plan>,
     metrics: &Metrics,
-    inflight: &Mutex<HashMap<PlanKey, Vec<mpsc::Sender<PlanResult>>>>,
+    inflight: &Mutex<HashMap<PlanKey, Vec<Waiter>>>,
     policy: TierPolicy,
 ) {
     loop {
@@ -323,8 +380,7 @@ fn worker_loop(
             .remove(&job.key)
             .unwrap_or_default();
         for waiter in waiters {
-            // A waiter that hung up is its own problem.
-            let _ = waiter.send(result.clone());
+            waiter.complete(result.clone());
         }
     }
 }

@@ -412,39 +412,107 @@ pub fn handle_line(service: &PagerService, line: &str) -> LineOutcome {
             spec,
         }) => {
             let refs: Vec<&str> = devices.iter().map(String::as_str).collect();
-            match service.plan_devices(&refs, estimator, now, spec) {
-                Err(error) => LineOutcome {
-                    response: error_response(&id, &error),
-                    shutdown: false,
-                },
-                Ok(served) => {
-                    let mut fields = plan_fields(id, &served.response);
-                    fields.extend([
-                        ("estimator", Value::from(estimator.name())),
-                        ("now", Value::Float(served.now)),
-                        (
-                            "profile_versions",
-                            Value::Array(served.versions.iter().map(|&v| Value::from(v)).collect()),
-                        ),
-                        ("stale_profiles", Value::from(served.stale_profiles)),
-                    ]);
-                    LineOutcome {
-                        response: Value::object(fields).to_string(),
-                        shutdown: false,
-                    }
-                }
+            plan_devices_line(
+                id,
+                estimator,
+                service.plan_devices(&refs, estimator, now, spec),
+            )
+        }
+        Ok(Request::Plan { id, instance, spec }) => plan_line(id, service.plan(&instance, spec)),
+    }
+}
+
+/// Handles one wire line without ever parking the calling thread on a
+/// worker-pool result — the event-loop server's entry point.
+///
+/// Returns `Some(outcome)` when the line was handled synchronously
+/// (control commands, observes, cache hits, admission failures);
+/// `complete` is then dropped without firing. Returns `None` when the
+/// request went to the worker pool; `complete` then fires exactly
+/// once, on a worker thread, with the outcome. The callback is
+/// expected to hand the outcome back to the connection's owning event
+/// loop (it must not block).
+pub fn handle_line_async(
+    service: &PagerService,
+    line: &str,
+    complete: Box<dyn FnOnce(LineOutcome) + Send>,
+) -> Option<LineOutcome> {
+    match parse_request(line) {
+        Ok(Request::Plan { id, instance, spec }) => {
+            let callback_id = id.clone();
+            let result = service.plan_async(
+                &instance,
+                spec,
+                Box::new(move |result| complete(plan_line(callback_id, result))),
+            )?;
+            Some(plan_line(id, result))
+        }
+        Ok(Request::PlanDevices {
+            id,
+            devices,
+            estimator,
+            now,
+            spec,
+        }) => {
+            let refs: Vec<&str> = devices.iter().map(String::as_str).collect();
+            let callback_id = id.clone();
+            let result = service.plan_devices_async(
+                &refs,
+                estimator,
+                now,
+                spec,
+                Box::new(move |result| complete(plan_devices_line(callback_id, estimator, result))),
+            )?;
+            Some(plan_devices_line(id, estimator, result))
+        }
+        // Everything else — control commands, observes, parse errors —
+        // is synchronous by nature; route it through the blocking
+        // handler (which never reaches a pool recv for these).
+        _ => Some(handle_line(service, line)),
+    }
+}
+
+/// Formats a plan result (success or error) as its response line.
+fn plan_line(id: Value, result: Result<crate::service::PlanResponse, ServiceError>) -> LineOutcome {
+    match result {
+        Err(error) => LineOutcome {
+            response: error_response(&id, &error),
+            shutdown: false,
+        },
+        Ok(response) => LineOutcome {
+            response: Value::object(plan_fields(id, &response)).to_string(),
+            shutdown: false,
+        },
+    }
+}
+
+/// Formats a `plan_devices` result as its response line.
+fn plan_devices_line(
+    id: Value,
+    estimator: Estimator,
+    result: Result<crate::service::DevicePlanResponse, ServiceError>,
+) -> LineOutcome {
+    match result {
+        Err(error) => LineOutcome {
+            response: error_response(&id, &error),
+            shutdown: false,
+        },
+        Ok(served) => {
+            let mut fields = plan_fields(id, &served.response);
+            fields.extend([
+                ("estimator", Value::from(estimator.name())),
+                ("now", Value::Float(served.now)),
+                (
+                    "profile_versions",
+                    Value::Array(served.versions.iter().map(|&v| Value::from(v)).collect()),
+                ),
+                ("stale_profiles", Value::from(served.stale_profiles)),
+            ]);
+            LineOutcome {
+                response: Value::object(fields).to_string(),
+                shutdown: false,
             }
         }
-        Ok(Request::Plan { id, instance, spec }) => match service.plan(&instance, spec) {
-            Err(error) => LineOutcome {
-                response: error_response(&id, &error),
-                shutdown: false,
-            },
-            Ok(response) => LineOutcome {
-                response: Value::object(plan_fields(id, &response)).to_string(),
-                shutdown: false,
-            },
-        },
     }
 }
 

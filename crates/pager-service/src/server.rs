@@ -1,108 +1,228 @@
 //! Line-oriented servers over TCP and stdio.
 //!
 //! Both fronts speak the [`crate::proto`] JSON-lines protocol against
-//! one shared [`PagerService`]. The TCP server accepts on a
-//! non-blocking listener and handles each connection on its own
-//! thread; a `{"cmd": "shutdown"}` line (or [`ServerHandle::stop`])
-//! makes the accept loop exit.
+//! one shared [`PagerService`]. The TCP server runs on
+//! [`pager_reactor`]: a small, fixed set of event-loop threads (one
+//! per core by default), each owning its own `SO_REUSEPORT` listener
+//! so the kernel spreads incoming connections across loops. Every
+//! connection is an explicit state machine driven by epoll readiness —
+//! ten thousand idle connections cost ten thousand fd registrations,
+//! not ten thousand blocked threads.
 //!
-//! Shutdown *drains*: connection threads read with a short timeout so
-//! they notice the stop flag between requests, and every request that
-//! was already being handled is answered before its connection
-//! closes. [`ServerHandle::drain`] blocks until the in-flight count
-//! reaches zero (or a budget expires), so an orderly shutdown drops
-//! nothing that was admitted.
+//! Requests still execute on the service's solver worker pool; the
+//! loop thread only parses lines and serialises responses. A cache
+//! miss suspends its connection (the loop stops reading from it) and
+//! the pool completion is injected back into the owning loop through
+//! its eventfd waker, so loops never block on a solve.
+//!
+//! Shutdown *drains* and is wakeup-driven end to end — there are no
+//! polling sleeps anywhere on the path. A `{"cmd": "shutdown"}` line
+//! (or [`ServerHandle::drain`]) stops the acceptors immediately,
+//! answers every complete request line that had already reached the
+//! server, and closes idle connections; [`ServerHandle::drain`]
+//! returns the number of requests still unanswered when its budget
+//! expired — `0` means nothing admitted was dropped.
 
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::collections::HashMap;
+use std::io::{BufRead, ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::os::unix::io::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crate::proto::handle_line;
+use pager_reactor::{net, EventLoop, Interest, LoopHandle, Ring, Token};
+
+use crate::proto::{handle_line, handle_line_async, LineOutcome};
 use crate::service::PagerService;
 
-/// How often the accept loop re-checks the stop flag.
-const ACCEPT_POLL: Duration = Duration::from_millis(25);
+/// Token of each loop's own listener (connection tokens start at 1).
+const ACCEPT_TOKEN: Token = Token(0);
 
-/// Read timeout on connection sockets: the gap between a peer going
-/// quiet and its thread noticing a stop request.
-const READ_POLL: Duration = Duration::from_millis(50);
+/// Timer token armed by a budgeted drain to force-close stragglers.
+/// `Token(u64::MAX)` is the reactor's wakeup token, so stay below it.
+const DRAIN_TIMER: Token = Token(u64::MAX - 1);
 
-/// How often [`ServerHandle::drain`] re-checks the in-flight count.
-const DRAIN_POLL: Duration = Duration::from_millis(5);
+/// Per-connection cap on buffered request bytes before the connection
+/// is dropped as abusive (a single request line should be far
+/// smaller).
+const MAX_BUFFERED_INPUT: usize = 16 * 1024 * 1024;
+
+/// Messages injected into an event loop from outside its thread.
+enum Task {
+    /// A pool completion for the request suspended on `token`.
+    Response { token: Token, outcome: LineOutcome },
+    /// Stop accepting, answer what has arrived, then exit. `budget`
+    /// arms a force-close timer; `None` waits for in-flight work
+    /// indefinitely (the caller enforces its own deadline).
+    Drain { budget: Option<Duration> },
+    /// Tear everything down now and exit the loop.
+    ForceStop,
+}
+
+/// Loop-count-independent state shared between the handle and every
+/// loop thread.
+struct ServerShared {
+    /// Set once a stop/drain has been requested (mirrors the old
+    /// accept-loop stop flag for [`ServerHandle::stopping`]).
+    stop: AtomicBool,
+    /// Requests admitted (line read) but not yet flushed to a socket.
+    inflight: AtomicU64,
+    /// Lifecycle bits waited on with [`ServerShared::changed`].
+    lifecycle: Mutex<Lifecycle>,
+    changed: Condvar,
+    /// One injection handle per loop, in loop order.
+    handles: Vec<LoopHandle<Task>>,
+    /// Per-loop accepted-connection counts (for the balance gauge).
+    accepted: Vec<AtomicU64>,
+}
+
+struct Lifecycle {
+    /// A stop or drain has been requested ([`ServerHandle::join`]
+    /// waits for this).
+    stopped: bool,
+    /// Loop threads that have not yet exited.
+    active_loops: usize,
+}
+
+impl ServerShared {
+    /// Flags the server as stopping and wakes lifecycle waiters. Does
+    /// not itself tell the loops anything — callers follow up with a
+    /// `Drain` or `ForceStop` injection.
+    fn request_stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let mut lifecycle = self
+            .lifecycle
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        lifecycle.stopped = true;
+        drop(lifecycle);
+        self.changed.notify_all();
+    }
+}
 
 /// A running TCP server.
 pub struct ServerHandle {
     addr: std::net::SocketAddr,
-    stop: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
-    inflight: Arc<AtomicU64>,
+    shared: Arc<ServerShared>,
+    threads: Vec<JoinHandle<()>>,
 }
 
 impl ServerHandle {
-    /// The address the listener is bound to (useful with port 0).
+    /// The address the listeners are bound to (useful with port 0).
     #[must_use]
     pub fn local_addr(&self) -> std::net::SocketAddr {
         self.addr
     }
 
-    /// Whether the accept loop has been asked to stop.
+    /// Whether the server has been asked to stop.
     #[must_use]
     pub fn stopping(&self) -> bool {
-        self.stop.load(Ordering::SeqCst)
+        self.shared.stop.load(Ordering::SeqCst)
     }
 
     /// Requests currently being handled (between reading a line and
-    /// writing its response) across all connections.
+    /// flushing its response) across all connections.
     #[must_use]
     pub fn inflight(&self) -> u64 {
-        self.inflight.load(Ordering::SeqCst)
+        self.shared.inflight.load(Ordering::SeqCst)
     }
 
-    /// Stops accepting connections and joins the accept thread.
-    /// Threads serving open connections finish the request they are
-    /// on (if any) and close at their next read-timeout tick.
+    /// Stops immediately: acceptors close, open connections are torn
+    /// down (after one best-effort flush of anything already queued),
+    /// and the loop threads are joined.
     pub fn stop(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
-        if let Some(handle) = self.accept_thread.take() {
-            let _ = handle.join();
+        self.shared.request_stop();
+        for handle in &self.shared.handles {
+            handle.inject(Task::ForceStop);
         }
+        self.join_threads();
     }
 
-    /// Orderly shutdown: stops accepting, then waits up to `budget`
-    /// for requests already being handled to finish. Returns the
-    /// number still in flight when it returned — `0` means a clean
-    /// drain with nothing dropped.
+    /// Orderly shutdown: stops accepting, answers every request line
+    /// that had already reached the server, then waits up to `budget`
+    /// for responses still being computed. Returns the number still
+    /// unanswered when it returned — `0` means a clean drain with
+    /// nothing dropped.
     pub fn drain(&mut self, budget: Duration) -> u64 {
-        self.stop();
-        let deadline = Instant::now() + budget;
-        loop {
-            let pending = self.inflight.load(Ordering::SeqCst);
-            if pending == 0 || Instant::now() >= deadline {
-                return pending;
+        self.shared.request_stop();
+        for handle in &self.shared.handles {
+            handle.inject(Task::Drain {
+                budget: Some(budget),
+            });
+        }
+        // The loops force-close stragglers themselves when the budget
+        // expires (wheel timer); the grace period only covers the
+        // force-close work itself before the fallback below.
+        let deadline = Instant::now() + budget + Duration::from_secs(2);
+        let mut lifecycle = self
+            .shared
+            .lifecycle
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        while lifecycle.active_loops > 0 {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
             }
-            std::thread::sleep(DRAIN_POLL);
+            let (guard, _) = self
+                .shared
+                .changed
+                .wait_timeout(lifecycle, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            lifecycle = guard;
+        }
+        drop(lifecycle);
+        for handle in &self.shared.handles {
+            handle.inject(Task::ForceStop);
+        }
+        self.join_threads();
+        self.shared.inflight.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until the server starts stopping (e.g. a client sent
+    /// `{"cmd": "shutdown"}`). Wakeup-driven; does not join the loop
+    /// threads — follow up with [`ServerHandle::drain`] or
+    /// [`ServerHandle::stop`].
+    pub fn join(&mut self) {
+        let mut lifecycle = self
+            .shared
+            .lifecycle
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        while !lifecycle.stopped {
+            lifecycle = self
+                .shared
+                .changed
+                .wait(lifecycle)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
-    /// Blocks until the accept loop exits (e.g. a client sent
-    /// `{"cmd": "shutdown"}`).
-    pub fn join(&mut self) {
-        if let Some(handle) = self.accept_thread.take() {
-            let _ = handle.join();
+    fn join_threads(&mut self) {
+        for thread in self.threads.drain(..) {
+            let _ = thread.join();
         }
     }
 }
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        self.stop();
+        if !self.threads.is_empty() {
+            self.stop();
+        }
     }
 }
 
-/// Binds `addr` and serves the wire protocol until stopped.
+/// The default event-loop count: one per available core.
+#[must_use]
+pub fn default_event_loops() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Binds `addr` and serves the wire protocol until stopped, with one
+/// event loop per available core.
 ///
 /// # Errors
 ///
@@ -111,113 +231,552 @@ pub fn serve_tcp<A: ToSocketAddrs>(
     service: Arc<PagerService>,
     addr: A,
 ) -> std::io::Result<ServerHandle> {
-    let listener = TcpListener::bind(addr)?;
-    let addr = listener.local_addr()?;
-    listener.set_nonblocking(true)?;
-    let stop = Arc::new(AtomicBool::new(false));
-    let inflight = Arc::new(AtomicU64::new(0));
-    let accept_stop = Arc::clone(&stop);
-    let accept_inflight = Arc::clone(&inflight);
-    let accept_thread = std::thread::Builder::new()
-        .name("pager-accept".into())
-        .spawn(move || accept_loop(&listener, &service, &accept_stop, &accept_inflight))?;
-    Ok(ServerHandle {
-        addr,
-        stop,
-        accept_thread: Some(accept_thread),
-        inflight,
-    })
+    serve_tcp_with(service, addr, default_event_loops())
 }
 
-fn accept_loop(
-    listener: &TcpListener,
-    service: &Arc<PagerService>,
-    stop: &Arc<AtomicBool>,
-    inflight: &Arc<AtomicU64>,
-) {
-    let mut connection_id = 0u64;
-    while !stop.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                connection_id += 1;
-                let service = Arc::clone(service);
-                let stop = Arc::clone(stop);
-                let inflight = Arc::clone(inflight);
-                let spawned = std::thread::Builder::new()
-                    .name(format!("pager-conn-{connection_id}"))
-                    .spawn(move || serve_connection(&stream, &service, &stop, &inflight));
-                if spawned.is_err() {
-                    // Out of threads: drop the connection rather than
-                    // the whole server.
-                    continue;
+/// Binds `addr` and serves the wire protocol until stopped, with an
+/// explicit number of event loops. Each loop owns its own
+/// `SO_REUSEPORT` listener on the same address, so the kernel
+/// load-balances incoming connections across loops.
+///
+/// # Errors
+///
+/// An [`std::io::Error`] when the address cannot be bound or the loop
+/// threads cannot be created.
+pub fn serve_tcp_with<A: ToSocketAddrs>(
+    service: Arc<PagerService>,
+    addr: A,
+    event_loops: usize,
+) -> std::io::Result<ServerHandle> {
+    let event_loops = event_loops.max(1);
+    let mut first = None;
+    let mut last_err = None;
+    for candidate in addr.to_socket_addrs()? {
+        match net::bind_reuseport(candidate) {
+            Ok(listener) => {
+                first = Some(listener);
+                break;
+            }
+            Err(e) => last_err = Some(e),
+        }
+    }
+    let first = first.ok_or_else(|| {
+        last_err
+            .unwrap_or_else(|| std::io::Error::new(ErrorKind::InvalidInput, "no addresses to bind"))
+    })?;
+    let addr = first.local_addr()?;
+    // The remaining listeners bind the *resolved* address so that a
+    // port-0 request lands every loop on the same concrete port.
+    let mut listeners = vec![first];
+    for _ in 1..event_loops {
+        listeners.push(net::bind_reuseport(addr)?);
+    }
+
+    let mut loops = Vec::with_capacity(event_loops);
+    let mut handles = Vec::with_capacity(event_loops);
+    for _ in 0..event_loops {
+        let (event_loop, handle) = EventLoop::new()?;
+        loops.push(event_loop);
+        handles.push(handle);
+    }
+    let shared = Arc::new(ServerShared {
+        stop: AtomicBool::new(false),
+        inflight: AtomicU64::new(0),
+        lifecycle: Mutex::new(Lifecycle {
+            stopped: false,
+            active_loops: event_loops,
+        }),
+        changed: Condvar::new(),
+        handles,
+        accepted: (0..event_loops).map(|_| AtomicU64::new(0)).collect(),
+    });
+
+    let mut threads = Vec::with_capacity(event_loops);
+    for (index, (mut event_loop, listener)) in loops.into_iter().zip(listeners).enumerate() {
+        let driver = ConnDriver {
+            index,
+            service: Arc::clone(&service),
+            shared: Arc::clone(&shared),
+            handle: shared.handles[index].clone(),
+            listener,
+            conns: HashMap::new(),
+            next_token: 1,
+            accepting: true,
+            draining: false,
+            drain_timer_armed: false,
+            reported_wakeups: 0,
+        };
+        event_loop.ring().register(
+            driver.listener.as_raw_fd(),
+            ACCEPT_TOKEN,
+            Interest::READABLE,
+        )?;
+        let thread_shared = Arc::clone(&shared);
+        let spawned = std::thread::Builder::new()
+            .name(format!("pager-loop-{index}"))
+            .spawn(move || {
+                if event_loop.run(driver).is_err() {
+                    // The loop died (epoll failure): take the whole
+                    // server down rather than serving with a hole in
+                    // the listener set.
+                    thread_shared.request_stop();
+                    for handle in &thread_shared.handles {
+                        handle.inject(Task::ForceStop);
+                    }
                 }
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(ACCEPT_POLL);
-            }
-            Err(_) => {
-                // Transient accept errors (e.g. ECONNABORTED): retry.
-                std::thread::sleep(ACCEPT_POLL);
+                let mut lifecycle = thread_shared
+                    .lifecycle
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                lifecycle.active_loops -= 1;
+                drop(lifecycle);
+                thread_shared.changed.notify_all();
+            });
+        match spawned {
+            Ok(thread) => threads.push(thread),
+            Err(e) => {
+                // Unwind the loops already running before reporting.
+                shared.request_stop();
+                for handle in &shared.handles {
+                    handle.inject(Task::ForceStop);
+                }
+                for thread in threads {
+                    let _ = thread.join();
+                }
+                return Err(e);
             }
         }
     }
+    Ok(ServerHandle {
+        addr,
+        shared,
+        threads,
+    })
 }
 
-fn serve_connection(
-    stream: &TcpStream,
-    service: &PagerService,
-    stop: &AtomicBool,
-    inflight: &AtomicU64,
-) {
-    // Each line is handled synchronously on this dedicated thread.
-    // Reads time out at READ_POLL so the thread can notice a stop
-    // request between lines instead of blocking in `read` forever.
-    if stream.set_read_timeout(Some(READ_POLL)).is_err() {
-        return;
+/// One connection's state machine.
+struct Conn {
+    stream: TcpStream,
+    /// Bytes received but not yet consumed as complete lines.
+    in_buf: Vec<u8>,
+    /// Serialised responses not yet written, and the write cursor.
+    out_buf: Vec<u8>,
+    out_pos: usize,
+    /// Responses in `out_buf` still counted as in-flight.
+    queued_responses: u64,
+    /// A request from this connection is on the worker pool; reading
+    /// is suspended until its `Task::Response` arrives.
+    pending: bool,
+    /// No more input will be read (peer EOF, or shutdown response
+    /// queued).
+    eof: bool,
+    /// The epoll interest currently registered (`None` = not
+    /// registered).
+    registered: Option<Interest>,
+}
+
+impl Conn {
+    fn out_flushed(&self) -> bool {
+        self.out_pos == self.out_buf.len()
     }
-    let mut reader = BufReader::new(match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    });
-    let mut writer = BufWriter::new(stream);
-    let mut line = String::new();
-    loop {
-        // NOTE: on timeout `read_line` keeps the bytes it already
-        // consumed in `line`, so a partially received request survives
-        // the poll tick; only a *processed* line clears the buffer.
-        match reader.read_line(&mut line) {
-            Ok(0) => return, // EOF
-            Ok(_) => {
-                if !line.trim().is_empty() {
-                    // In-flight from here until the response is
-                    // written: a drain must wait this request out.
-                    inflight.fetch_add(1, Ordering::SeqCst);
-                    let outcome = handle_line(service, &line);
-                    let write_failed = writeln!(writer, "{}", outcome.response).is_err()
-                        || writer.flush().is_err();
-                    inflight.fetch_sub(1, Ordering::SeqCst);
-                    if write_failed {
+}
+
+/// The per-loop driver: owns this loop's listener and connections.
+struct ConnDriver {
+    index: usize,
+    service: Arc<PagerService>,
+    shared: Arc<ServerShared>,
+    /// This loop's own injection handle (completions route here).
+    handle: LoopHandle<Task>,
+    listener: TcpListener,
+    conns: HashMap<u64, Conn>,
+    /// Monotonic, never reused: a late pool completion can never be
+    /// delivered to a different connection that recycled the token.
+    next_token: u64,
+    accepting: bool,
+    draining: bool,
+    drain_timer_armed: bool,
+    /// Wakeups already mirrored into the service metrics.
+    reported_wakeups: u64,
+}
+
+impl ConnDriver {
+    /// Mirrors the ring's wakeup counter into the service metrics.
+    fn mirror_wakeups(&mut self, ring: &Ring) {
+        let total = ring.wakeups();
+        let delta = total - self.reported_wakeups;
+        if delta > 0 {
+            self.reported_wakeups = total;
+            self.service
+                .metrics()
+                .loop_wakeups
+                // lint:allow(atomics-ordering-audit): monotone metrics counter, no handoff
+                .fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    fn accept_ready(&mut self, ring: &mut Ring) {
+        if !self.accepting {
+            return;
+        }
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let token = Token(self.next_token);
+                    self.next_token += 1;
+                    if ring
+                        .register(stream.as_raw_fd(), token, Interest::READABLE)
+                        .is_err()
+                    {
+                        continue; // dropping `stream` closes it
+                    }
+                    self.conns.insert(
+                        token.0,
+                        Conn {
+                            stream,
+                            in_buf: Vec::new(),
+                            out_buf: Vec::new(),
+                            out_pos: 0,
+                            queued_responses: 0,
+                            pending: false,
+                            eof: false,
+                            registered: Some(Interest::READABLE),
+                        },
+                    );
+                    self.note_accept();
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                // Transient accept errors (e.g. ECONNABORTED): give the
+                // loop back; level-triggered epoll re-reports readiness.
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn note_accept(&self) {
+        let metrics = self.service.metrics();
+        // lint:allow(atomics-ordering-audit): monotone metrics counter, no handoff
+        metrics.accepted_connections.fetch_add(1, Ordering::Relaxed);
+        // lint:allow(atomics-ordering-audit): advisory gauge, no handoff
+        metrics.open_connections.fetch_add(1, Ordering::Relaxed);
+        // lint:allow(atomics-ordering-audit): per-loop stats counter, no ordering consumers
+        self.shared.accepted[self.index].fetch_add(1, Ordering::Relaxed);
+        let mut min = u64::MAX;
+        let mut max = 0;
+        for count in &self.shared.accepted {
+            // lint:allow(atomics-ordering-audit): advisory balance snapshot, no handoff
+            let count = count.load(Ordering::Relaxed);
+            min = min.min(count);
+            max = max.max(count);
+        }
+        metrics
+            .accept_balance
+            // lint:allow(atomics-ordering-audit): advisory gauge, no handoff
+            .store(max.saturating_sub(min), Ordering::Relaxed);
+    }
+
+    /// Reads everything the socket has, then processes complete lines.
+    fn read_conn(&mut self, ring: &mut Ring, token: Token) {
+        let mut scratch = [0u8; 8192];
+        loop {
+            let Some(conn) = self.conns.get_mut(&token.0) else {
+                return;
+            };
+            if conn.eof {
+                break;
+            }
+            match conn.stream.read(&mut scratch) {
+                Ok(0) => {
+                    conn.eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.in_buf.extend_from_slice(&scratch[..n]);
+                    if conn.in_buf.len() > MAX_BUFFERED_INPUT {
+                        self.teardown(ring, token);
                         return;
                     }
-                    if outcome.shutdown {
-                        stop.store(true, Ordering::SeqCst);
-                        return;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.teardown(ring, token);
+                    return;
+                }
+            }
+        }
+        self.process_lines(ring, token);
+    }
+
+    /// Handles complete lines from `in_buf` until none remain or a
+    /// request suspends the connection. Ends by settling interest.
+    fn process_lines(&mut self, ring: &mut Ring, token: Token) {
+        loop {
+            let line_bytes = {
+                let Some(conn) = self.conns.get_mut(&token.0) else {
+                    return;
+                };
+                if conn.pending {
+                    break;
+                }
+                let Some(pos) = conn.in_buf.iter().position(|&b| b == b'\n') else {
+                    break;
+                };
+                conn.in_buf.drain(..=pos).collect::<Vec<u8>>()
+            };
+            let Ok(line) = String::from_utf8(line_bytes) else {
+                self.teardown(ring, token);
+                return;
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            // In-flight from here until the response is flushed (or
+            // the drain gives up): a drain must wait this request out.
+            self.shared.inflight.fetch_add(1, Ordering::SeqCst);
+            let completion_handle = self.handle.clone();
+            let complete = Box::new(move |outcome: LineOutcome| {
+                completion_handle.inject(Task::Response { token, outcome });
+            });
+            match handle_line_async(&self.service, &line, complete) {
+                Some(outcome) => self.finish_response(ring, token, outcome),
+                None => {
+                    if let Some(conn) = self.conns.get_mut(&token.0) {
+                        conn.pending = true;
                     }
-                }
-                line.clear();
-                if stop.load(Ordering::SeqCst) {
-                    return; // draining: the response above was the last
+                    break;
                 }
             }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                if stop.load(Ordering::SeqCst) {
-                    return; // draining and idle: close
+        }
+        self.settle(ring, token);
+    }
+
+    /// Queues a response line and pushes bytes out.
+    fn finish_response(&mut self, ring: &mut Ring, token: Token, outcome: LineOutcome) {
+        let Some(conn) = self.conns.get_mut(&token.0) else {
+            // The connection died while the pool worked; the response
+            // has nowhere to go but was still in flight until now.
+            self.shared.inflight.fetch_sub(1, Ordering::SeqCst);
+            return;
+        };
+        conn.out_buf.extend_from_slice(outcome.response.as_bytes());
+        conn.out_buf.push(b'\n');
+        conn.queued_responses += 1;
+        if outcome.shutdown {
+            conn.eof = true; // this response is the connection's last
+            self.begin_stop();
+        }
+        self.flush_conn(ring, token);
+    }
+
+    /// A shutdown line arrived: flag the server as stopping and start
+    /// every loop (including this one) draining.
+    fn begin_stop(&self) {
+        self.shared.request_stop();
+        for handle in &self.shared.handles {
+            handle.inject(Task::Drain { budget: None });
+        }
+    }
+
+    /// Writes as much of `out_buf` as the socket takes. Does not
+    /// settle interest — callers do, exactly once per activity burst.
+    fn flush_conn(&mut self, ring: &mut Ring, token: Token) {
+        let Some(conn) = self.conns.get_mut(&token.0) else {
+            return;
+        };
+        while conn.out_pos < conn.out_buf.len() {
+            match conn.stream.write(&conn.out_buf[conn.out_pos..]) {
+                Ok(0) => {
+                    self.teardown(ring, token);
+                    return;
+                }
+                Ok(n) => conn.out_pos += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.teardown(ring, token);
+                    return;
                 }
             }
-            Err(_) => return,
+        }
+        if conn.out_flushed() && conn.queued_responses > 0 {
+            self.shared
+                .inflight
+                .fetch_sub(conn.queued_responses, Ordering::SeqCst);
+            conn.queued_responses = 0;
+            conn.out_buf.clear();
+            conn.out_pos = 0;
+        }
+    }
+
+    /// Settles a connection after activity: closes it when it has
+    /// nothing left to do and no more input is coming, otherwise
+    /// re-registers the interest matching its state.
+    fn settle(&mut self, ring: &mut Ring, token: Token) {
+        let draining = self.draining;
+        let Some(conn) = self.conns.get_mut(&token.0) else {
+            return;
+        };
+        let no_more_input = conn.eof || draining;
+        if no_more_input && !conn.pending && conn.out_flushed() {
+            self.teardown(ring, token);
+            return;
+        }
+        // Read only while a request may still be handled; write only
+        // while bytes are queued. Level-triggered epoll makes any
+        // other combination a busy loop.
+        let readable = !conn.pending && !no_more_input;
+        let writable = !conn.out_flushed();
+        let desired = if readable || writable {
+            Some(Interest { readable, writable })
+        } else {
+            None
+        };
+        if conn.registered == desired {
+            return;
+        }
+        let fd = conn.stream.as_raw_fd();
+        let result = match (conn.registered, desired) {
+            (Some(_), None) => ring.deregister(fd),
+            (Some(_), Some(interest)) => ring.reregister(fd, token, interest),
+            (None, Some(interest)) => ring.register(fd, token, interest),
+            (None, None) => Ok(()),
+        };
+        if result.is_ok() {
+            conn.registered = desired;
+        } else {
+            self.teardown(ring, token);
+        }
+    }
+
+    /// Removes a connection, releasing its in-flight responses. A
+    /// request still on the pool stays counted until its completion
+    /// arrives and finds the token gone.
+    fn teardown(&mut self, ring: &mut Ring, token: Token) {
+        if let Some(conn) = self.conns.remove(&token.0) {
+            if conn.registered.is_some() {
+                let _ = ring.deregister(conn.stream.as_raw_fd());
+            }
+            if conn.queued_responses > 0 {
+                self.shared
+                    .inflight
+                    .fetch_sub(conn.queued_responses, Ordering::SeqCst);
+            }
+            self.service
+                .metrics()
+                .open_connections
+                // lint:allow(atomics-ordering-audit): advisory gauge, no handoff
+                .fetch_sub(1, Ordering::Relaxed);
+        }
+        self.maybe_exit(ring);
+    }
+
+    /// A draining loop exits once its last connection is gone.
+    fn maybe_exit(&self, ring: &mut Ring) {
+        if self.draining && self.conns.is_empty() {
+            ring.stop();
+        }
+    }
+
+    fn begin_drain(&mut self, ring: &mut Ring, budget: Option<Duration>) {
+        if self.draining {
+            // Already draining (shutdown command); a budgeted drain
+            // arriving later still arms the force-close timer.
+            if let (Some(budget), false) = (budget, self.drain_timer_armed) {
+                ring.arm_timer(Instant::now() + budget, DRAIN_TIMER);
+                self.drain_timer_armed = true;
+            }
+            return;
+        }
+        self.draining = true;
+        self.stop_accepting(ring);
+        if let Some(budget) = budget {
+            ring.arm_timer(Instant::now() + budget, DRAIN_TIMER);
+            self.drain_timer_armed = true;
+        }
+        // Scoop bytes already sitting in kernel buffers: every request
+        // line the peer sent before the drain started gets answered.
+        // On loopback a completed client write is already here, so the
+        // old "sleep and hope the poll loop saw it" race is gone.
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for token in tokens {
+            self.read_conn(ring, Token(token));
+        }
+        self.maybe_exit(ring);
+    }
+
+    fn stop_accepting(&mut self, ring: &mut Ring) {
+        if self.accepting {
+            let _ = ring.deregister(self.listener.as_raw_fd());
+            self.accepting = false;
+        }
+    }
+
+    /// Tears every connection down (after one best-effort flush) and
+    /// stops the loop.
+    fn force_stop(&mut self, ring: &mut Ring) {
+        self.stop_accepting(ring);
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for token in tokens {
+            let token = Token(token);
+            self.flush_conn(ring, token); // may already tear down
+            self.teardown(ring, token);
+        }
+        ring.stop();
+    }
+}
+
+impl pager_reactor::Driver for ConnDriver {
+    type Task = Task;
+
+    fn on_event(&mut self, ring: &mut Ring, event: pager_reactor::Event) {
+        self.mirror_wakeups(ring);
+        if event.token == ACCEPT_TOKEN {
+            self.accept_ready(ring);
+            return;
+        }
+        if !self.conns.contains_key(&event.token.0) {
+            return;
+        }
+        if event.readable {
+            self.read_conn(ring, event.token);
+        }
+        let still_open = self.conns.contains_key(&event.token.0);
+        if still_open && event.writable {
+            self.flush_conn(ring, event.token);
+            self.settle(ring, event.token);
+        } else if still_open && event.closed && !event.readable {
+            // An error-only report (no readable bit): the socket is
+            // dead and reads will never progress it.
+            self.teardown(ring, event.token);
+        }
+    }
+
+    fn on_task(&mut self, ring: &mut Ring, task: Task) {
+        self.mirror_wakeups(ring);
+        match task {
+            Task::Response { token, outcome } => {
+                if let Some(conn) = self.conns.get_mut(&token.0) {
+                    conn.pending = false;
+                }
+                self.finish_response(ring, token, outcome);
+                // More lines may have buffered while the request was
+                // on the pool; this also settles interest / closes.
+                self.process_lines(ring, token);
+                self.maybe_exit(ring);
+            }
+            Task::Drain { budget } => self.begin_drain(ring, budget),
+            Task::ForceStop => self.force_stop(ring),
+        }
+    }
+
+    fn on_timer(&mut self, ring: &mut Ring, token: Token) {
+        self.mirror_wakeups(ring);
+        if token == DRAIN_TIMER {
+            self.force_stop(ring);
         }
     }
 }
@@ -254,7 +813,7 @@ mod tests {
     use super::*;
     use crate::service::ServiceConfig;
     use jsonio::Value;
-    use std::io::Cursor;
+    use std::io::{BufReader, BufWriter, Cursor};
 
     fn service() -> Arc<PagerService> {
         Arc::new(PagerService::new(ServiceConfig {
@@ -318,10 +877,9 @@ mod tests {
         let stream = TcpStream::connect(addr).unwrap();
         let mut reader = BufReader::new(stream.try_clone().unwrap());
         let mut writer = BufWriter::new(stream);
-        // Ping round-trip first so the connection is accepted and its
-        // thread is serving before the drain starts (otherwise the
-        // drain could stop the accept loop before the connection
-        // exists at all).
+        // Ping round-trip first so the connection is accepted and
+        // registered before the drain starts (otherwise the drain
+        // could close the listener before the connection exists).
         writeln!(writer, r#"{{"cmd": "ping"}}"#).unwrap();
         writer.flush().unwrap();
         let mut pong = String::new();
@@ -330,9 +888,9 @@ mod tests {
         let request = r#"{"id": 3, "instance": [[0.6, 0.4]], "delay": 2}"#;
         writeln!(writer, "{request}").unwrap();
         writer.flush().unwrap();
-        // Drain while the request may still be in flight: it must be
-        // answered (not dropped) and the drain must report zero
-        // pending.
+        // Drain immediately: the request bytes are already in the
+        // server's kernel buffer (loopback write completed), so the
+        // drain's read-scoop must find and answer them.
         let pending = handle.drain(Duration::from_secs(5));
         assert_eq!(pending, 0, "drain left requests unanswered");
         let mut line = String::new();
@@ -359,5 +917,61 @@ mod tests {
         assert!(line.contains("stopping"));
         handle.join();
         assert!(handle.stopping());
+    }
+
+    #[test]
+    fn pipelined_requests_are_answered_in_order() {
+        let svc = service();
+        let mut handle = serve_tcp_with(Arc::clone(&svc), ("127.0.0.1", 0), 2).unwrap();
+        let addr = handle.local_addr();
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+        // Several requests in one burst, without reading in between:
+        // the state machine must answer them one at a time, in order.
+        for id in 0..5 {
+            writeln!(
+                writer,
+                r#"{{"id": {id}, "instance": [[0.7, 0.2, 0.1]], "delay": 2}}"#
+            )
+            .unwrap();
+        }
+        writer.flush().unwrap();
+        for id in 0..5 {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            let v = jsonio::parse(&line).unwrap();
+            assert_eq!(v.get("id").and_then(Value::as_i64), Some(id));
+            assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+        }
+        drop(reader);
+        drop(writer);
+        handle.stop();
+    }
+
+    #[test]
+    fn client_disconnect_mid_request_releases_inflight() {
+        let svc = service();
+        let mut handle = serve_tcp(Arc::clone(&svc), ("127.0.0.1", 0)).unwrap();
+        let addr = handle.local_addr();
+        {
+            let stream = TcpStream::connect(addr).unwrap();
+            let mut writer = BufWriter::new(&stream);
+            writeln!(
+                writer,
+                r#"{{"id": 1, "instance": [[0.9, 0.1]], "delay": 1}}"#
+            )
+            .unwrap();
+            writer.flush().unwrap();
+            // Drop without reading the response.
+        }
+        // The response (computed or not) must eventually release the
+        // in-flight count even though the peer is gone.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while handle.inflight() > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(handle.inflight(), 0);
+        handle.stop();
     }
 }

@@ -16,7 +16,7 @@ use crate::deadline::Deadline;
 use crate::error::ServiceError;
 use crate::metrics::Metrics;
 use crate::planner::{plan, Plan, TierPolicy, Variant};
-use crate::pool::Dispatcher;
+use crate::pool::{Dispatcher, PlanJob};
 
 /// The full cache key: quantised probabilities plus everything else
 /// that changes the answer. Two requests with equal keys are served
@@ -505,14 +505,14 @@ impl PagerService {
             });
         }
         Metrics::inc(&self.metrics.cache_misses);
-        let (rx, coalesced) = self.dispatcher.submit(
+        let (rx, coalesced) = self.dispatcher.submit(PlanJob {
             key,
             fingerprint,
-            instance.clone(),
-            spec.delay(),
-            spec.variant(),
+            instance: instance.clone(),
+            delay: spec.delay(),
+            variant: spec.variant(),
             deadline,
-        )?;
+        })?;
         if coalesced {
             Metrics::inc(&self.metrics.coalesced);
         }
@@ -524,6 +524,147 @@ impl PagerService {
             cached: false,
             coalesced,
         })
+    }
+
+    /// Callback-flavoured cacheable path for the event-loop server.
+    /// `Some(result)` means the request completed synchronously (cache
+    /// hit or admission failure) and `on_done` was dropped unused;
+    /// `None` means `on_done` will fire exactly once, later, on a
+    /// worker thread.
+    fn plan_via_cache_async(
+        &self,
+        key: PlanKey,
+        fingerprint: u64,
+        instance: &Instance,
+        spec: &PlanSpec,
+        deadline: Deadline,
+        on_done: Box<dyn FnOnce(Result<PlanResponse, ServiceError>) + Send>,
+    ) -> Option<Result<PlanResponse, ServiceError>> {
+        if let Some(hit) = self.cache.get(fingerprint, &key) {
+            Metrics::inc(&self.metrics.cache_hits);
+            return Some(Ok(PlanResponse {
+                plan: hit,
+                cached: true,
+                coalesced: false,
+            }));
+        }
+        Metrics::inc(&self.metrics.cache_misses);
+        let submitted = self.dispatcher.submit_callback(
+            PlanJob {
+                key,
+                fingerprint,
+                instance: instance.clone(),
+                delay: spec.delay(),
+                variant: spec.variant(),
+                deadline,
+            },
+            Box::new(move |result, coalesced| {
+                on_done(result.map(|plan| PlanResponse {
+                    plan,
+                    cached: false,
+                    coalesced,
+                }));
+            }),
+        );
+        match submitted {
+            Ok(coalesced) => {
+                if coalesced {
+                    Metrics::inc(&self.metrics.coalesced);
+                }
+                None
+            }
+            Err(error) => Some(Err(error)),
+        }
+    }
+
+    /// Nonblocking flavour of [`PagerService::plan`] for
+    /// readiness-driven callers: never parks the calling thread on a
+    /// worker result.
+    ///
+    /// Returns `Some(result)` when the request completed on the
+    /// calling thread — cache hit, uncacheable inline plan, or
+    /// admission failure (shed/shutdown) — in which case `on_done` is
+    /// dropped without firing. Returns `None` when the request was
+    /// admitted to the worker pool; `on_done` then fires exactly once,
+    /// on a worker thread, with the result. Errors surface inside
+    /// either the returned value or the callback argument, as for
+    /// [`PagerService::plan`].
+    pub fn plan_async(
+        &self,
+        instance: &Instance,
+        spec: PlanSpec,
+        on_done: Box<dyn FnOnce(Result<PlanResponse, ServiceError>) + Send>,
+    ) -> Option<Result<PlanResponse, ServiceError>> {
+        Metrics::inc(&self.metrics.requests);
+        let deadline = self.admit(&spec);
+        if !spec.cache_enabled() {
+            // Uncacheable work cannot coalesce, so it runs inline on
+            // the calling thread (the event loop accepts this: opting
+            // out of the cache opts into paying for the plan where it
+            // is asked for).
+            return Some(self.plan_inline(instance, &spec, deadline));
+        }
+        let (key, fingerprint) = self.derive_key(instance, &spec, 0, &[]);
+        self.plan_via_cache_async(key, fingerprint, instance, &spec, deadline, on_done)
+    }
+
+    /// Nonblocking flavour of [`PagerService::plan_devices`], with the
+    /// same `Some` = completed-now / `None` = callback-later contract
+    /// as [`PagerService::plan_async`]. Profile estimation runs on the
+    /// calling thread (it is in-memory table work); only the planning
+    /// itself is handed to the pool.
+    pub fn plan_devices_async(
+        &self,
+        devices: &[&str],
+        estimator: Estimator,
+        now: Option<Time>,
+        spec: PlanSpec,
+        on_done: Box<dyn FnOnce(Result<DevicePlanResponse, ServiceError>) + Send>,
+    ) -> Option<Result<DevicePlanResponse, ServiceError>> {
+        Metrics::inc(&self.metrics.requests);
+        let deadline = self.admit(&spec);
+        let prepared = self.prepare_device_instance(devices, estimator, now);
+        let (instance, versions, stale_profiles, now) = match prepared {
+            Ok(parts) => parts,
+            Err(error) => return Some(Err(error)),
+        };
+        if !spec.cache_enabled() {
+            return Some(
+                self.plan_inline(&instance, &spec, deadline)
+                    .map(|response| DevicePlanResponse {
+                        response,
+                        versions,
+                        stale_profiles,
+                        now,
+                    }),
+            );
+        }
+        // Estimator tag 0 is reserved for matrix requests.
+        let (key, fingerprint) = self.derive_key(&instance, &spec, estimator.tag() + 1, &versions);
+        let callback_versions = versions.clone();
+        let result = self.plan_via_cache_async(
+            key,
+            fingerprint,
+            &instance,
+            &spec,
+            deadline,
+            Box::new(move |result| {
+                on_done(result.map(|response| DevicePlanResponse {
+                    response,
+                    versions: callback_versions,
+                    stale_profiles,
+                    now,
+                }));
+            }),
+        )?;
+        // Completed synchronously (the moved-in callback was dropped
+        // unused): assemble the device envelope here instead.
+        Some(result.map(|response| DevicePlanResponse {
+            response,
+            versions,
+            stale_profiles,
+            now,
+        }))
     }
 
     /// Plans a strategy, serving from the cache or an identical
@@ -633,6 +774,34 @@ impl PagerService {
     ) -> Result<DevicePlanResponse, ServiceError> {
         Metrics::inc(&self.metrics.requests);
         let deadline = self.admit(&spec);
+        let (instance, versions, stale_profiles, now) =
+            self.prepare_device_instance(devices, estimator, now)?;
+        let response = if spec.cache_enabled() {
+            // Estimator tag 0 is reserved for matrix requests.
+            let (key, fingerprint) =
+                self.derive_key(&instance, &spec, estimator.tag() + 1, &versions);
+            self.plan_via_cache(key, fingerprint, &instance, &spec, deadline)?
+        } else {
+            self.plan_inline(&instance, &spec, deadline)?
+        };
+        Ok(DevicePlanResponse {
+            response,
+            versions,
+            stale_profiles,
+            now,
+        })
+    }
+
+    /// The estimation front half of `plan_devices`: resolves the
+    /// clock, materialises the named devices' distributions into an
+    /// instance, and counts stale profiles (recording the metric).
+    #[allow(clippy::type_complexity)]
+    fn prepare_device_instance(
+        &self,
+        devices: &[&str],
+        estimator: Estimator,
+        now: Option<Time>,
+    ) -> Result<(Instance, Vec<u64>, usize, Time), ServiceError> {
         let now = now.or_else(|| self.profiles.latest_time()).ok_or_else(|| {
             Metrics::inc(&self.metrics.errors);
             ServiceError::BadRequest("store has no sightings and no \"now\" was given".into())
@@ -651,20 +820,7 @@ impl PagerService {
                 // lint:allow(atomics-ordering-audit): monotone metrics counter, no handoff
                 .fetch_add(stale_profiles as u64, Ordering::Relaxed);
         }
-        let response = if spec.cache_enabled() {
-            // Estimator tag 0 is reserved for matrix requests.
-            let (key, fingerprint) =
-                self.derive_key(&instance, &spec, estimator.tag() + 1, &versions);
-            self.plan_via_cache(key, fingerprint, &instance, &spec, deadline)?
-        } else {
-            self.plan_inline(&instance, &spec, deadline)?
-        };
-        Ok(DevicePlanResponse {
-            response,
-            versions,
-            stale_profiles,
-            now,
-        })
+        Ok((instance, versions, stale_profiles, now))
     }
 
     /// Number of strategies currently cached.

@@ -2,11 +2,11 @@
 //!
 //! ```text
 //! USAGE:
-//!   pager-serve [--addr HOST:PORT] [--stdio] [--workers N] [--shards N]
-//!               [--capacity N] [--grid G] [--queue-depth N]
-//!               [--deadline-ms MS] [--drain-ms MS] [--metrics-json]
-//!               [--data-dir DIR] [--fsync always|never|interval:N]
-//!               [--checkpoint-every N]
+//!   pager-serve [--addr HOST:PORT] [--stdio] [--event-loops N]
+//!               [--workers N] [--shards N] [--capacity N] [--grid G]
+//!               [--queue-depth N] [--deadline-ms MS] [--drain-ms MS]
+//!               [--metrics-json] [--data-dir DIR]
+//!               [--fsync always|never|interval:N] [--checkpoint-every N]
 //! ```
 //!
 //! Speaks the `pager_service::proto` JSON-lines protocol: one request
@@ -17,6 +17,10 @@
 //! *drains*: it waits up to `--drain-ms` (default 5000) for requests
 //! already being handled to finish before exiting, so an orderly
 //! shutdown drops nothing that was admitted.
+//!
+//! TCP connections are served by `--event-loops` epoll event-loop
+//! threads (default: one per core), each with its own `SO_REUSEPORT`
+//! listener; solver work still runs on the `--workers` pool.
 //!
 //! `--queue-depth` bounds the planning admission queue (excess load is
 //! shed with `"code": "overloaded"`); `--deadline-ms` sets the default
@@ -39,7 +43,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use conference_call::service::{
-    serve_lines, serve_tcp, DurabilityOptions, PagerService, ServiceConfig,
+    default_event_loops, serve_lines, serve_tcp_with, DurabilityOptions, PagerService,
+    ServiceConfig,
 };
 use pager_profiles::FsyncPolicy;
 
@@ -48,12 +53,13 @@ struct Options {
     stdio: bool,
     metrics_json: bool,
     drain: Duration,
+    event_loops: usize,
     config: ServiceConfig,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: pager-serve [--addr HOST:PORT] [--stdio] [--workers N] [--shards N] [--capacity N] [--grid G] [--queue-depth N] [--deadline-ms MS] [--drain-ms MS] [--metrics-json] [--data-dir DIR] [--fsync always|never|interval:N] [--checkpoint-every N]"
+        "usage: pager-serve [--addr HOST:PORT] [--stdio] [--event-loops N] [--workers N] [--shards N] [--capacity N] [--grid G] [--queue-depth N] [--deadline-ms MS] [--drain-ms MS] [--metrics-json] [--data-dir DIR] [--fsync always|never|interval:N] [--checkpoint-every N]"
     );
     ExitCode::from(2)
 }
@@ -65,6 +71,7 @@ fn parse_args(mut args: std::env::Args) -> Result<Options, String> {
         stdio: false,
         metrics_json: false,
         drain: Duration::from_millis(5000),
+        event_loops: default_event_loops(),
         config: ServiceConfig::default(),
     };
     let mut fsync = FsyncPolicy::Always;
@@ -75,6 +82,9 @@ fn parse_args(mut args: std::env::Args) -> Result<Options, String> {
             "--addr" => opts.addr = args.next().ok_or("--addr needs HOST:PORT")?,
             "--stdio" => opts.stdio = true,
             "--metrics-json" => opts.metrics_json = true,
+            "--event-loops" => {
+                opts.event_loops = parse_positive(args.next(), "--event-loops")?;
+            }
             "--workers" => {
                 opts.config.workers = parse_positive(args.next(), "--workers")?;
             }
@@ -175,13 +185,14 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     } else {
-        let mut handle = match serve_tcp(Arc::clone(&service), opts.addr.as_str()) {
-            Ok(handle) => handle,
-            Err(e) => {
-                eprintln!("pager-serve: cannot bind {}: {e}", opts.addr);
-                return ExitCode::FAILURE;
-            }
-        };
+        let mut handle =
+            match serve_tcp_with(Arc::clone(&service), opts.addr.as_str(), opts.event_loops) {
+                Ok(handle) => handle,
+                Err(e) => {
+                    eprintln!("pager-serve: cannot bind {}: {e}", opts.addr);
+                    return ExitCode::FAILURE;
+                }
+            };
         eprintln!("pager-serve: listening on {}", handle.local_addr());
         handle.join();
         eprintln!("pager-serve: draining");

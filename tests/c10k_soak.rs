@@ -1,0 +1,194 @@
+//! C10k soak: hold thousands of open connections against the real
+//! `pager-serve` binary while a sample of them carries live planning
+//! traffic, and prove the event-loop transport's scaling claim — the
+//! server's thread count stays O(event-loops + workers), independent
+//! of the connection count.
+//!
+//! The connection count defaults to a CI-friendly 500 and scales to a
+//! true 10k run with `SOAK_CONNS=10000 cargo test --test c10k_soak`
+//! (needs `ulimit -n` headroom on both sides: one fd per connection in
+//! this process and one in the server).
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use jsonio::Value;
+
+/// Event loops the soak server runs; the thread bound is relative to
+/// this, not to the connection count.
+const EVENT_LOOPS: usize = 2;
+const WORKERS: usize = 2;
+
+fn soak_conns() -> usize {
+    std::env::var("SOAK_CONNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(500)
+}
+
+struct Server {
+    child: Child,
+    port: u16,
+}
+
+impl Server {
+    fn spawn() -> Server {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_pager-serve"))
+            .args([
+                "--addr",
+                "127.0.0.1:0",
+                "--event-loops",
+                &EVENT_LOOPS.to_string(),
+                "--workers",
+                &WORKERS.to_string(),
+            ])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn pager-serve");
+        let stderr = child.stderr.take().expect("child stderr");
+        let mut lines = BufReader::new(stderr).lines();
+        let banner = lines
+            .next()
+            .expect("server banner")
+            .expect("read server banner");
+        let port: u16 = banner
+            .rsplit(':')
+            .next()
+            .and_then(|p| p.trim().parse().ok())
+            .unwrap_or_else(|| panic!("no port in banner {banner:?}"));
+        std::thread::spawn(move || for _ in lines {});
+        Server { child, port }
+    }
+
+    fn connect(&self) -> TcpStream {
+        let stream = TcpStream::connect(("127.0.0.1", self.port)).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .expect("read timeout");
+        stream
+    }
+
+    /// The server's current OS thread count, from /proc.
+    fn thread_count(&self) -> usize {
+        let status = std::fs::read_to_string(format!("/proc/{}/status", self.child.id()))
+            .expect("read /proc status");
+        status
+            .lines()
+            .find_map(|line| line.strip_prefix("Threads:"))
+            .and_then(|v| v.trim().parse().ok())
+            .expect("Threads: line in /proc status")
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn round_trip(stream: &TcpStream, request: &str) -> Value {
+    let mut writer = BufWriter::new(stream);
+    writeln!(writer, "{request}").expect("send request");
+    writer.flush().expect("flush request");
+    drop(writer);
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read response");
+    jsonio::parse(&line).unwrap_or_else(|e| panic!("bad response {line:?}: {e}"))
+}
+
+#[test]
+fn thousands_of_idle_connections_with_live_traffic() {
+    let conns = soak_conns();
+    let server = Server::spawn();
+
+    // Open the whole soak population and keep every socket alive.
+    let mut sockets = Vec::with_capacity(conns);
+    for _ in 0..conns {
+        sockets.push(server.connect());
+    }
+
+    // Live traffic on a spread-out sample while the rest sit idle:
+    // pings and genuine plan requests (cache misses go through the
+    // worker pool and come back through the loop's waker).
+    for (i, stream) in sockets.iter().enumerate().step_by(50) {
+        let pong = round_trip(stream, r#"{"cmd": "ping"}"#);
+        assert_eq!(
+            pong.get("pong").and_then(Value::as_bool),
+            Some(true),
+            "ping on conn {i}: {pong}"
+        );
+        let request = format!(
+            r#"{{"id": {i}, "instance": [[0.4, 0.3, 0.2, 0.1]], "delay": 2, "deadline_ms": 30000}}"#
+        );
+        let response = round_trip(stream, &request);
+        assert_eq!(
+            response.get("ok").and_then(Value::as_bool),
+            Some(true),
+            "plan on conn {i}: {response}"
+        );
+        assert_eq!(response.get("id").and_then(Value::as_i64), Some(i as i64));
+    }
+
+    // The scaling claim: threads track loops + workers, never the
+    // connection count. Main thread + loops + workers, plus slack for
+    // runtime helpers — nowhere near `conns`.
+    let threads = server.thread_count();
+    let bound = EVENT_LOOPS + WORKERS + 8;
+    assert!(
+        threads <= bound,
+        "server runs {threads} threads for {conns} connections (bound {bound})"
+    );
+
+    // The server agrees it is holding the whole population.
+    let metrics_conn = server.connect();
+    let metrics = round_trip(&metrics_conn, r#"{"cmd": "metrics"}"#);
+    let metrics = metrics.get("metrics").expect("metrics payload");
+    let open = metrics
+        .get("open_connections")
+        .and_then(Value::as_u64)
+        .expect("open_connections metric");
+    assert!(
+        open >= conns as u64,
+        "open_connections {open} < soak population {conns}"
+    );
+    let accepted = metrics
+        .get("accepted_connections")
+        .and_then(Value::as_u64)
+        .expect("accepted_connections metric");
+    assert!(accepted >= conns as u64);
+    let wakeups = metrics
+        .get("loop_wakeups")
+        .and_then(Value::as_u64)
+        .expect("loop_wakeups metric");
+    assert!(wakeups > 0, "event loops never woke up?");
+
+    // Closing the population is noticed: the gauge falls back down.
+    drop(sockets);
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let metrics = round_trip(&metrics_conn, r#"{"cmd": "metrics"}"#);
+        let open = metrics
+            .get("metrics")
+            .and_then(|m| m.get("open_connections"))
+            .and_then(Value::as_u64)
+            .expect("open_connections metric");
+        // Only the metrics connection itself (and any not-yet-reaped
+        // closes) should remain.
+        if open <= 2 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "open_connections stuck at {open} after the population closed"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    let stop = round_trip(&metrics_conn, r#"{"cmd": "shutdown"}"#);
+    assert_eq!(stop.get("stopping").and_then(Value::as_bool), Some(true));
+}

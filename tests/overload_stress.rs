@@ -17,7 +17,7 @@ use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::TcpStream;
 use std::process::{Child, Command, Stdio};
 use std::sync::{Arc, Barrier};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use jsonio::Value;
 
@@ -305,10 +305,19 @@ fn shutdown_drains_inflight_requests() {
         );
         assert_eq!(response.get("tier").and_then(Value::as_str), Some("exact"));
     }
+    let last_response_at = Instant::now();
 
-    // The process exits cleanly (zero pending after the drain).
+    // The process exits cleanly (zero pending after the drain), and it
+    // exits *promptly*: the drain is wakeup-driven, so once the last
+    // response is flushed nothing waits on a poll tick or rides out
+    // the 30s drain budget.
     let mut server = Arc::into_inner(server).expect("all clients finished");
     let mut child = server.child.take().expect("child still running");
     let status = child.wait().expect("server exit");
     assert!(status.success(), "server exited with {status}");
+    let exit_lag = last_response_at.elapsed();
+    assert!(
+        exit_lag < Duration::from_secs(2),
+        "drained server took {exit_lag:?} to exit after the last response"
+    );
 }
