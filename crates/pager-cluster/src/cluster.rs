@@ -1,0 +1,242 @@
+//! Live cluster state: membership ring + per-node liveness.
+//!
+//! A [`Cluster`] is immutable membership (topology + ring + one
+//! upstream pool per node) plus mutable liveness bits. Routing walks
+//! the ring: a device's configured owner serves it while alive;
+//! a dead owner's traffic falls through to its replication follower
+//! (which holds the shard's WAL-shipped copy), then onward around
+//! the membership ring — the failover state machine is exactly this
+//! walk plus a promotion flag.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::ring::HashRing;
+use crate::topology::Topology;
+use crate::upstream::Upstream;
+
+/// Consecutive heartbeat misses before a node is declared dead.
+pub const DEATH_THRESHOLD: u32 = 2;
+
+/// Immutable membership + mutable liveness.
+#[derive(Debug)]
+pub struct Cluster {
+    topology: Topology,
+    ring: HashRing,
+    timeout: Duration,
+    /// One pool per ring node, in ring (sorted-id) order.
+    upstreams: Vec<Arc<Upstream>>,
+    alive: Vec<AtomicBool>,
+    misses: Vec<AtomicU32>,
+    /// Whether node `i`'s shard is currently served by its follower
+    /// (set when the heartbeat declares `i` dead and promotes).
+    failed_over: Vec<AtomicBool>,
+}
+
+impl Cluster {
+    /// Builds the cluster state for a membership, dialing nodes with
+    /// `timeout` per I/O operation. All nodes start presumed alive.
+    #[must_use]
+    pub fn new(topology: Topology, timeout: Duration) -> Cluster {
+        let ring = topology.ring();
+        let upstreams = ring
+            .nodes()
+            .iter()
+            .map(|id| {
+                let addr = topology.addr_of(id).unwrap_or_default();
+                Arc::new(Upstream::new(addr, timeout))
+            })
+            .collect();
+        let n = ring.len();
+        Cluster {
+            topology,
+            ring,
+            timeout,
+            upstreams,
+            alive: (0..n).map(|_| AtomicBool::new(true)).collect(),
+            misses: (0..n).map(|_| AtomicU32::new(0)).collect(),
+            failed_over: (0..n).map(|_| AtomicBool::new(false)).collect(),
+        }
+    }
+
+    /// The membership this state was built from.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The per-operation dial timeout the pools were built with.
+    #[must_use]
+    pub fn timeout(&self) -> Duration {
+        self.timeout
+    }
+
+    /// The shared key → shard map.
+    #[must_use]
+    pub fn ring(&self) -> &HashRing {
+        &self.ring
+    }
+
+    /// Ring node id at `index`.
+    #[must_use]
+    pub fn node_id(&self, index: usize) -> &str {
+        &self.ring.nodes()[index]
+    }
+
+    /// The upstream pool for ring node `index`.
+    #[must_use]
+    pub fn upstream(&self, index: usize) -> &Arc<Upstream> {
+        &self.upstreams[index]
+    }
+
+    /// Whether ring node `index` is currently considered alive.
+    #[must_use]
+    pub fn is_alive(&self, index: usize) -> bool {
+        self.alive[index].load(Ordering::Acquire)
+    }
+
+    /// Whether node `index`'s shard has failed over to its follower.
+    #[must_use]
+    pub fn is_failed_over(&self, index: usize) -> bool {
+        self.failed_over[index].load(Ordering::Acquire)
+    }
+
+    /// Declares a node dead (after missed heartbeats): drops its
+    /// pooled connections and flags the shard as failed over.
+    /// Returns `true` when this call did the transition.
+    pub fn mark_dead(&self, index: usize) -> bool {
+        let was_alive = self.alive[index].swap(false, Ordering::AcqRel);
+        if was_alive {
+            self.upstreams[index].flush();
+            self.failed_over[index].store(true, Ordering::Release);
+        }
+        was_alive
+    }
+
+    /// Declares a node alive again (it answered a heartbeat after a
+    /// catch-up resync). Returns `true` when this call revived it.
+    pub fn mark_alive(&self, index: usize) -> bool {
+        let was_dead = !self.alive[index].swap(true, Ordering::AcqRel);
+        if was_dead {
+            self.failed_over[index].store(false, Ordering::Release);
+        }
+        self.misses[index].store(0, Ordering::Release);
+        was_dead
+    }
+
+    /// Records one heartbeat miss; returns the new consecutive count.
+    pub fn note_miss(&self, index: usize) -> u32 {
+        self.misses[index].fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Clears the consecutive-miss counter.
+    pub fn note_ok(&self, index: usize) {
+        self.misses[index].store(0, Ordering::Release);
+    }
+
+    /// The node a device key is *configured* to live on, liveness
+    /// aside.
+    #[must_use]
+    pub fn owner_of(&self, device: &str) -> usize {
+        self.ring.owner_of(device)
+    }
+
+    /// The node that should *serve* a device right now: the
+    /// configured owner while alive, else the first alive node on
+    /// its follower chain. `None` when every node is down.
+    #[must_use]
+    pub fn route(&self, device: &str) -> Option<usize> {
+        let owner = self.ring.owner_of(device);
+        let mut candidate = owner;
+        for _ in 0..self.ring.len() {
+            if self.is_alive(candidate) {
+                return Some(candidate);
+            }
+            candidate = self.ring.follower_of(candidate)?;
+        }
+        None
+    }
+
+    /// Any alive node, preferring the one `hint` hashes to — used to
+    /// spread keyless work (matrix `plan`) across the cluster.
+    #[must_use]
+    pub fn any_alive(&self, hint: u64) -> Option<usize> {
+        let n = self.ring.len();
+        // Indexing by hint is a plain modulo, not a ring lookup: any
+        // alive node can serve keyless work.
+        #[allow(clippy::cast_possible_truncation)]
+        let start = (hint % n as u64) as usize;
+        (0..n).map(|i| (start + i) % n).find(|&i| self.is_alive(i))
+    }
+
+    /// Indices of nodes currently alive.
+    #[must_use]
+    pub fn alive_nodes(&self) -> Vec<usize> {
+        (0..self.ring.len()).filter(|&i| self.is_alive(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster() -> Cluster {
+        let topo = Topology::parse(
+            r#"{"vnodes": 16, "nodes": [
+                {"id": "a", "addr": "127.0.0.1:1"},
+                {"id": "b", "addr": "127.0.0.1:2"},
+                {"id": "c", "addr": "127.0.0.1:3"}]}"#,
+        )
+        .unwrap();
+        Cluster::new(topo, Duration::from_millis(100))
+    }
+
+    #[test]
+    fn routing_skips_dead_owners_onto_the_follower() {
+        let cluster = cluster();
+        // Find a device owned by each node.
+        for owner in 0..3 {
+            let device = (0..10_000)
+                .map(|i| format!("dev-{i}"))
+                .find(|d| cluster.owner_of(d) == owner)
+                .expect("some device lands on every node");
+            assert_eq!(cluster.route(&device), Some(owner));
+            cluster.mark_dead(owner);
+            let follower = cluster.ring().follower_of(owner).unwrap();
+            assert_eq!(
+                cluster.route(&device),
+                Some(follower),
+                "dead owner {owner} must fail over to its follower"
+            );
+            assert!(cluster.is_failed_over(owner));
+            cluster.mark_alive(owner);
+            assert_eq!(cluster.route(&device), Some(owner));
+            assert!(!cluster.is_failed_over(owner));
+        }
+    }
+
+    #[test]
+    fn route_walks_the_whole_chain_and_gives_up_when_all_dead() {
+        let cluster = cluster();
+        cluster.mark_dead(0);
+        cluster.mark_dead(1);
+        let device = (0..10_000)
+            .map(|i| format!("dev-{i}"))
+            .find(|d| cluster.owner_of(d) == 0)
+            .unwrap();
+        assert_eq!(cluster.route(&device), Some(2));
+        cluster.mark_dead(2);
+        assert_eq!(cluster.route(&device), None);
+        assert!(cluster.any_alive(7).is_none());
+    }
+
+    #[test]
+    fn death_threshold_counting() {
+        let cluster = cluster();
+        assert_eq!(cluster.note_miss(1), 1);
+        assert_eq!(cluster.note_miss(1), 2);
+        cluster.note_ok(1);
+        assert_eq!(cluster.note_miss(1), 1);
+    }
+}

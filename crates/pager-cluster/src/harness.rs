@@ -1,0 +1,356 @@
+//! Real-process cluster harness.
+//!
+//! Launches an N-node cluster the way a deployment would run it: each
+//! shard is a real `pager-serve` child process with its own durable
+//! data directory, fronted by an in-process [`Router`] and kept
+//! replicated by a [`Pump`]. Tests drive mixed traffic through the
+//! router, SIGKILL shard owners mid-stream, and assert over the
+//! survivors — the harness only wires processes together; every
+//! behaviour under test is the production code path.
+//!
+//! The harness does not locate the server binary itself: tests pass
+//! it in (a root-crate integration test uses
+//! `env!("CARGO_BIN_EXE_pager-serve")`), which keeps this crate free
+//! of any build-layout assumptions.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use jsonio::Value;
+
+use crate::cluster::Cluster;
+use crate::pump::Pump;
+use crate::router::{serve_router, Router, RouterConfig};
+use crate::topology::Topology;
+
+/// How long to wait for a spawned node to report its listen address.
+const SPAWN_DEADLINE: Duration = Duration::from_secs(10);
+
+/// Per-operation I/O timeout for the harness's cluster state.
+const NODE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// What to launch.
+#[derive(Debug, Clone)]
+pub struct HarnessConfig {
+    /// Path to the `pager-serve` binary.
+    pub binary: PathBuf,
+    /// Number of shard nodes.
+    pub nodes: usize,
+    /// Root directory; node `i` stores under `<data_root>/n<i>`.
+    pub data_root: PathBuf,
+    /// Heartbeat interval for liveness probing.
+    pub heartbeat_ms: u64,
+    /// Virtual nodes per member on the hash circle.
+    pub vnodes: u32,
+}
+
+/// One managed child process.
+#[derive(Debug)]
+struct NodeProc {
+    id: String,
+    /// Learned on first spawn ("host:port"); restarts reuse it so the
+    /// topology stays valid.
+    addr: String,
+    data_dir: PathBuf,
+    child: Option<Child>,
+    stderr_drain: Option<JoinHandle<()>>,
+}
+
+/// A blocking JSON-lines client (one response line per request line).
+#[derive(Debug)]
+pub struct LineClient {
+    reader: BufReader<TcpStream>,
+}
+
+impl LineClient {
+    /// Connects to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// A description of the connect failure.
+    pub fn connect(addr: &str) -> Result<LineClient, String> {
+        let parsed = addr
+            .parse::<std::net::SocketAddr>()
+            .map_err(|e| format!("bad address {addr}: {e}"))?;
+        let stream = TcpStream::connect_timeout(&parsed, NODE_TIMEOUT)
+            .map_err(|e| format!("connect {addr}: {e}"))?;
+        stream
+            .set_read_timeout(Some(NODE_TIMEOUT))
+            .and_then(|()| stream.set_write_timeout(Some(NODE_TIMEOUT)))
+            .and_then(|()| stream.set_nodelay(true))
+            .map_err(|e| format!("configure {addr}: {e}"))?;
+        Ok(LineClient {
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// One request/response round trip.
+    ///
+    /// # Errors
+    ///
+    /// A description of the transport or parse failure.
+    pub fn call(&mut self, line: &str) -> Result<Value, String> {
+        self.reader
+            .get_mut()
+            .write_all(line.as_bytes())
+            .and_then(|()| self.reader.get_mut().write_all(b"\n"))
+            .map_err(|e| format!("write: {e}"))?;
+        let mut response = String::new();
+        let n = self
+            .reader
+            .read_line(&mut response)
+            .map_err(|e| format!("read: {e}"))?;
+        if n == 0 {
+            return Err("connection closed".to_string());
+        }
+        jsonio::parse(&response).map_err(|e| format!("bad response: {e}"))
+    }
+}
+
+/// A running cluster: N `pager-serve` children + pump + router.
+#[derive(Debug)]
+pub struct ClusterHarness {
+    config: HarnessConfig,
+    nodes: Vec<NodeProc>,
+    cluster: Arc<Cluster>,
+    pump: Option<Pump>,
+    router: Option<Router>,
+    router_addr: String,
+}
+
+fn spawn_node(
+    binary: &std::path::Path,
+    id: &str,
+    addr: &str,
+    data_dir: &std::path::Path,
+) -> Result<(Child, String, JoinHandle<()>), String> {
+    std::fs::create_dir_all(data_dir).map_err(|e| format!("mkdir {}: {e}", data_dir.display()))?;
+    let mut child = Command::new(binary)
+        .arg("--addr")
+        .arg(addr)
+        .arg("--node-id")
+        .arg(id)
+        .arg("--data-dir")
+        .arg(data_dir)
+        .arg("--event-loops")
+        .arg("1")
+        .arg("--workers")
+        .arg("2")
+        .arg("--fsync")
+        .arg("always")
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .map_err(|e| format!("spawn {}: {e}", binary.display()))?;
+    let stderr = child
+        .stderr
+        .take()
+        .ok_or_else(|| "child stderr not captured".to_string())?;
+    let mut reader = BufReader::new(stderr);
+    let started = Instant::now();
+    let mut line = String::new();
+    let listen_addr = loop {
+        if started.elapsed() > SPAWN_DEADLINE {
+            let _ = child.kill();
+            return Err(format!(
+                "node {id}: no listen line within {SPAWN_DEADLINE:?}"
+            ));
+        }
+        line.clear();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| format!("node {id} stderr: {e}"))?;
+        if n == 0 {
+            let _ = child.kill();
+            return Err(format!("node {id}: exited before listening"));
+        }
+        if let Some(rest) = line.trim().strip_prefix("pager-serve: listening on ") {
+            break rest.to_string();
+        }
+    };
+    // Keep draining stderr so the child never blocks on a full pipe.
+    let drain = std::thread::spawn(move || {
+        let mut sink = String::new();
+        while reader.read_line(&mut sink).map(|n| n > 0).unwrap_or(false) {
+            sink.clear();
+        }
+    });
+    Ok((child, listen_addr, drain))
+}
+
+impl ClusterHarness {
+    /// Launches the cluster: spawns every node, builds the shared
+    /// ring from the learned addresses, and starts pump + router.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first spawn or bind failure (already
+    /// spawned children are killed).
+    ///
+    /// # Panics
+    ///
+    /// If `config.nodes` is zero.
+    pub fn launch(config: HarnessConfig) -> Result<ClusterHarness, String> {
+        assert!(config.nodes > 0, "a cluster needs at least one node");
+        let mut nodes: Vec<NodeProc> = Vec::with_capacity(config.nodes);
+        for i in 0..config.nodes {
+            let id = format!("n{i}");
+            let data_dir = config.data_root.join(&id);
+            match spawn_node(&config.binary, &id, "127.0.0.1:0", &data_dir) {
+                Ok((child, addr, drain)) => nodes.push(NodeProc {
+                    id,
+                    addr,
+                    data_dir,
+                    child: Some(child),
+                    stderr_drain: Some(drain),
+                }),
+                Err(e) => {
+                    for node in &mut nodes {
+                        if let Some(mut child) = node.child.take() {
+                            let _ = child.kill();
+                            let _ = child.wait();
+                        }
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        let members: Vec<String> = nodes
+            .iter()
+            .map(|n| format!(r#"{{"id": "{}", "addr": "{}"}}"#, n.id, n.addr))
+            .collect();
+        let topology = Topology::parse(&format!(
+            r#"{{"heartbeat_ms": {}, "vnodes": {}, "nodes": [{}]}}"#,
+            config.heartbeat_ms,
+            config.vnodes,
+            members.join(", ")
+        ))?;
+        let cluster = Arc::new(Cluster::new(topology, NODE_TIMEOUT));
+        let pump = Pump::start(Arc::clone(&cluster));
+        let router = serve_router(
+            Arc::clone(&cluster),
+            "127.0.0.1:0",
+            &RouterConfig::default(),
+        )
+        .map_err(|e| format!("router: {e}"))?;
+        let router_addr = router.local_addr().to_string();
+        Ok(ClusterHarness {
+            config,
+            nodes,
+            cluster,
+            pump: Some(pump),
+            router: Some(router),
+            router_addr,
+        })
+    }
+
+    /// The shared cluster state (ring + liveness).
+    #[must_use]
+    pub fn cluster(&self) -> &Arc<Cluster> {
+        &self.cluster
+    }
+
+    /// The router's client-facing address.
+    #[must_use]
+    pub fn router_addr(&self) -> &str {
+        &self.router_addr
+    }
+
+    /// The listen address of node `index`.
+    #[must_use]
+    pub fn node_addr(&self, index: usize) -> &str {
+        &self.nodes[index].addr
+    }
+
+    /// A client connected to the router.
+    ///
+    /// # Errors
+    ///
+    /// A description of the connect failure.
+    pub fn client(&self) -> Result<LineClient, String> {
+        LineClient::connect(&self.router_addr)
+    }
+
+    /// A client connected directly to node `index`.
+    ///
+    /// # Errors
+    ///
+    /// A description of the connect failure.
+    pub fn node_client(&self, index: usize) -> Result<LineClient, String> {
+        LineClient::connect(&self.nodes[index].addr)
+    }
+
+    /// SIGKILLs node `index` mid-stream (no drain, no warning — the
+    /// crash the WAL exists for). No-op if already down.
+    pub fn kill(&mut self, index: usize) {
+        if let Some(mut child) = self.nodes[index].child.take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        if let Some(drain) = self.nodes[index].stderr_drain.take() {
+            let _ = drain.join();
+        }
+    }
+
+    /// Restarts a killed node on its original address and data
+    /// directory (recovery replays its snapshot + WAL; the pump then
+    /// resyncs whatever it missed and revives it in the ring).
+    ///
+    /// # Errors
+    ///
+    /// A description of the spawn failure.
+    pub fn restart(&mut self, index: usize) -> Result<(), String> {
+        if self.nodes[index].child.is_some() {
+            return Ok(());
+        }
+        let (child, addr, drain) = spawn_node(
+            &self.config.binary,
+            &self.nodes[index].id,
+            &self.nodes[index].addr,
+            &self.nodes[index].data_dir,
+        )?;
+        self.nodes[index].addr = addr;
+        self.nodes[index].child = Some(child);
+        self.nodes[index].stderr_drain = Some(drain);
+        Ok(())
+    }
+
+    /// Waits until the pump's heartbeat has marked node `index` with
+    /// liveness `alive`, up to `within`. Returns whether it happened.
+    #[must_use]
+    pub fn await_liveness(&self, index: usize, alive: bool, within: Duration) -> bool {
+        let deadline = Instant::now() + within;
+        while Instant::now() < deadline {
+            if self.cluster.is_alive(index) == alive {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        self.cluster.is_alive(index) == alive
+    }
+
+    /// Stops router and pump and kills every remaining child.
+    pub fn shutdown(&mut self) {
+        if let Some(mut router) = self.router.take() {
+            router.stop();
+        }
+        if let Some(mut pump) = self.pump.take() {
+            pump.stop();
+        }
+        for index in 0..self.nodes.len() {
+            self.kill(index);
+        }
+    }
+}
+
+impl Drop for ClusterHarness {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

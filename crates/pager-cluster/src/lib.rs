@@ -1,0 +1,42 @@
+//! Consistent-hash sharded multi-node deployment for the pager
+//! service.
+//!
+//! The single-node stack (pager-service over pager-reactor, durable
+//! profiles in pager-profiles) scales out here without touching the
+//! planning core:
+//!
+//! - [`ring`]: the consistent-hash ring (virtual nodes) mapping
+//!   device keys to shard-owning nodes — shared verbatim by router
+//!   and harness so every party agrees on placement.
+//! - [`topology`]: the static seed file naming members and tuning
+//!   heartbeat/vnode counts.
+//! - [`upstream`]: pooled blocking JSON-lines clients, one pool per
+//!   node.
+//! - [`cluster`]: live membership state — ring + liveness bits + the
+//!   follower-walk routing that is the failover state machine.
+//! - [`pump`]: WAL shipping (leader → follower over the `replicate`
+//!   wire op), heartbeat liveness, promotion on death, snapshot
+//!   resync on revive, and key-range handoff on membership change.
+//! - [`router`]: the reactor-based front door terminating client
+//!   connections and routing/fanning out requests by device key.
+//! - [`harness`]: a real-process cluster harness for tests — spawns
+//!   `pager-serve` children, a router, and kills nodes mid-stream.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod harness;
+pub mod pump;
+pub mod ring;
+pub mod router;
+pub mod topology;
+pub mod upstream;
+
+pub use cluster::{Cluster, DEATH_THRESHOLD};
+pub use harness::{ClusterHarness, HarnessConfig, LineClient};
+pub use pump::Pump;
+pub use ring::{fnv1a, HashRing};
+pub use router::{serve_router, Router, RouterConfig};
+pub use topology::{NodeSpec, Topology};
+pub use upstream::{Upstream, UpstreamError};

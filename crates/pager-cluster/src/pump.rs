@@ -1,0 +1,697 @@
+//! WAL shipping, heartbeat liveness, and the failover state machine.
+//!
+//! Every alive node leads one shard and follows its ring predecessor:
+//! the pump walks each `(leader, follower)` pair and ships the
+//! leader's WAL tail over the `replicate` wire op — cursor read, frame
+//! fetch, ownership filter, apply. The filter is what keeps a ring of
+//! pumps from cascade-replicating: a follower's WAL also holds frames
+//! it *applied* as a replica, and those must not ship onward when the
+//! follower leads its own pump pair. Only records whose device
+//! currently routes to the shipping leader go through; the chunk's
+//! `end` offset still advances the cursor past the filtered frames.
+//!
+//! The same thread heartbeats every node. Two consecutive missed
+//! probes declare a node dead: its upstream pool is flushed, its
+//! follower is promoted (the service-side `promoted` flag the harness
+//! asserts on), and routing falls through to the follower via
+//! [`Cluster::route`]. A dead node that answers again is *not* served
+//! traffic immediately — it first gets a whole-store snapshot from
+//! whoever covered its shard, so a revived node never serves stale
+//! reads.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use jsonio::Value;
+use pager_profiles::wal::{encode_record, scan};
+use pager_service::{from_hex, to_hex};
+
+use crate::cluster::{Cluster, DEATH_THRESHOLD};
+use crate::topology::Topology;
+
+/// Most bytes requested per WAL fetch round.
+const FETCH_BYTES: u64 = 1 << 20;
+
+/// Shipping rounds per pump pair per tick — bounds catch-up work so a
+/// far-behind follower cannot starve the heartbeat.
+const ROUNDS_PER_TICK: u32 = 8;
+
+/// What one shipping round did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShipOutcome {
+    /// The follower had no valid cursor (fresh, conflicted, or behind
+    /// a checkpoint); a whole-store snapshot was installed instead.
+    Bootstrapped,
+    /// A WAL chunk applied; `records` survived the ownership filter.
+    Applied {
+        /// Records that shipped (post-filter).
+        records: u64,
+    },
+    /// The follower's cursor already matches the leader's WAL end.
+    CaughtUp,
+    /// The follower rejected the chunk (duplicate or stale cursor);
+    /// the next round re-reads its cursor and recovers.
+    Conflict,
+}
+
+/// A liveness transition observed by the heartbeat.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterEvent {
+    /// A node missed [`DEATH_THRESHOLD`] consecutive probes.
+    Died {
+        /// The dead node's id.
+        node: String,
+    },
+    /// A follower was promoted to serve a dead node's shard.
+    Promoted {
+        /// The dead shard owner.
+        shard: String,
+        /// The node now serving it.
+        to: String,
+    },
+    /// A dead node answered again and was resynced back in.
+    Revived {
+        /// The returning node.
+        node: String,
+        /// Who it took a catch-up snapshot from, if anyone.
+        resynced_from: Option<String>,
+    },
+}
+
+impl std::fmt::Display for ClusterEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterEvent::Died { node } => write!(f, "node {node} died"),
+            ClusterEvent::Promoted { shard, to } => {
+                write!(f, "shard {shard} failed over to {to}")
+            }
+            ClusterEvent::Revived {
+                node,
+                resynced_from: Some(src),
+            } => write!(f, "node {node} revived (resynced from {src})"),
+            ClusterEvent::Revived { node, .. } => write!(f, "node {node} revived"),
+        }
+    }
+}
+
+/// Extracts the payload of an `{"ok": true, ...}` response or the
+/// error message of a failed one.
+fn expect_ok(value: Value) -> Result<Value, String> {
+    match value.get("ok").and_then(Value::as_bool) {
+        Some(true) => Ok(value),
+        _ => {
+            let code = value
+                .get("code")
+                .and_then(Value::as_str)
+                .unwrap_or("unknown");
+            let message = value.get("error").and_then(Value::as_str).unwrap_or("");
+            Err(format!("upstream error [{code}]: {message}"))
+        }
+    }
+}
+
+fn call_ok(cluster: &Cluster, node: usize, line: &str) -> Result<Value, String> {
+    let response = cluster
+        .upstream(node)
+        .call(line)
+        .map_err(|e| e.to_string())?;
+    expect_ok(response)
+}
+
+fn replicate_line(action: &str, mut fields: Vec<(&'static str, Value)>) -> String {
+    let mut all = vec![
+        ("cmd", Value::from("replicate")),
+        ("action", Value::from(action)),
+    ];
+    all.append(&mut fields);
+    Value::object(all).to_string()
+}
+
+fn field_u64(value: &Value, name: &str) -> Result<u64, String> {
+    value
+        .get(name)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("response missing \"{name}\""))
+}
+
+fn field_str<'a>(value: &'a Value, name: &str) -> Result<&'a str, String> {
+    value
+        .get(name)
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("response missing \"{name}\""))
+}
+
+/// Installs a whole-store snapshot of `source` into `target`, seeding
+/// `target`'s replication cursor for `source` at the snapshot's WAL
+/// position.
+///
+/// # Errors
+///
+/// A description of the failed wire call.
+pub fn bootstrap(cluster: &Cluster, source: usize, target: usize) -> Result<(), String> {
+    let snap = call_ok(cluster, source, &replicate_line("snapshot", Vec::new()))?;
+    let generation = field_u64(&snap, "generation")?;
+    let offset = field_u64(&snap, "offset")?;
+    let bytes = field_str(&snap, "snapshot")?;
+    let install = replicate_line(
+        "install",
+        vec![
+            ("source", Value::from(cluster.node_id(source))),
+            ("generation", Value::from(generation)),
+            ("offset", Value::from(offset)),
+            ("snapshot", Value::from(bytes)),
+        ],
+    );
+    call_ok(cluster, target, &install).map(|_| ())
+}
+
+/// One shipping round for the `(leader, follower)` pump pair: read the
+/// follower's cursor, fetch the leader's WAL tail, filter to records
+/// the leader currently owns, apply.
+///
+/// # Errors
+///
+/// A description of the failed wire call or a malformed chunk.
+pub fn ship_round(
+    cluster: &Cluster,
+    leader: usize,
+    follower: usize,
+) -> Result<ShipOutcome, String> {
+    let leader_id = cluster.node_id(leader);
+    let cursor = call_ok(
+        cluster,
+        follower,
+        &replicate_line("cursor", vec![("source", Value::from(leader_id))]),
+    )?;
+    if cursor.get("valid").and_then(Value::as_bool) != Some(true) {
+        bootstrap(cluster, leader, follower)?;
+        return Ok(ShipOutcome::Bootstrapped);
+    }
+    let generation = field_u64(&cursor, "generation")?;
+    let offset = field_u64(&cursor, "offset")?;
+
+    let fetch = replicate_line(
+        "fetch",
+        vec![
+            ("generation", Value::from(generation)),
+            ("offset", Value::from(offset)),
+            ("max_bytes", Value::from(FETCH_BYTES)),
+        ],
+    );
+    let chunk = call_ok(cluster, leader, &fetch)?;
+    if chunk.get("bootstrap").and_then(Value::as_bool) == Some(true) {
+        // The leader checkpointed past the cursor; only a snapshot
+        // can catch the follower up.
+        bootstrap(cluster, leader, follower)?;
+        return Ok(ShipOutcome::Bootstrapped);
+    }
+    let frames = from_hex(field_str(&chunk, "frames")?)?;
+    let end = field_u64(&chunk, "end")?;
+    if frames.is_empty() && end == offset {
+        return Ok(ShipOutcome::CaughtUp);
+    }
+
+    // Ownership filter: ship only records whose device routes to the
+    // shipping leader right now. Frames the leader itself applied as
+    // a replica stay put — their own pump pair ships them.
+    let scanned = scan(&frames);
+    if scanned.valid_len != frames.len() as u64 {
+        return Err(format!(
+            "leader {leader_id} exported a torn chunk ({} of {} bytes valid)",
+            scanned.valid_len,
+            frames.len()
+        ));
+    }
+    let mut shipped = Vec::new();
+    let mut records = 0u64;
+    for record in &scanned.records {
+        if cluster.route(&record.device) == Some(leader) {
+            shipped.extend_from_slice(&encode_record(record)?);
+            records += 1;
+        }
+    }
+
+    let apply = replicate_line(
+        "apply",
+        vec![
+            ("source", Value::from(leader_id)),
+            ("generation", Value::from(generation)),
+            ("offset", Value::from(offset)),
+            ("end", Value::from(end)),
+            ("frames", Value::from(to_hex(&shipped).as_str())),
+        ],
+    );
+    let applied = call_ok(cluster, follower, &apply)?;
+    if applied.get("conflict").and_then(Value::as_bool) == Some(true) {
+        return Ok(ShipOutcome::Conflict);
+    }
+    Ok(ShipOutcome::Applied { records })
+}
+
+/// Runs up to [`ROUNDS_PER_TICK`] shipping rounds for every alive
+/// `(leader, follower)` pair. Returns the records shipped. Wire
+/// errors stop that pair for the tick (the heartbeat will notice a
+/// dead endpoint); other pairs still run.
+pub fn ship_all(cluster: &Cluster) -> u64 {
+    let mut total = 0;
+    for leader in cluster.alive_nodes() {
+        let Some(follower) = cluster.ring().follower_of(leader) else {
+            continue;
+        };
+        if !cluster.is_alive(follower) {
+            continue;
+        }
+        for _ in 0..ROUNDS_PER_TICK {
+            match ship_round(cluster, leader, follower) {
+                Ok(ShipOutcome::Applied { records }) => total += records,
+                Ok(ShipOutcome::Bootstrapped) => {}
+                Ok(ShipOutcome::CaughtUp) | Ok(ShipOutcome::Conflict) | Err(_) => break,
+            }
+        }
+    }
+    total
+}
+
+/// The node currently covering `index`'s shard while `index` is dead:
+/// the first alive node on its follower chain.
+fn covering_node(cluster: &Cluster, index: usize) -> Option<usize> {
+    let mut candidate = cluster.ring().follower_of(index)?;
+    for _ in 0..cluster.ring().len() {
+        if candidate != index && cluster.is_alive(candidate) {
+            return Some(candidate);
+        }
+        candidate = cluster.ring().follower_of(candidate)?;
+    }
+    None
+}
+
+/// Whether `node` still covers any dead node's shard (controls when
+/// its service-side `promoted` flag can drop back).
+fn still_covering(cluster: &Cluster, node: usize) -> bool {
+    (0..cluster.ring().len())
+        .any(|d| !cluster.is_alive(d) && covering_node(cluster, d) == Some(node))
+}
+
+fn send_promote(cluster: &Cluster, node: usize, promoted: bool) -> Result<(), String> {
+    let line = replicate_line("promote", vec![("promoted", Value::Bool(promoted))]);
+    call_ok(cluster, node, &line).map(|_| ())
+}
+
+/// One heartbeat sweep: probes every node with `node_info`, applies
+/// the death/promotion and revive/resync transitions, and returns the
+/// transitions taken.
+pub fn heartbeat_once(cluster: &Cluster) -> Vec<ClusterEvent> {
+    let mut events = Vec::new();
+    for node in 0..cluster.ring().len() {
+        let probe = cluster.upstream(node).call("{\"cmd\": \"node_info\"}");
+        match probe {
+            Ok(_) => {
+                cluster.note_ok(node);
+                if cluster.is_alive(node) {
+                    continue;
+                }
+                // Revive: catch the returning node up from whoever
+                // covered its shard *before* routing traffic back.
+                let source = covering_node(cluster, node);
+                let resynced_from = match source {
+                    Some(s) => match bootstrap(cluster, s, node) {
+                        Ok(()) => Some(cluster.node_id(s).to_string()),
+                        // Resync failed — keep the node dead and let
+                        // the next sweep retry rather than serve stale
+                        // profiles.
+                        Err(_) => continue,
+                    },
+                    None => None,
+                };
+                cluster.mark_alive(node);
+                events.push(ClusterEvent::Revived {
+                    node: cluster.node_id(node).to_string(),
+                    resynced_from,
+                });
+                if let Some(s) = source {
+                    if !still_covering(cluster, s) {
+                        let _ = send_promote(cluster, s, false);
+                    }
+                }
+            }
+            Err(_) => {
+                if !cluster.is_alive(node) {
+                    continue;
+                }
+                if cluster.note_miss(node) < DEATH_THRESHOLD {
+                    continue;
+                }
+                cluster.mark_dead(node);
+                events.push(ClusterEvent::Died {
+                    node: cluster.node_id(node).to_string(),
+                });
+                if let Some(f) = covering_node(cluster, node) {
+                    // Best-effort: routing flips regardless; the flag
+                    // is observability for node_info.
+                    let _ = send_promote(cluster, f, true);
+                    events.push(ClusterEvent::Promoted {
+                        shard: cluster.node_id(node).to_string(),
+                        to: cluster.node_id(f).to_string(),
+                    });
+                }
+            }
+        }
+    }
+    events
+}
+
+/// Moves to a new membership: computes the key-range handoff between
+/// the rings, ships a whole-store snapshot along every `(old owner,
+/// new owner)` pair that appears in it, and returns the cluster state
+/// for the new topology. Routing should flip to the returned state
+/// only after this succeeds, so joining nodes never field requests
+/// for ranges they have not received.
+///
+/// # Errors
+///
+/// A description of the first failed snapshot ship; the old
+/// membership stays valid.
+pub fn rebalance(cluster: &Cluster, next: Topology) -> Result<Cluster, String> {
+    let next_cluster = Cluster::new(next, cluster.timeout());
+    let moves = cluster.ring().handoff(next_cluster.ring());
+    let mut pairs: Vec<(String, String)> = moves
+        .into_iter()
+        .map(|(_, _, old, new)| (old, new))
+        .collect();
+    pairs.sort();
+    pairs.dedup();
+    for (old_id, new_id) in pairs {
+        let Some(source) = cluster.ring().index_of(&old_id) else {
+            // The range's old owner is not in the old membership —
+            // nothing to ship from (fresh ranges start empty).
+            continue;
+        };
+        let Some(target) = next_cluster.ring().index_of(&new_id) else {
+            continue;
+        };
+        let snap = call_ok(cluster, source, &replicate_line("snapshot", Vec::new()))?;
+        let generation = field_u64(&snap, "generation")?;
+        let offset = field_u64(&snap, "offset")?;
+        let bytes = field_str(&snap, "snapshot")?;
+        let install = replicate_line(
+            "install",
+            vec![
+                ("source", Value::from(old_id.as_str())),
+                ("generation", Value::from(generation)),
+                ("offset", Value::from(offset)),
+                ("snapshot", Value::from(bytes)),
+            ],
+        );
+        call_ok(&next_cluster, target, &install)?;
+    }
+    Ok(next_cluster)
+}
+
+/// The background replication-and-liveness thread: one heartbeat
+/// sweep plus bounded shipping per tick.
+#[derive(Debug)]
+pub struct Pump {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl Pump {
+    /// Starts the pump ticking every `heartbeat_ms` from the
+    /// topology. Liveness transitions are logged to stderr.
+    #[must_use]
+    pub fn start(cluster: Arc<Cluster>) -> Pump {
+        let stop = Arc::new(AtomicBool::new(false));
+        let tick = Duration::from_millis(cluster.topology().heartbeat_ms);
+        let stop_flag = Arc::clone(&stop);
+        let thread = std::thread::spawn(move || {
+            while !stop_flag.load(Ordering::Acquire) {
+                for event in heartbeat_once(&cluster) {
+                    eprintln!("pager-cluster: {event}");
+                }
+                ship_all(&cluster);
+                // Sleep in slices so stop() returns promptly.
+                let mut remaining = tick;
+                while !remaining.is_zero() && !stop_flag.load(Ordering::Acquire) {
+                    let slice = remaining.min(Duration::from_millis(20));
+                    std::thread::sleep(slice);
+                    remaining = remaining.saturating_sub(slice);
+                }
+            }
+        });
+        Pump {
+            stop,
+            thread: Some(thread),
+        }
+    }
+
+    /// Stops the thread and waits for it.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for Pump {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pager_profiles::io::{MemIo, StorageIo};
+    use pager_profiles::FsyncPolicy;
+    use pager_service::{
+        serve_tcp_with, DurabilityOptions, PagerService, ServerHandle, ServiceConfig,
+    };
+
+    /// Starts an in-process durable node on `addr`, persisting into
+    /// the given [`MemIo`] (so a "restart" can reopen the same disk).
+    fn start_node(id: &str, io: &Arc<MemIo>, addr: &str) -> ServerHandle {
+        let config = ServiceConfig {
+            workers: 2,
+            node_id: Some(id.to_string()),
+            durability: Some(DurabilityOptions {
+                data_dir: std::path::PathBuf::from("/data"),
+                fsync: FsyncPolicy::Always,
+                checkpoint_every: 0,
+                io: Some(Arc::clone(io) as Arc<dyn StorageIo>),
+            }),
+            ..ServiceConfig::default()
+        };
+        let service = Arc::new(PagerService::try_new(config).expect("service"));
+        serve_tcp_with(service, addr, 1).expect("bind")
+    }
+
+    fn observe_line(device: &str, time: f64, cell: usize) -> String {
+        format!(
+            "{{\"cmd\": \"observe\", \"cells\": 4, \"sightings\": [{{\"device\": \"{device}\", \"cell\": {cell}, \"time\": {time}}}]}}"
+        )
+    }
+
+    fn probe_present(cluster: &Cluster, node: usize, device: &str) -> bool {
+        let line = replicate_line("probe", vec![("device", Value::from(device))]);
+        call_ok(cluster, node, &line)
+            .ok()
+            .and_then(|v| v.get("present").and_then(Value::as_bool))
+            == Some(true)
+    }
+
+    /// Three real TCP nodes; traffic to ring owners; the pump ships
+    /// every record to each owner's follower.
+    #[test]
+    fn shipping_replicates_observes_to_followers() {
+        let ios: Vec<Arc<MemIo>> = (0..3).map(|_| Arc::new(MemIo::default())).collect();
+        let handles: Vec<ServerHandle> = (0..3)
+            .map(|i| start_node(&format!("n{i}"), &ios[i], "127.0.0.1:0"))
+            .collect();
+        let topo = Topology::parse(&format!(
+            r#"{{"heartbeat_ms": 50, "vnodes": 16, "nodes": [
+                {{"id": "n0", "addr": "{}"}},
+                {{"id": "n1", "addr": "{}"}},
+                {{"id": "n2", "addr": "{}"}}]}}"#,
+            handles[0].local_addr(),
+            handles[1].local_addr(),
+            handles[2].local_addr()
+        ))
+        .expect("topology");
+        let cluster = Cluster::new(topo, Duration::from_secs(5));
+
+        // Route each observe to its ring owner, like the router does.
+        let devices: Vec<String> = (0..30).map(|i| format!("dev-{i}")).collect();
+        for (i, device) in devices.iter().enumerate() {
+            let owner = cluster.owner_of(device);
+            let line = observe_line(device, i as f64, i % 4);
+            let v = call_ok(&cluster, owner, &line).expect("observe");
+            assert_eq!(v.get("ingested").and_then(Value::as_u64), Some(1));
+        }
+
+        // Ship until quiescent (first rounds bootstrap cursors).
+        for _ in 0..4 {
+            ship_all(&cluster);
+        }
+
+        // Every device is present on its owner AND its follower.
+        for device in &devices {
+            let owner = cluster.owner_of(device);
+            let follower = cluster.ring().follower_of(owner).expect("follower");
+            assert!(probe_present(&cluster, owner, device), "{device} on owner");
+            assert!(
+                probe_present(&cluster, follower, device),
+                "{device} on follower {follower}"
+            );
+        }
+
+        for mut h in handles {
+            h.stop();
+            h.join();
+        }
+    }
+
+    /// Kill a node: two heartbeat misses promote the follower; revive
+    /// it on the same address: the heartbeat resyncs before serving.
+    #[test]
+    fn heartbeat_promotes_on_death_and_resyncs_on_revive() {
+        let ios: Vec<Arc<MemIo>> = (0..3).map(|_| Arc::new(MemIo::default())).collect();
+        let mut handles: Vec<ServerHandle> = (0..3)
+            .map(|i| start_node(&format!("n{i}"), &ios[i], "127.0.0.1:0"))
+            .collect();
+        let addrs: Vec<String> = handles.iter().map(|h| h.local_addr().to_string()).collect();
+        let topo = Topology::parse(&format!(
+            r#"{{"heartbeat_ms": 50, "vnodes": 16, "nodes": [
+                {{"id": "n0", "addr": "{}"}},
+                {{"id": "n1", "addr": "{}"}},
+                {{"id": "n2", "addr": "{}"}}]}}"#,
+            addrs[0], addrs[1], addrs[2]
+        ))
+        .expect("topology");
+        let cluster = Cluster::new(topo, Duration::from_millis(500));
+
+        // Find a device owned by node 0 and ingest it there.
+        let device = (0..10_000)
+            .map(|i| format!("dev-{i}"))
+            .find(|d| cluster.owner_of(d) == 0)
+            .expect("n0 owns something");
+        call_ok(&cluster, 0, &observe_line(&device, 1.0, 2)).expect("observe");
+        for _ in 0..2 {
+            ship_all(&cluster);
+        }
+
+        // Kill n0 and let the heartbeat notice.
+        handles[0].stop();
+        handles[0].join();
+        let mut events = Vec::new();
+        for _ in 0..DEATH_THRESHOLD {
+            events.extend(heartbeat_once(&cluster));
+        }
+        assert!(
+            events.contains(&ClusterEvent::Died {
+                node: "n0".to_string()
+            }),
+            "{events:?}"
+        );
+        assert!(!cluster.is_alive(0));
+        let follower = cluster.ring().follower_of(0).expect("follower");
+        assert_eq!(cluster.route(&device), Some(follower));
+        // The follower's service reports itself promoted.
+        let info = call_ok(&cluster, follower, "{\"cmd\": \"node_info\"}").expect("node_info");
+        assert_eq!(
+            info.get("node")
+                .and_then(|n| n.get("promoted"))
+                .and_then(Value::as_bool),
+            Some(true)
+        );
+        // The replica still serves the dead owner's device.
+        assert!(probe_present(&cluster, follower, &device));
+
+        // Writes during the outage land on the promoted follower.
+        let missed = (0..10_000)
+            .map(|i| format!("late-{i}"))
+            .find(|d| cluster.owner_of(d) == 0)
+            .expect("n0 owns something else");
+        let serving = cluster.route(&missed).expect("routable");
+        assert_eq!(serving, follower);
+        call_ok(&cluster, serving, &observe_line(&missed, 2.0, 1)).expect("observe during outage");
+
+        // Revive n0 on the same address with a FRESH disk (worst
+        // case: it lost everything) — the resync must restore both
+        // the old and the outage-era records before it serves.
+        let fresh = Arc::new(MemIo::default());
+        handles[0] = start_node("n0", &fresh, &addrs[0]);
+        let events = heartbeat_once(&cluster);
+        assert!(
+            events.iter().any(|e| matches!(
+                e,
+                ClusterEvent::Revived {
+                    node,
+                    resynced_from: Some(_)
+                } if node == "n0"
+            )),
+            "{events:?}"
+        );
+        assert!(cluster.is_alive(0));
+        assert_eq!(cluster.route(&device), Some(0));
+        assert!(probe_present(&cluster, 0, &device), "pre-outage record");
+        assert!(probe_present(&cluster, 0, &missed), "outage-era record");
+
+        for mut h in handles {
+            h.stop();
+            h.join();
+        }
+    }
+
+    /// A node joins: rebalance ships the moved ranges so the new
+    /// owner can serve them immediately.
+    #[test]
+    fn rebalance_ships_moved_ranges_to_a_joining_node() {
+        let ios: Vec<Arc<MemIo>> = (0..3).map(|_| Arc::new(MemIo::default())).collect();
+        let handles: Vec<ServerHandle> = (0..3)
+            .map(|i| start_node(&format!("n{i}"), &ios[i], "127.0.0.1:0"))
+            .collect();
+        let addrs: Vec<String> = handles.iter().map(|h| h.local_addr().to_string()).collect();
+        let two = Topology::parse(&format!(
+            r#"{{"vnodes": 16, "nodes": [
+                {{"id": "n0", "addr": "{}"}}, {{"id": "n1", "addr": "{}"}}]}}"#,
+            addrs[0], addrs[1]
+        ))
+        .expect("topology");
+        let cluster = Cluster::new(two, Duration::from_secs(5));
+
+        let devices: Vec<String> = (0..200).map(|i| format!("dev-{i}")).collect();
+        for (i, device) in devices.iter().enumerate() {
+            let owner = cluster.owner_of(device);
+            call_ok(&cluster, owner, &observe_line(device, i as f64, i % 4)).expect("observe");
+        }
+
+        let three = Topology::parse(&format!(
+            r#"{{"vnodes": 16, "nodes": [
+                {{"id": "n0", "addr": "{}"}}, {{"id": "n1", "addr": "{}"}},
+                {{"id": "n2", "addr": "{}"}}]}}"#,
+            addrs[0], addrs[1], addrs[2]
+        ))
+        .expect("topology");
+        let next = rebalance(&cluster, three).expect("rebalance");
+        assert_eq!(next.ring().len(), 3);
+
+        // Every device that moved to n2 must already be there.
+        let mut moved = 0;
+        for device in &devices {
+            let new_owner = next.owner_of(device);
+            if next.node_id(new_owner) == "n2" {
+                moved += 1;
+                assert!(probe_present(&next, new_owner, device), "{device}");
+            }
+        }
+        assert!(moved > 0, "the join moved no sampled devices");
+
+        for mut h in handles {
+            h.stop();
+            h.join();
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Consistent-hash ring: device keys → owning node.
+//!
+//! Every node id is hashed onto a `u64` circle at `vnodes` points
+//! (virtual nodes smooth the load split); a device key is owned by
+//! the node whose point is the key's clockwise successor. Router and
+//! nodes share this exact code, so both sides always agree on the
+//! key → shard map — the one invariant the whole deployment rests on.
+//!
+//! Replication pairs come from the *membership* ring, not the vnode
+//! circle: node `i`'s follower is simply the next node id in sorted
+//! order. Per-key successor sets under virtual nodes would scatter a
+//! shard's replica across every peer; one whole-shard follower keeps
+//! the failover state machine (dead leader → promote follower →
+//! reroute) a single routing flip.
+
+use std::collections::HashMap;
+
+/// FNV-1a, the same hash (same constants) the profile store uses for
+/// sharding and the service for cache-key fingerprints.
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// The shared key → node map.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// Node ids, sorted and deduplicated; indices into this vector
+    /// are the ring's node handles.
+    nodes: Vec<String>,
+    /// `(point, node index)` sorted by point — the vnode circle.
+    points: Vec<(u64, usize)>,
+}
+
+impl HashRing {
+    /// Builds a ring with `vnodes` points per node. Duplicate ids
+    /// collapse; order of the input does not matter.
+    #[must_use]
+    pub fn new(node_ids: &[String], vnodes: u32) -> HashRing {
+        let mut nodes: Vec<String> = node_ids.to_vec();
+        nodes.sort();
+        nodes.dedup();
+        let vnodes = vnodes.max(1);
+        let mut points = Vec::with_capacity(nodes.len() * vnodes as usize);
+        for (index, id) in nodes.iter().enumerate() {
+            for v in 0..vnodes {
+                points.push((fnv1a(format!("{id}#{v}").as_bytes()), index));
+            }
+        }
+        points.sort_unstable();
+        HashRing { nodes, points }
+    }
+
+    /// The node ids, sorted (indices returned by the lookup methods
+    /// point into this slice).
+    #[must_use]
+    pub fn nodes(&self) -> &[String] {
+        &self.nodes
+    }
+
+    /// Number of member nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the ring has no members.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The owner of a point on the circle: the clockwise successor
+    /// vnode's node.
+    fn owner_of_point(&self, point: u64) -> usize {
+        let at = self.points.partition_point(|&(p, _)| p < point);
+        self.points[at % self.points.len()].1
+    }
+
+    /// The node index owning `key` (a device id).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty ring.
+    #[must_use]
+    pub fn owner_of(&self, key: &str) -> usize {
+        assert!(!self.points.is_empty(), "ring has no nodes");
+        self.owner_of_point(fnv1a(key.as_bytes()))
+    }
+
+    /// Node `index`'s replication follower: the next node id in
+    /// sorted order (wrapping). Returns `None` for a single-node ring
+    /// — nowhere to replicate.
+    #[must_use]
+    pub fn follower_of(&self, index: usize) -> Option<usize> {
+        (self.nodes.len() > 1).then(|| (index + 1) % self.nodes.len())
+    }
+
+    /// Index of a node id, if it is a member.
+    #[must_use]
+    pub fn index_of(&self, id: &str) -> Option<usize> {
+        self.nodes.binary_search_by(|n| n.as_str().cmp(id)).ok()
+    }
+
+    /// The key-range handoff between two memberships: every arc of
+    /// the circle whose owner changes from `self` to `next`, as
+    /// `(start, end, old owner id, new owner id)`. An arc covers the
+    /// half-open hash range `(start, end]`, wrapping through zero
+    /// when `start > end`. Keys hashing into a listed arc must move;
+    /// keys outside stay put — the consistent-hash guarantee that a
+    /// join or leave only disturbs the ranges adjacent to the changed
+    /// node.
+    #[must_use]
+    pub fn handoff(&self, next: &HashRing) -> Vec<(u64, u64, String, String)> {
+        if self.points.is_empty() || next.points.is_empty() {
+            return Vec::new();
+        }
+        // Sweep the union of both circles' vnode boundaries: within
+        // one arc `(prev, b]` neither ring has an interior point, so
+        // every key in the arc shares its clockwise successor with
+        // the arc's end boundary and ownership is uniform per arc.
+        let mut boundaries: Vec<u64> = self
+            .points
+            .iter()
+            .chain(next.points.iter())
+            .map(|&(p, _)| p)
+            .collect();
+        boundaries.sort_unstable();
+        boundaries.dedup();
+        let mut moves = Vec::new();
+        for (i, &end) in boundaries.iter().enumerate() {
+            let start = boundaries[(i + boundaries.len() - 1) % boundaries.len()];
+            let old = &self.nodes[self.owner_of_point(end)];
+            let new = &next.nodes[next.owner_of_point(end)];
+            if old != new {
+                moves.push((start, end, old.clone(), new.clone()));
+            }
+        }
+        moves
+    }
+
+    /// How many of `keys` land on each node — a load-split probe used
+    /// by tests and `pager-cluster --check`.
+    #[must_use]
+    pub fn spread(&self, keys: impl Iterator<Item = String>) -> HashMap<String, u64> {
+        let mut counts: HashMap<String, u64> = HashMap::new();
+        for key in keys {
+            let owner = self.nodes[self.owner_of(&key)].clone();
+            *counts.entry(owner).or_default() += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn ownership_is_deterministic_and_total() {
+        let ring = HashRing::new(&ids(&["a", "b", "c"]), 64);
+        for i in 0..1000 {
+            let key = format!("device-{i}");
+            let owner = ring.owner_of(&key);
+            assert_eq!(owner, ring.owner_of(&key), "unstable ownership");
+            assert!(owner < 3);
+        }
+    }
+
+    #[test]
+    fn input_order_and_duplicates_do_not_matter() {
+        let a = HashRing::new(&ids(&["a", "b", "c"]), 32);
+        let b = HashRing::new(&ids(&["c", "a", "b", "a"]), 32);
+        assert_eq!(a.nodes(), b.nodes());
+        for i in 0..200 {
+            let key = format!("k{i}");
+            assert_eq!(a.owner_of(&key), b.owner_of(&key));
+        }
+    }
+
+    #[test]
+    fn virtual_nodes_spread_load() {
+        let ring = HashRing::new(&ids(&["n1", "n2", "n3"]), 64);
+        let counts = ring.spread((0..3000).map(|i| format!("device-{i}")));
+        for node in ring.nodes() {
+            let share = counts.get(node).copied().unwrap_or(0);
+            // Perfect split is 1000; vnode smoothing should keep every
+            // node within a loose 2x band.
+            assert!(
+                (500..=2000).contains(&share),
+                "{node} owns {share} of 3000 keys"
+            );
+        }
+    }
+
+    #[test]
+    fn followers_walk_the_membership_ring() {
+        let ring = HashRing::new(&ids(&["a", "b", "c"]), 16);
+        assert_eq!(ring.follower_of(0), Some(1));
+        assert_eq!(ring.follower_of(1), Some(2));
+        assert_eq!(ring.follower_of(2), Some(0));
+        let solo = HashRing::new(&ids(&["only"]), 16);
+        assert_eq!(solo.follower_of(0), None);
+    }
+
+    #[test]
+    fn a_join_only_moves_keys_to_the_new_node() {
+        let before = HashRing::new(&ids(&["a", "b", "c"]), 64);
+        let after = HashRing::new(&ids(&["a", "b", "c", "d"]), 64);
+        let mut moved = 0;
+        for i in 0..2000 {
+            let key = format!("device-{i}");
+            let old = before.nodes()[before.owner_of(&key)].clone();
+            let new = after.nodes()[after.owner_of(&key)].clone();
+            if old != new {
+                // Consistent hashing: ownership only ever moves TO the
+                // joining node, never shuffles between survivors.
+                assert_eq!(new, "d", "key {key} moved {old} -> {new}");
+                moved += 1;
+            }
+        }
+        assert!(moved > 0, "the new node took no keys");
+        assert!(moved < 1500, "a join reshuffled most keys");
+    }
+
+    #[test]
+    fn handoff_ranges_cover_exactly_the_moved_keys() {
+        let before = HashRing::new(&ids(&["a", "b", "c"]), 32);
+        let after = HashRing::new(&ids(&["a", "b"]), 32);
+        let moves = before.handoff(&after);
+        assert!(!moves.is_empty());
+        // Every departing range comes from "c" (the node that left).
+        for (_, _, old, new) in &moves {
+            assert_eq!(old, "c");
+            assert!(new == "a" || new == "b");
+        }
+        // Spot-check: a key whose owner changed hashes into some
+        // listed arc, and one that stayed does not change owner.
+        for i in 0..500 {
+            let key = format!("k{i}");
+            let h = fnv1a(key.as_bytes());
+            let old_owner = before.nodes()[before.owner_of(&key)].clone();
+            let new_owner = after.nodes()[after.owner_of(&key)].clone();
+            let in_moved = moves.iter().any(|&(start, end, _, _)| {
+                // Arcs are half-open (start, end], wrapping at zero.
+                if start < end {
+                    h > start && h <= end
+                } else {
+                    h > start || h <= end
+                }
+            });
+            assert_eq!(old_owner != new_owner, in_moved, "key {key}");
+        }
+    }
+}

@@ -1,0 +1,1157 @@
+//! The cluster's front door: a reactor-based JSON-lines router.
+//!
+//! Clients speak the exact single-node wire protocol to the router;
+//! the router terminates their connections on a `pager-reactor` event
+//! loop and routes each request by device key over the shared
+//! consistent-hash ring. Requests touching one node forward verbatim
+//! (preserving the node's deadline and shed semantics byte for byte);
+//! multi-device requests scatter to every owning shard and the
+//! responses merge under the client's request id. Blocking upstream
+//! round trips happen on a small worker pool — the event loop itself
+//! never waits on a node.
+//!
+//! Failure handling honours the service's own backpressure: an
+//! `overloaded` shed carries the node's derived `retry_after_ms`, and
+//! the router sleeps exactly that long before its single retry; an
+//! unreachable node triggers one failover retry against the next
+//! alive node on the shard's follower chain (which holds the
+//! WAL-shipped replica).
+
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use jsonio::Value;
+use pager_reactor::{Driver, Event, EventLoop, Interest, LoopHandle, Ring, Token};
+
+use crate::cluster::Cluster;
+use crate::ring::fnv1a;
+use crate::upstream::UpstreamError;
+
+/// Protocol version stamped on router-built responses (matches the
+/// node protocol).
+const PROTOCOL_VERSION: u64 = 1;
+
+/// The listener's epoll token; connections start at 1.
+const ACCEPT_TOKEN: Token = Token(0);
+
+/// A client pushing more than this much unconsumed input is cut off.
+const MAX_BUFFERED_INPUT: usize = 1 << 20;
+
+/// Longest the router will sleep honouring a node's `retry_after_ms`.
+const MAX_RETRY_WAIT_MS: u64 = 2_000;
+
+/// Router tuning.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Worker threads performing blocking upstream round trips.
+    pub workers: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> RouterConfig {
+        RouterConfig { workers: 4 }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Request routing (worker side)
+// ---------------------------------------------------------------------
+
+fn ok_line(id: &Value, fields: Vec<(&'static str, Value)>) -> String {
+    let mut all = vec![
+        ("v", Value::from(PROTOCOL_VERSION)),
+        ("id", id.clone()),
+        ("ok", Value::Bool(true)),
+    ];
+    all.extend(fields);
+    Value::object(all).to_string()
+}
+
+fn error_line(id: &Value, code: &str, message: &str) -> String {
+    Value::object(vec![
+        ("v", Value::from(PROTOCOL_VERSION)),
+        ("id", id.clone()),
+        ("ok", Value::Bool(false)),
+        ("code", Value::from(code)),
+        ("error", Value::from(message)),
+    ])
+    .to_string()
+}
+
+/// Re-issues a node's error response under the client's request id,
+/// carrying `retry_after_ms` through when present.
+fn relay_error(id: &Value, response: &Value) -> String {
+    let code = response
+        .get("code")
+        .and_then(Value::as_str)
+        .unwrap_or("upstream");
+    let message = response.get("error").and_then(Value::as_str).unwrap_or("");
+    let mut fields = vec![
+        ("v", Value::from(PROTOCOL_VERSION)),
+        ("id", id.clone()),
+        ("ok", Value::Bool(false)),
+        ("code", Value::from(code)),
+        ("error", Value::from(message)),
+    ];
+    if let Some(wait) = response.get("retry_after_ms").and_then(Value::as_u64) {
+        fields.push(("retry_after_ms", Value::from(wait)));
+    }
+    Value::object(fields).to_string()
+}
+
+fn is_ok(response: &Value) -> bool {
+    response.get("ok").and_then(Value::as_bool) == Some(true)
+}
+
+/// The first alive node after `node` on the follower chain.
+fn next_alive(cluster: &Cluster, node: usize) -> Option<usize> {
+    let mut candidate = cluster.ring().follower_of(node)?;
+    for _ in 0..cluster.ring().len() {
+        if candidate != node && cluster.is_alive(candidate) {
+            return Some(candidate);
+        }
+        candidate = cluster.ring().follower_of(candidate)?;
+    }
+    None
+}
+
+/// If `response` is an `overloaded` shed, waits the node's own
+/// `retry_after_ms` (derived from its queue depth and drain rate) and
+/// retries once. Any other response passes through.
+fn retry_if_overloaded(cluster: &Cluster, node: usize, line: &str, response: Value) -> Value {
+    let overloaded =
+        !is_ok(&response) && response.get("code").and_then(Value::as_str) == Some("overloaded");
+    if !overloaded {
+        return response;
+    }
+    let wait = response
+        .get("retry_after_ms")
+        .and_then(Value::as_u64)
+        .unwrap_or(50)
+        .min(MAX_RETRY_WAIT_MS);
+    std::thread::sleep(Duration::from_millis(wait));
+    match cluster.upstream(node).call(line) {
+        Ok(second) => second,
+        Err(_) => response,
+    }
+}
+
+/// One routed round trip with both retry policies: honour an
+/// `overloaded` shed's `retry_after_ms`, and fail over once to the
+/// next alive node when the target is unreachable.
+fn call_node(cluster: &Cluster, node: usize, line: &str) -> Result<Value, (String, String)> {
+    match cluster.upstream(node).call(line) {
+        Ok(response) => Ok(retry_if_overloaded(cluster, node, line, response)),
+        Err(UpstreamError::Unreachable(first)) => {
+            let Some(fallback) = next_alive(cluster, node) else {
+                return Err(("unavailable".to_string(), first));
+            };
+            match cluster.upstream(fallback).call(line) {
+                Ok(response) => Ok(retry_if_overloaded(cluster, fallback, line, response)),
+                Err(e) => Err(("unavailable".to_string(), e.to_string())),
+            }
+        }
+        Err(UpstreamError::Protocol(m)) => Err(("upstream_protocol".to_string(), m)),
+    }
+}
+
+fn cluster_info(cluster: &Cluster, id: &Value) -> String {
+    let nodes = (0..cluster.ring().len())
+        .map(|i| {
+            let node_id = cluster.node_id(i);
+            Value::object(vec![
+                ("id", Value::from(node_id)),
+                (
+                    "addr",
+                    Value::from(cluster.topology().addr_of(node_id).unwrap_or_default()),
+                ),
+                ("alive", Value::Bool(cluster.is_alive(i))),
+                ("failed_over", Value::Bool(cluster.is_failed_over(i))),
+            ])
+        })
+        .collect();
+    ok_line(
+        id,
+        vec![
+            ("heartbeat_ms", Value::from(cluster.topology().heartbeat_ms)),
+            ("vnodes", Value::from(u64::from(cluster.topology().vnodes))),
+            ("nodes", Value::Array(nodes)),
+        ],
+    )
+}
+
+/// Fans `node_info` out to every alive node; dead nodes appear as
+/// stub entries so the membership is always fully enumerated.
+fn fan_out_node_info(cluster: &Cluster, id: &Value) -> String {
+    let mut entries = Vec::new();
+    for node in 0..cluster.ring().len() {
+        if !cluster.is_alive(node) {
+            entries.push(Value::object(vec![
+                ("node_id", Value::from(cluster.node_id(node))),
+                ("alive", Value::Bool(false)),
+            ]));
+            continue;
+        }
+        match call_node(cluster, node, "{\"cmd\": \"node_info\"}") {
+            Ok(response) if is_ok(&response) => {
+                let payload = response.get("node").cloned().unwrap_or(Value::Null);
+                if let Value::Object(mut pairs) = payload {
+                    pairs.push(("alive".to_string(), Value::Bool(true)));
+                    entries.push(Value::Object(pairs));
+                } else {
+                    entries.push(payload);
+                }
+            }
+            _ => entries.push(Value::object(vec![
+                ("node_id", Value::from(cluster.node_id(node))),
+                ("alive", Value::Bool(false)),
+            ])),
+        }
+    }
+    ok_line(id, vec![("nodes", Value::Array(entries))])
+}
+
+/// Fans an opaque per-node command (`metrics`, `profile_stats`) out
+/// to every alive node and returns the raw responses keyed by id.
+fn fan_out_raw(cluster: &Cluster, id: &Value, line: &str) -> String {
+    let mut entries = Vec::new();
+    for node in cluster.alive_nodes() {
+        let response = match call_node(cluster, node, line) {
+            Ok(response) => response,
+            Err((code, message)) => {
+                jsonio::parse(&error_line(&Value::Null, &code, &message)).unwrap_or(Value::Null)
+            }
+        };
+        entries.push(Value::object(vec![
+            ("node", Value::from(cluster.node_id(node))),
+            ("response", response),
+        ]));
+    }
+    ok_line(id, vec![("nodes", Value::Array(entries))])
+}
+
+/// Splits an `observe` batch by each sighting's ring owner, forwards
+/// the sub-batches, and acks only once *every* shard acked — the
+/// router never acks an observe it cannot account for.
+fn route_observe(cluster: &Cluster, value: &Value, id: &Value) -> String {
+    let Some(cells) = value.get("cells").and_then(Value::as_u64) else {
+        return error_line(
+            id,
+            "bad_request",
+            "\"observe\" needs a positive integer \"cells\"",
+        );
+    };
+    let Some(sightings) = value.get("sightings").and_then(Value::as_array) else {
+        return error_line(id, "bad_request", "\"observe\" needs a \"sightings\" array");
+    };
+    let mut groups: HashMap<usize, Vec<Value>> = HashMap::new();
+    for (i, sighting) in sightings.iter().enumerate() {
+        let Some(device) = sighting.get("device").and_then(Value::as_str) else {
+            return error_line(
+                id,
+                "bad_request",
+                &format!("sighting {i} needs a string \"device\""),
+            );
+        };
+        let Some(node) = cluster.route(device) else {
+            return error_line(
+                id,
+                "unavailable",
+                &format!("no alive node owns device \"{device}\""),
+            );
+        };
+        groups.entry(node).or_default().push(sighting.clone());
+    }
+    let mut ingested = 0u64;
+    let mut versions: Vec<(String, Value)> = Vec::new();
+    let mut nodes: Vec<usize> = groups.keys().copied().collect();
+    nodes.sort_unstable();
+    for node in nodes {
+        let group = &groups[&node];
+        let sub = Value::object(vec![
+            ("cmd", Value::from("observe")),
+            ("cells", Value::from(cells)),
+            ("sightings", Value::Array(group.clone())),
+        ])
+        .to_string();
+        match call_node(cluster, node, &sub) {
+            Ok(response) if is_ok(&response) => {
+                ingested += response
+                    .get("ingested")
+                    .and_then(Value::as_u64)
+                    .unwrap_or(0);
+                if let Some(Value::Object(pairs)) = response.get("versions").cloned() {
+                    versions.extend(pairs);
+                }
+            }
+            Ok(response) => return relay_error(id, &response),
+            Err((code, message)) => return error_line(id, &code, &message),
+        }
+    }
+    versions.sort_by(|a, b| a.0.cmp(&b.0));
+    ok_line(
+        id,
+        vec![
+            ("ingested", Value::from(ingested)),
+            ("versions", Value::Object(versions)),
+        ],
+    )
+}
+
+/// Routes `plan_devices`: a single-shard request forwards verbatim
+/// (the node's deadline/shed behaviour applies untouched); a
+/// multi-shard request scatters per-shard sub-plans and merges them.
+fn route_plan_devices(cluster: &Cluster, value: &Value, id: &Value, line: &str) -> String {
+    let Some(devices) = value.get("devices").and_then(Value::as_array) else {
+        return error_line(
+            id,
+            "bad_request",
+            "\"plan_devices\" needs a \"devices\" array",
+        );
+    };
+    let mut groups: HashMap<usize, Vec<Value>> = HashMap::new();
+    for (i, device) in devices.iter().enumerate() {
+        let Some(name) = device.as_str() else {
+            return error_line(id, "bad_request", &format!("device {i} must be a string"));
+        };
+        let Some(node) = cluster.route(name) else {
+            return error_line(
+                id,
+                "unavailable",
+                &format!("no alive node owns device \"{name}\""),
+            );
+        };
+        groups.entry(node).or_default().push(device.clone());
+    }
+    if groups.is_empty() {
+        return error_line(
+            id,
+            "bad_request",
+            "\"plan_devices\" needs at least one device",
+        );
+    }
+    if groups.len() == 1 {
+        let node = groups.keys().next().copied().unwrap_or(0);
+        return match call_node(cluster, node, line) {
+            Ok(response) => response.to_string(),
+            Err((code, message)) => error_line(id, &code, &message),
+        };
+    }
+
+    // Scatter: per-shard sub-requests carry every original field but
+    // the shard's own device subset (and no id — the merge re-ids).
+    let Value::Object(fields) = value else {
+        return error_line(id, "bad_request", "request must be a JSON object");
+    };
+    let mut shard_entries = Vec::new();
+    let mut ep = 0.0f64;
+    let mut cached = true;
+    let mut downgraded = false;
+    let mut planning_micros = 0u64;
+    let mut stale_profiles = 0u64;
+    let mut now = f64::NEG_INFINITY;
+    let mut nodes: Vec<usize> = groups.keys().copied().collect();
+    nodes.sort_unstable();
+    for node in nodes {
+        let group = &groups[&node];
+        let sub_fields: Vec<(String, Value)> = fields
+            .iter()
+            .filter(|(k, _)| k != "devices" && k != "id")
+            .cloned()
+            .chain(std::iter::once((
+                "devices".to_string(),
+                Value::Array(group.clone()),
+            )))
+            .collect();
+        let sub = Value::Object(sub_fields).to_string();
+        let response = match call_node(cluster, node, &sub) {
+            Ok(response) if is_ok(&response) => response,
+            Ok(response) => return relay_error(id, &response),
+            Err((code, message)) => return error_line(id, &code, &message),
+        };
+        ep += response.get("ep").and_then(Value::as_f64).unwrap_or(0.0);
+        cached &= response.get("cached").and_then(Value::as_bool) == Some(true);
+        downgraded |= response.get("downgraded").and_then(Value::as_bool) == Some(true);
+        planning_micros = planning_micros.max(
+            response
+                .get("planning_micros")
+                .and_then(Value::as_u64)
+                .unwrap_or(0),
+        );
+        stale_profiles += response
+            .get("stale_profiles")
+            .and_then(Value::as_u64)
+            .unwrap_or(0);
+        now = now.max(response.get("now").and_then(Value::as_f64).unwrap_or(now));
+        shard_entries.push(Value::object(vec![
+            ("node", Value::from(cluster.node_id(node))),
+            ("devices", Value::Array(group.clone())),
+            ("response", response),
+        ]));
+    }
+    ok_line(
+        id,
+        vec![
+            ("sharded", Value::Bool(true)),
+            ("shards", Value::Array(shard_entries)),
+            ("ep", Value::Float(ep)),
+            ("cached", Value::Bool(cached)),
+            ("downgraded", Value::Bool(downgraded)),
+            ("planning_micros", Value::from(planning_micros)),
+            ("stale_profiles", Value::from(stale_profiles)),
+            ("now", Value::Float(now)),
+        ],
+    )
+}
+
+/// Handles one client line end to end. Returns the response line and
+/// whether it was a shutdown request.
+#[must_use]
+pub fn route_line(cluster: &Cluster, line: &str) -> (String, bool) {
+    let value = match jsonio::parse(line) {
+        Ok(value) => value,
+        Err(e) => {
+            return (
+                error_line(&Value::Null, "bad_request", &format!("parse error: {e}")),
+                false,
+            )
+        }
+    };
+    let id = value.get("id").cloned().unwrap_or(Value::Null);
+    match value.get("cmd").and_then(Value::as_str) {
+        Some("ping") => (ok_line(&id, vec![("pong", Value::Bool(true))]), false),
+        Some("shutdown") => (ok_line(&id, vec![("stopping", Value::Bool(true))]), true),
+        Some("cluster_info") => (cluster_info(cluster, &id), false),
+        Some("node_info") => (fan_out_node_info(cluster, &id), false),
+        Some("metrics") | Some("profile_stats") => (fan_out_raw(cluster, &id, line), false),
+        Some("observe") => (route_observe(cluster, &value, &id), false),
+        Some("plan_devices") => (route_plan_devices(cluster, &value, &id, line), false),
+        Some("plan") => {
+            let Some(node) = cluster.any_alive(fnv1a(line.as_bytes())) else {
+                return (error_line(&id, "unavailable", "no alive nodes"), false);
+            };
+            match call_node(cluster, node, line) {
+                Ok(response) => (response.to_string(), false),
+                Err((code, message)) => (error_line(&id, &code, &message), false),
+            }
+        }
+        Some("replicate") => (
+            error_line(
+                &id,
+                "bad_request",
+                "\"replicate\" is node-internal; address a node directly",
+            ),
+            false,
+        ),
+        Some(other) => (
+            error_line(&id, "bad_request", &format!("unknown cmd \"{other}\"")),
+            false,
+        ),
+        None => (
+            error_line(&id, "bad_request", "request needs a string \"cmd\""),
+            false,
+        ),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reactor front (event-loop side)
+// ---------------------------------------------------------------------
+
+/// A request handed to the worker pool.
+struct Job {
+    token: Token,
+    line: String,
+}
+
+/// Cross-thread messages into the router's event loop.
+#[derive(Debug)]
+enum Task {
+    /// A worker finished a request.
+    Response {
+        token: Token,
+        response: String,
+        shutdown: bool,
+    },
+    /// Tear everything down now.
+    Stop,
+}
+
+/// One client connection's state.
+struct Conn {
+    stream: TcpStream,
+    in_buf: Vec<u8>,
+    out_buf: Vec<u8>,
+    out_pos: usize,
+    /// A request is on the worker pool; reads are suspended until its
+    /// response arrives (per-connection ordering).
+    pending: bool,
+    eof: bool,
+    registered: Option<Interest>,
+}
+
+impl Conn {
+    fn out_flushed(&self) -> bool {
+        self.out_pos == self.out_buf.len()
+    }
+}
+
+struct RouterDriver {
+    listener: TcpListener,
+    listener_registered: bool,
+    conns: HashMap<u64, Conn>,
+    /// Monotonic, never reused.
+    next_token: u64,
+    jobs: mpsc::Sender<Job>,
+    stopping: bool,
+}
+
+impl RouterDriver {
+    fn accept_ready(&mut self, ring: &mut Ring) {
+        if self.stopping {
+            return;
+        }
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let token = Token(self.next_token);
+                    self.next_token += 1;
+                    if ring
+                        .register(stream.as_raw_fd(), token, Interest::READABLE)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    self.conns.insert(
+                        token.0,
+                        Conn {
+                            stream,
+                            in_buf: Vec::new(),
+                            out_buf: Vec::new(),
+                            out_pos: 0,
+                            pending: false,
+                            eof: false,
+                            registered: Some(Interest::READABLE),
+                        },
+                    );
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn read_conn(&mut self, ring: &mut Ring, token: Token) {
+        let mut scratch = [0u8; 8192];
+        loop {
+            let Some(conn) = self.conns.get_mut(&token.0) else {
+                return;
+            };
+            if conn.eof {
+                break;
+            }
+            match conn.stream.read(&mut scratch) {
+                Ok(0) => {
+                    conn.eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.in_buf.extend_from_slice(&scratch[..n]);
+                    if conn.in_buf.len() > MAX_BUFFERED_INPUT {
+                        self.teardown(ring, token);
+                        return;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.teardown(ring, token);
+                    return;
+                }
+            }
+        }
+        self.process_lines(ring, token);
+    }
+
+    /// Dispatches complete lines to the worker pool, one in flight
+    /// per connection.
+    fn process_lines(&mut self, ring: &mut Ring, token: Token) {
+        loop {
+            let line_bytes = {
+                let Some(conn) = self.conns.get_mut(&token.0) else {
+                    return;
+                };
+                if conn.pending {
+                    break;
+                }
+                let Some(pos) = conn.in_buf.iter().position(|&b| b == b'\n') else {
+                    break;
+                };
+                conn.in_buf.drain(..=pos).collect::<Vec<u8>>()
+            };
+            let Ok(line) = String::from_utf8(line_bytes) else {
+                self.teardown(ring, token);
+                return;
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            if self.jobs.send(Job { token, line }).is_err() {
+                // Workers are gone; the router is coming down.
+                self.teardown(ring, token);
+                return;
+            }
+            if let Some(conn) = self.conns.get_mut(&token.0) {
+                conn.pending = true;
+            }
+            break;
+        }
+        self.settle(ring, token);
+    }
+
+    fn finish_response(&mut self, ring: &mut Ring, token: Token, response: &str, shutdown: bool) {
+        let Some(conn) = self.conns.get_mut(&token.0) else {
+            return;
+        };
+        conn.pending = false;
+        conn.out_buf.extend_from_slice(response.as_bytes());
+        conn.out_buf.push(b'\n');
+        if shutdown {
+            conn.eof = true; // this response is the connection's last
+            self.begin_stop(ring, token);
+        }
+        self.flush_conn(ring, token);
+        // More lines may already be buffered.
+        self.process_lines(ring, token);
+    }
+
+    /// Starts router shutdown: stop accepting and drop every
+    /// connection except `last` (which still owes its response).
+    fn begin_stop(&mut self, ring: &mut Ring, last: Token) {
+        self.stopping = true;
+        if self.listener_registered {
+            let _ = ring.deregister(self.listener.as_raw_fd());
+            self.listener_registered = false;
+        }
+        let others: Vec<u64> = self
+            .conns
+            .keys()
+            .copied()
+            .filter(|&t| t != last.0)
+            .collect();
+        for token in others {
+            self.teardown(ring, Token(token));
+        }
+    }
+
+    fn flush_conn(&mut self, ring: &mut Ring, token: Token) {
+        let Some(conn) = self.conns.get_mut(&token.0) else {
+            return;
+        };
+        while conn.out_pos < conn.out_buf.len() {
+            match conn.stream.write(&conn.out_buf[conn.out_pos..]) {
+                Ok(0) => {
+                    self.teardown(ring, token);
+                    return;
+                }
+                Ok(n) => conn.out_pos += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.teardown(ring, token);
+                    return;
+                }
+            }
+        }
+        if conn.out_flushed() {
+            conn.out_buf.clear();
+            conn.out_pos = 0;
+        }
+    }
+
+    fn settle(&mut self, ring: &mut Ring, token: Token) {
+        let Some(conn) = self.conns.get_mut(&token.0) else {
+            return;
+        };
+        if conn.eof && !conn.pending && conn.out_flushed() {
+            self.teardown(ring, token);
+            return;
+        }
+        let readable = !conn.pending && !conn.eof;
+        let writable = !conn.out_flushed();
+        let desired = if readable || writable {
+            Some(Interest { readable, writable })
+        } else {
+            None
+        };
+        if conn.registered == desired {
+            return;
+        }
+        let fd = conn.stream.as_raw_fd();
+        let result = match (conn.registered, desired) {
+            (Some(_), None) => ring.deregister(fd),
+            (Some(_), Some(interest)) => ring.reregister(fd, token, interest),
+            (None, Some(interest)) => ring.register(fd, token, interest),
+            (None, None) => Ok(()),
+        };
+        if result.is_ok() {
+            conn.registered = desired;
+        } else {
+            self.teardown(ring, token);
+        }
+    }
+
+    fn teardown(&mut self, ring: &mut Ring, token: Token) {
+        if let Some(conn) = self.conns.remove(&token.0) {
+            if conn.registered.is_some() {
+                let _ = ring.deregister(conn.stream.as_raw_fd());
+            }
+        }
+        self.maybe_exit(ring);
+    }
+
+    fn maybe_exit(&self, ring: &mut Ring) {
+        if self.stopping && self.conns.is_empty() {
+            ring.stop();
+        }
+    }
+}
+
+impl Driver for RouterDriver {
+    type Task = Task;
+
+    fn on_event(&mut self, ring: &mut Ring, event: Event) {
+        if event.token == ACCEPT_TOKEN {
+            self.accept_ready(ring);
+            return;
+        }
+        if event.readable {
+            self.read_conn(ring, event.token);
+        }
+        if event.writable && self.conns.contains_key(&event.token.0) {
+            self.flush_conn(ring, event.token);
+            self.settle(ring, event.token);
+        }
+    }
+
+    fn on_task(&mut self, ring: &mut Ring, task: Task) {
+        match task {
+            Task::Response {
+                token,
+                response,
+                shutdown,
+            } => {
+                self.finish_response(ring, token, &response, shutdown);
+                self.settle(ring, token);
+                self.maybe_exit(ring);
+            }
+            Task::Stop => {
+                self.stopping = true;
+                if self.listener_registered {
+                    let _ = ring.deregister(self.listener.as_raw_fd());
+                    self.listener_registered = false;
+                }
+                let tokens: Vec<u64> = self.conns.keys().copied().collect();
+                for token in tokens {
+                    self.teardown(ring, Token(token));
+                }
+                ring.stop();
+            }
+        }
+    }
+}
+
+/// A running router: event-loop thread plus worker pool.
+#[derive(Debug)]
+pub struct Router {
+    addr: SocketAddr,
+    handle: LoopHandle<Task>,
+    loop_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Router {
+    /// The address clients connect to.
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until the router stops on its own (a client sent
+    /// `{"cmd": "shutdown"}`), then joins every thread.
+    pub fn wait(&mut self) {
+        if let Some(thread) = self.loop_thread.take() {
+            let _ = thread.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+
+    /// Stops the router and joins every thread.
+    pub fn stop(&mut self) {
+        if self.loop_thread.is_some() {
+            self.handle.inject(Task::Stop);
+        }
+        if let Some(thread) = self.loop_thread.take() {
+            let _ = thread.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Router {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Binds `addr` and serves the cluster router until stopped.
+///
+/// # Errors
+///
+/// An [`std::io::Error`] when the address cannot be bound or threads
+/// cannot be spawned.
+pub fn serve_router<A: ToSocketAddrs>(
+    cluster: Arc<Cluster>,
+    addr: A,
+    config: &RouterConfig,
+) -> std::io::Result<Router> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+
+    let (mut event_loop, handle) = EventLoop::<Task>::new()?;
+    event_loop
+        .ring()
+        .register(listener.as_raw_fd(), ACCEPT_TOKEN, Interest::READABLE)?;
+
+    let (jobs_tx, jobs_rx) = mpsc::channel::<Job>();
+    let jobs_rx = Arc::new(Mutex::new(jobs_rx));
+    let workers_n = config.workers.max(1);
+    let mut workers = Vec::with_capacity(workers_n);
+    for index in 0..workers_n {
+        let rx = Arc::clone(&jobs_rx);
+        let cluster = Arc::clone(&cluster);
+        let handle = handle.clone();
+        let worker = std::thread::Builder::new()
+            .name(format!("router-worker-{index}"))
+            .spawn(move || loop {
+                let job = {
+                    let rx = rx.lock().unwrap_or_else(PoisonError::into_inner);
+                    rx.recv()
+                };
+                let Ok(job) = job else { break };
+                let (response, shutdown) = route_line(&cluster, &job.line);
+                handle.inject(Task::Response {
+                    token: job.token,
+                    response,
+                    shutdown,
+                });
+            })?;
+        workers.push(worker);
+    }
+
+    let driver = RouterDriver {
+        listener,
+        listener_registered: true,
+        conns: HashMap::new(),
+        next_token: 1,
+        jobs: jobs_tx,
+        stopping: false,
+    };
+    let loop_thread = std::thread::Builder::new()
+        .name("router-loop".to_string())
+        .spawn(move || {
+            let _ = event_loop.run(driver);
+        })?;
+
+    Ok(Router {
+        addr,
+        handle,
+        loop_thread: Some(loop_thread),
+        workers,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+    use std::io::{BufRead, BufReader};
+
+    fn offline_cluster() -> Cluster {
+        let topo = Topology::parse(
+            r#"{"vnodes": 16, "nodes": [
+                {"id": "a", "addr": "127.0.0.1:1"},
+                {"id": "b", "addr": "127.0.0.1:2"}]}"#,
+        )
+        .expect("topology");
+        Cluster::new(topo, Duration::from_millis(100))
+    }
+
+    #[test]
+    fn local_commands_answer_without_touching_nodes() {
+        let cluster = offline_cluster();
+        let (pong, stop) = route_line(&cluster, r#"{"cmd": "ping", "id": 7}"#);
+        assert!(!stop);
+        let v = jsonio::parse(&pong).expect("json");
+        assert_eq!(v.get("pong").and_then(Value::as_bool), Some(true));
+        assert_eq!(v.get("id").and_then(Value::as_u64), Some(7));
+
+        let (info, _) = route_line(&cluster, r#"{"cmd": "cluster_info"}"#);
+        let v = jsonio::parse(&info).expect("json");
+        let nodes = v.get("nodes").and_then(Value::as_array).expect("nodes");
+        assert_eq!(nodes.len(), 2);
+        assert_eq!(nodes[0].get("alive").and_then(Value::as_bool), Some(true));
+
+        let (_, stop) = route_line(&cluster, r#"{"cmd": "shutdown"}"#);
+        assert!(stop);
+    }
+
+    #[test]
+    fn malformed_and_internal_requests_are_rejected() {
+        let cluster = offline_cluster();
+        for (line, code) in [
+            ("not json", "bad_request"),
+            (r#"{"cmd": "replicate", "action": "status"}"#, "bad_request"),
+            (r#"{"cmd": "mystery"}"#, "bad_request"),
+            (r#"{"nope": 1}"#, "bad_request"),
+            (r#"{"cmd": "observe"}"#, "bad_request"),
+            (r#"{"cmd": "plan_devices", "delay": 2}"#, "bad_request"),
+        ] {
+            let (response, stop) = route_line(&cluster, line);
+            assert!(!stop);
+            let v = jsonio::parse(&response).expect("json");
+            assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false), "{line}");
+            assert_eq!(v.get("code").and_then(Value::as_str), Some(code), "{line}");
+        }
+    }
+
+    /// A blocking line client for the TCP tests.
+    struct Client {
+        reader: BufReader<TcpStream>,
+    }
+
+    impl Client {
+        fn connect(addr: SocketAddr) -> Client {
+            let stream = TcpStream::connect(addr).expect("connect");
+            stream.set_nodelay(true).expect("nodelay");
+            Client {
+                reader: BufReader::new(stream),
+            }
+        }
+
+        fn call(&mut self, line: &str) -> Value {
+            self.reader
+                .get_mut()
+                .write_all(line.as_bytes())
+                .and_then(|()| self.reader.get_mut().write_all(b"\n"))
+                .expect("write");
+            let mut response = String::new();
+            self.reader.read_line(&mut response).expect("read");
+            jsonio::parse(&response).expect("json response")
+        }
+    }
+
+    mod with_nodes {
+        use super::*;
+        use pager_profiles::io::{MemIo, StorageIo};
+        use pager_profiles::FsyncPolicy;
+        use pager_service::{
+            serve_tcp_with, DurabilityOptions, PagerService, ServerHandle, ServiceConfig,
+        };
+
+        fn start_node(id: &str, addr: &str) -> ServerHandle {
+            let config = ServiceConfig {
+                workers: 2,
+                node_id: Some(id.to_string()),
+                durability: Some(DurabilityOptions {
+                    data_dir: std::path::PathBuf::from("/data"),
+                    fsync: FsyncPolicy::Always,
+                    checkpoint_every: 0,
+                    io: Some(Arc::new(MemIo::default()) as Arc<dyn StorageIo>),
+                }),
+                ..ServiceConfig::default()
+            };
+            let service = Arc::new(PagerService::try_new(config).expect("service"));
+            serve_tcp_with(service, addr, 1).expect("bind")
+        }
+
+        fn three_node_cluster() -> (Vec<ServerHandle>, Arc<Cluster>) {
+            let handles: Vec<ServerHandle> = (0..3)
+                .map(|i| start_node(&format!("n{i}"), "127.0.0.1:0"))
+                .collect();
+            let topo = Topology::parse(&format!(
+                r#"{{"heartbeat_ms": 50, "vnodes": 16, "nodes": [
+                    {{"id": "n0", "addr": "{}"}},
+                    {{"id": "n1", "addr": "{}"}},
+                    {{"id": "n2", "addr": "{}"}}]}}"#,
+                handles[0].local_addr(),
+                handles[1].local_addr(),
+                handles[2].local_addr()
+            ))
+            .expect("topology");
+            (
+                handles,
+                Arc::new(Cluster::new(topo, Duration::from_secs(5))),
+            )
+        }
+
+        #[test]
+        fn routes_observe_and_plans_across_shards() {
+            let (handles, cluster) = three_node_cluster();
+            let mut router = serve_router(
+                Arc::clone(&cluster),
+                "127.0.0.1:0",
+                &RouterConfig::default(),
+            )
+            .expect("router");
+            let mut client = Client::connect(router.local_addr());
+
+            // A batch spanning all shards acks atomically.
+            let sightings: Vec<String> = (0..30)
+                .map(|i| {
+                    format!(
+                        r#"{{"device": "dev-{i}", "cell": {}, "time": {i}.0}}"#,
+                        i % 4
+                    )
+                })
+                .collect();
+            let observe = format!(
+                r#"{{"cmd": "observe", "id": 1, "cells": 4, "sightings": [{}]}}"#,
+                sightings.join(", ")
+            );
+            let v = client.call(&observe);
+            assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "{v}");
+            assert_eq!(v.get("ingested").and_then(Value::as_u64), Some(30));
+            assert_eq!(
+                v.get("versions")
+                    .and_then(Value::as_object)
+                    .map(<[(String, Value)]>::len),
+                Some(30)
+            );
+
+            // Single-shard plan: forwarded verbatim, so the node's own
+            // response shape (strategy included) comes back unchanged.
+            let device = (0..100)
+                .map(|i| format!("dev-{i}"))
+                .find(|d| cluster.owner_of(d) == 0)
+                .expect("some device on n0");
+            let single = format!(
+                r#"{{"cmd": "plan_devices", "id": 2, "devices": ["{device}"], "delay": 2}}"#
+            );
+            let v = client.call(&single);
+            assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "{v}");
+            assert!(v.get("strategy").is_some());
+            assert!(v.get("sharded").is_none());
+
+            // Multi-shard plan: merged, with per-shard sub-responses.
+            let devices: Vec<String> = (0..30).map(|i| format!("\"dev-{i}\"")).collect();
+            let multi = format!(
+                r#"{{"cmd": "plan_devices", "id": 3, "devices": [{}], "delay": 2}}"#,
+                devices.join(", ")
+            );
+            let v = client.call(&multi);
+            assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "{v}");
+            assert_eq!(v.get("sharded").and_then(Value::as_bool), Some(true));
+            let shards = v.get("shards").and_then(Value::as_array).expect("shards");
+            assert!(shards.len() >= 2, "expected a multi-shard split");
+            assert!(v.get("ep").and_then(Value::as_f64).unwrap_or(-1.0) >= 0.0);
+
+            // Keyless `plan` forwards verbatim to some alive node and
+            // relays its response untouched (the node protocol has no
+            // matrix op today, so the node's own `unsupported` answer
+            // proves the round trip).
+            let v =
+                client.call(r#"{"cmd": "plan", "id": 4, "matrix": [[0.5, 0.3, 0.2]], "delay": 2}"#);
+            assert_eq!(
+                v.get("code").and_then(Value::as_str),
+                Some("unsupported"),
+                "{v}"
+            );
+
+            // node_info fans out to the full membership.
+            let v = client.call(r#"{"cmd": "node_info", "id": 5}"#);
+            let nodes = v.get("nodes").and_then(Value::as_array).expect("nodes");
+            assert_eq!(nodes.len(), 3);
+            for entry in nodes {
+                assert_eq!(entry.get("alive").and_then(Value::as_bool), Some(true));
+            }
+
+            router.stop();
+            for mut h in handles {
+                h.stop();
+                h.join();
+            }
+        }
+
+        #[test]
+        fn fails_over_to_the_replica_when_a_node_drops() {
+            let (mut handles, cluster) = three_node_cluster();
+            let mut router = serve_router(
+                Arc::clone(&cluster),
+                "127.0.0.1:0",
+                &RouterConfig::default(),
+            )
+            .expect("router");
+            let mut client = Client::connect(router.local_addr());
+
+            // Ingest one device per shard and replicate.
+            let devices: Vec<String> = (0..3)
+                .map(|owner| {
+                    (0..10_000)
+                        .map(|i| format!("dev-{i}"))
+                        .find(|d| cluster.owner_of(d) == owner)
+                        .expect("device per owner")
+                })
+                .collect();
+            for (i, device) in devices.iter().enumerate() {
+                let line = format!(
+                    r#"{{"cmd": "observe", "cells": 4, "sightings": [{{"device": "{device}", "cell": 1, "time": {i}.0}}]}}"#
+                );
+                let v = client.call(&line);
+                assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "{v}");
+            }
+            for _ in 0..2 {
+                crate::pump::ship_all(&cluster);
+            }
+
+            // Drop n0 WITHOUT telling the cluster (no heartbeat ran):
+            // the router's own failover retry must cover the gap.
+            handles[0].stop();
+            handles[0].join();
+            let line = format!(
+                r#"{{"cmd": "observe", "cells": 4, "sightings": [{{"device": "{}", "cell": 2, "time": 9.0}}]}}"#,
+                devices[0]
+            );
+            let v = client.call(&line);
+            assert_eq!(
+                v.get("ok").and_then(Value::as_bool),
+                Some(true),
+                "failover retry should ack via the replica: {v}"
+            );
+
+            // Shutdown over the wire stops the router.
+            let v = client.call(r#"{"cmd": "shutdown"}"#);
+            assert_eq!(v.get("stopping").and_then(Value::as_bool), Some(true));
+            router.stop();
+            handles.remove(0);
+            for mut h in handles {
+                h.stop();
+                h.join();
+            }
+        }
+    }
+}

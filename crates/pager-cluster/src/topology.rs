@@ -1,0 +1,194 @@
+//! Static seed topology: the cluster's membership file.
+//!
+//! One JSON object describes the deployment; router and harness both
+//! read it, and the ring it induces is the shared key → shard map:
+//!
+//! ```json
+//! {"heartbeat_ms": 250, "vnodes": 64,
+//!  "nodes": [{"id": "n1", "addr": "127.0.0.1:7001"},
+//!            {"id": "n2", "addr": "127.0.0.1:7002"},
+//!            {"id": "n3", "addr": "127.0.0.1:7003"}]}
+//! ```
+//!
+//! Membership changes are a new file: the router computes the
+//! [`HashRing::handoff`] between old and new rings and ships moved
+//! ranges before flipping routing (see `pump`).
+
+use jsonio::Value;
+
+use crate::ring::HashRing;
+
+/// One member node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeSpec {
+    /// Stable identity (matches the node's `--node-id`).
+    pub id: String,
+    /// `host:port` the node listens on.
+    pub addr: String,
+}
+
+/// The parsed seed file.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    /// Liveness probe interval; a node missing two consecutive
+    /// heartbeats is declared dead and its follower promoted.
+    pub heartbeat_ms: u64,
+    /// Virtual nodes per member on the hash circle.
+    pub vnodes: u32,
+    /// The members, as listed (the ring sorts ids itself).
+    pub nodes: Vec<NodeSpec>,
+}
+
+impl Topology {
+    /// Parses the seed-file JSON.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first malformed field.
+    pub fn parse(text: &str) -> Result<Topology, String> {
+        let value = jsonio::parse(text).map_err(|e| format!("topology: {e}"))?;
+        let heartbeat_ms = match value.get("heartbeat_ms") {
+            None => 500,
+            Some(ms) => ms
+                .as_u64()
+                .filter(|&ms| ms > 0)
+                .ok_or("topology: \"heartbeat_ms\" must be a positive integer")?,
+        };
+        let vnodes = match value.get("vnodes") {
+            None => 64,
+            Some(v) => u32::try_from(
+                v.as_u64()
+                    .filter(|&v| v > 0)
+                    .ok_or("topology: \"vnodes\" must be a positive integer")?,
+            )
+            .map_err(|_| "topology: \"vnodes\" is too large")?,
+        };
+        let raw = value
+            .get("nodes")
+            .and_then(Value::as_array)
+            .ok_or("topology: needs a \"nodes\" array")?;
+        if raw.is_empty() {
+            return Err("topology: \"nodes\" is empty".to_string());
+        }
+        let mut nodes = Vec::with_capacity(raw.len());
+        for (i, n) in raw.iter().enumerate() {
+            let id = n
+                .get("id")
+                .and_then(Value::as_str)
+                .filter(|id| !id.is_empty())
+                .ok_or_else(|| format!("topology: node {i} needs a non-empty string \"id\""))?;
+            let addr = n
+                .get("addr")
+                .and_then(Value::as_str)
+                .filter(|a| !a.is_empty())
+                .ok_or_else(|| format!("topology: node {i} needs a non-empty string \"addr\""))?;
+            nodes.push(NodeSpec {
+                id: id.to_string(),
+                addr: addr.to_string(),
+            });
+        }
+        let mut ids: Vec<&str> = nodes.iter().map(|n| n.id.as_str()).collect();
+        ids.sort_unstable();
+        if ids.windows(2).any(|w| w[0] == w[1]) {
+            return Err("topology: duplicate node ids".to_string());
+        }
+        Ok(Topology {
+            heartbeat_ms,
+            vnodes,
+            nodes,
+        })
+    }
+
+    /// Reads and parses a seed file.
+    ///
+    /// # Errors
+    ///
+    /// The I/O error or the first malformed field.
+    pub fn from_file(path: &std::path::Path) -> Result<Topology, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("topology {}: {e}", path.display()))?;
+        Topology::parse(&text)
+    }
+
+    /// Serialises back to the seed-file JSON (one line).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        Value::object(vec![
+            ("heartbeat_ms", Value::from(self.heartbeat_ms)),
+            ("vnodes", Value::from(u64::from(self.vnodes))),
+            (
+                "nodes",
+                Value::Array(
+                    self.nodes
+                        .iter()
+                        .map(|n| {
+                            Value::object(vec![
+                                ("id", Value::from(n.id.as_str())),
+                                ("addr", Value::from(n.addr.as_str())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+        .to_string()
+    }
+
+    /// The ring this membership induces.
+    #[must_use]
+    pub fn ring(&self) -> HashRing {
+        let ids: Vec<String> = self.nodes.iter().map(|n| n.id.clone()).collect();
+        HashRing::new(&ids, self.vnodes)
+    }
+
+    /// The address of the node with ring `id`, if a member.
+    #[must_use]
+    pub fn addr_of(&self, id: &str) -> Option<&str> {
+        self.nodes
+            .iter()
+            .find(|n| n.id == id)
+            .map(|n| n.addr.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_round_trips() {
+        let text = r#"{"heartbeat_ms": 250, "vnodes": 16, "nodes": [
+            {"id": "n1", "addr": "127.0.0.1:7001"},
+            {"id": "n2", "addr": "127.0.0.1:7002"}]}"#;
+        let topo = Topology::parse(text).unwrap();
+        assert_eq!(topo.heartbeat_ms, 250);
+        assert_eq!(topo.vnodes, 16);
+        assert_eq!(topo.nodes.len(), 2);
+        assert_eq!(topo.addr_of("n2"), Some("127.0.0.1:7002"));
+        let again = Topology::parse(&topo.to_json()).unwrap();
+        assert_eq!(again.nodes, topo.nodes);
+        assert_eq!(again.ring().nodes(), topo.ring().nodes());
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let topo = Topology::parse(r#"{"nodes": [{"id": "a", "addr": "x:1"}]}"#).unwrap();
+        assert_eq!(topo.heartbeat_ms, 500);
+        assert_eq!(topo.vnodes, 64);
+    }
+
+    #[test]
+    fn malformed_topologies_are_rejected() {
+        for bad in [
+            "not json",
+            "{}",
+            r#"{"nodes": []}"#,
+            r#"{"nodes": [{"id": "", "addr": "x"}]}"#,
+            r#"{"nodes": [{"id": "a"}]}"#,
+            r#"{"nodes": [{"id": "a", "addr": "x"}, {"id": "a", "addr": "y"}]}"#,
+            r#"{"heartbeat_ms": 0, "nodes": [{"id": "a", "addr": "x"}]}"#,
+        ] {
+            assert!(Topology::parse(bad).is_err(), "{bad}");
+        }
+    }
+}

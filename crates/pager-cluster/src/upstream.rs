@@ -1,0 +1,217 @@
+//! Per-node upstream connection pools.
+//!
+//! The router keeps a small pool of idle TCP connections to every
+//! node and checks one out per request round trip — the JSON-lines
+//! protocol is strictly one response line per request line, so a
+//! connection is reusable the moment the response is read. A pooled
+//! connection that has gone stale (node restarted, idle timeout)
+//! fails its first write or read; the call retries once on a fresh
+//! connection before reporting the node unreachable.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::{Mutex, PoisonError};
+use std::time::Duration;
+
+use jsonio::Value;
+
+/// How a round trip to a node failed.
+#[derive(Debug, Clone)]
+pub enum UpstreamError {
+    /// Could not connect, write, or read — the node looks down.
+    Unreachable(String),
+    /// The node answered, but not with parseable JSON.
+    Protocol(String),
+}
+
+impl std::fmt::Display for UpstreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UpstreamError::Unreachable(m) => write!(f, "node unreachable: {m}"),
+            UpstreamError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+/// Idle connections kept per node.
+const POOL_SIZE: usize = 4;
+
+/// A pool of connections to one node address.
+#[derive(Debug)]
+pub struct Upstream {
+    addr: String,
+    timeout: Duration,
+    idle: Mutex<VecDeque<BufReader<TcpStream>>>,
+}
+
+impl Upstream {
+    /// A pool dialing `addr` with `timeout` applied to connect, read,
+    /// and write individually.
+    #[must_use]
+    pub fn new(addr: &str, timeout: Duration) -> Upstream {
+        Upstream {
+            addr: addr.to_string(),
+            timeout,
+            idle: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// The address this pool dials.
+    #[must_use]
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Drops every idle connection (after a node restart the old
+    /// sockets are dead weight).
+    pub fn flush(&self) {
+        self.idle
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
+    }
+
+    fn connect(&self) -> Result<BufReader<TcpStream>, UpstreamError> {
+        let addr = self
+            .addr
+            .parse::<std::net::SocketAddr>()
+            .map_err(|e| UpstreamError::Unreachable(format!("bad address {}: {e}", self.addr)))?;
+        let stream = TcpStream::connect_timeout(&addr, self.timeout)
+            .map_err(|e| UpstreamError::Unreachable(format!("connect {}: {e}", self.addr)))?;
+        stream
+            .set_read_timeout(Some(self.timeout))
+            .and_then(|()| stream.set_write_timeout(Some(self.timeout)))
+            .and_then(|()| stream.set_nodelay(true))
+            .map_err(|e| UpstreamError::Unreachable(format!("configure {}: {e}", self.addr)))?;
+        Ok(BufReader::new(stream))
+    }
+
+    fn round_trip(
+        conn: &mut BufReader<TcpStream>,
+        line: &str,
+    ) -> Result<Value, (bool, UpstreamError)> {
+        // (retryable, error): a transport failure on a *pooled*
+        // connection may just mean it went stale; a parse failure
+        // means the node really spoke garbage.
+        conn.get_mut()
+            .write_all(line.as_bytes())
+            .and_then(|()| conn.get_mut().write_all(b"\n"))
+            .map_err(|e| (true, UpstreamError::Unreachable(format!("write: {e}"))))?;
+        let mut response = String::new();
+        let n = conn
+            .read_line(&mut response)
+            .map_err(|e| (true, UpstreamError::Unreachable(format!("read: {e}"))))?;
+        if n == 0 {
+            return Err((
+                true,
+                UpstreamError::Unreachable("connection closed".to_string()),
+            ));
+        }
+        jsonio::parse(&response).map_err(|e| (false, UpstreamError::Protocol(e.to_string())))
+    }
+
+    /// One request/response round trip. `line` must be a single JSON
+    /// request without a trailing newline.
+    ///
+    /// # Errors
+    ///
+    /// [`UpstreamError::Unreachable`] when the node cannot be talked
+    /// to (after one stale-connection retry),
+    /// [`UpstreamError::Protocol`] when its answer is not JSON.
+    pub fn call(&self, line: &str) -> Result<Value, UpstreamError> {
+        let pooled = self
+            .idle
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop_front();
+        let mut fresh = pooled.is_none();
+        let mut conn = match pooled {
+            Some(conn) => conn,
+            None => self.connect()?,
+        };
+        loop {
+            match Self::round_trip(&mut conn, line) {
+                Ok(value) => {
+                    let mut idle = self.idle.lock().unwrap_or_else(PoisonError::into_inner);
+                    if idle.len() < POOL_SIZE {
+                        idle.push_back(conn);
+                    }
+                    return Ok(value);
+                }
+                Err((retryable, error)) => {
+                    if fresh || !retryable {
+                        return Err(error);
+                    }
+                    // The pooled connection was stale; retry once on a
+                    // fresh socket.
+                    fresh = true;
+                    conn = self.connect()?;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// A tiny echo server answering `{"ok": true, "echo": <line>}`.
+    fn echo_server() -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let thread = std::thread::spawn(move || {
+            while let Ok((stream, _)) = listener.accept() {
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut stream = stream;
+                let mut line = String::new();
+                while reader.read_line(&mut line).map(|n| n > 0).unwrap_or(false) {
+                    let trimmed = line.trim().to_string();
+                    if trimmed == "STOP" {
+                        return;
+                    }
+                    writeln!(stream, "{{\"ok\": true, \"len\": {}}}", trimmed.len()).unwrap();
+                    line.clear();
+                }
+            }
+        });
+        (addr, thread)
+    }
+
+    #[test]
+    fn calls_round_trip_and_reuse_connections() {
+        let (addr, thread) = echo_server();
+        let upstream = Upstream::new(&addr.to_string(), Duration::from_secs(5));
+        for i in 0..5 {
+            let v = upstream.call(&format!("{{\"i\": {i}}}")).unwrap();
+            assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+        }
+        // One connection was pooled and reused throughout.
+        assert_eq!(
+            upstream
+                .idle
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .len(),
+            1
+        );
+        upstream.call("STOP").unwrap_err();
+        thread.join().unwrap();
+    }
+
+    #[test]
+    fn unreachable_nodes_error_cleanly() {
+        // A port nothing listens on (bind then drop releases it).
+        let addr = {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap()
+        };
+        let upstream = Upstream::new(&addr.to_string(), Duration::from_millis(200));
+        match upstream.call("{}") {
+            Err(UpstreamError::Unreachable(_)) => {}
+            other => panic!("expected Unreachable, got {other:?}"),
+        }
+    }
+}

@@ -68,8 +68,7 @@ pub fn greedy_strategy_bounded_cancel(
     let split =
         // lint:allow(no-unwrap-outside-tests): b*d >= c was checked above, so the split exists
         optimal_split_cancel(&g, d, Some(bandwidth), cancel)?.expect("feasibility checked above");
-    let strategy =
-        Strategy::from_order_and_sizes(&order, &split.sizes).expect("split partitions the order");
+    let strategy = Strategy::from_order_and_sizes(&order, &split.sizes)?;
     Ok(PlannedStrategy {
         expected_paging: c as f64 - split.savings,
         strategy,

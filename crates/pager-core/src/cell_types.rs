@@ -262,10 +262,8 @@ fn optimal_over_types(
         }
         groups.push(group);
     }
-    let strategy = Strategy::new(groups).expect("type chain partitions the cells");
-    let expected_paging = instance
-        .expected_paging(&strategy)
-        .expect("dimensions match");
+    let strategy = Strategy::new(groups)?;
+    let expected_paging = instance.expected_paging(&strategy)?;
     Ok(PlannedStrategy {
         strategy,
         expected_paging,

@@ -54,10 +54,8 @@ pub fn optimal_exhaustive(instance: &Instance, delay: Delay) -> Result<PlannedSt
     let mut assignment = vec![0usize; c];
     loop {
         if let Some(groups) = groups_of(&assignment, d) {
-            let strategy = Strategy::new(groups).expect("assignment yields a valid partition");
-            let ep = instance
-                .expected_paging(&strategy)
-                .expect("dimensions match");
+            let strategy = Strategy::new(groups)?;
+            let ep = instance.expected_paging(&strategy)?;
             if best.as_ref().is_none_or(|(b, _)| ep < *b) {
                 best = Some((ep, assignment.clone()));
             }
@@ -102,10 +100,8 @@ pub fn optimal_exhaustive_exact(
     let mut assignment = vec![0usize; c];
     loop {
         if let Some(groups) = groups_of(&assignment, d) {
-            let strategy = Strategy::new(groups).expect("valid partition");
-            let ep = instance
-                .expected_paging(&strategy)
-                .expect("dimensions match");
+            let strategy = Strategy::new(groups)?;
+            let ep = instance.expected_paging(&strategy)?;
             if best.as_ref().is_none_or(|(b, _)| ep < *b) {
                 best = Some((ep, assignment.clone()));
             }

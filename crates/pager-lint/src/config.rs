@@ -16,6 +16,8 @@ pub const LOCK_ORDER: &[&str] = &[
     "workers",
     "inflight",
     "worker_rx",
+    "ring",
+    "replica",
     "wal",
     "shard",
     "latest_time",
@@ -35,6 +37,14 @@ pub fn lock_class(receiver: &str) -> Option<&'static str> {
         "workers" => Some("workers"),
         "inflight" => Some("inflight"),
         "rx" | "worker_rx" => Some("worker_rx"),
+        // The cluster layer's upstream-pool lock (`idle` connection
+        // queues): held only for a pop/push, but a checked-out
+        // connection's round trip can reach a node that takes its
+        // replica and WAL locks, so the class sits above both.
+        "idle" => Some("ring"),
+        // The replica cursor lock wraps chunk application, which
+        // acquires the durable store's WAL lock — so it ranks above.
+        "replica" => Some("replica"),
         // The durable store's WAL lock wraps apply + append + fsync,
         // so it sits above the profile shards and the storage backend.
         "wal" => Some("wal"),
@@ -75,6 +85,7 @@ impl Policy {
         (path.starts_with("crates/pager-core/src/")
             || path.starts_with("crates/pager-service/src/")
             || path.starts_with("crates/pager-reactor/src/")
+            || path.starts_with("crates/pager-cluster/src/")
             || Self::DURABILITY_PATHS.contains(&path))
             && !Self::is_test_path(path)
     }
@@ -129,12 +140,18 @@ mod tests {
         // The WAL lock wraps store applies; the storage backend's
         // state lock is innermost of all.
         assert!(lock_rank("wal") < lock_rank("shard"));
+        // Cluster-layer locks wrap node round trips, which end in the
+        // node's replica cursor and WAL locks.
+        assert!(lock_rank("ring") < lock_rank("replica"));
+        assert!(lock_rank("replica") < lock_rank("wal"));
         assert!(lock_rank("latest_time") < lock_rank("fs"));
         // The reactor's injector queue is the innermost lock of all:
         // everything may inject, and inject calls nothing.
         assert!(lock_rank("lifecycle") < lock_rank("injector"));
         assert_eq!(lock_rank("injector"), Some(LOCK_ORDER.len() - 1));
         assert_eq!(lock_class("shard_for"), Some("shard"));
+        assert_eq!(lock_class("idle"), Some("ring"));
+        assert_eq!(lock_class("replica"), Some("replica"));
         assert_eq!(lock_class("wal"), Some("wal"));
         assert_eq!(lock_class("fs"), Some("fs"));
         assert_eq!(lock_class("lifecycle"), Some("lifecycle"));
@@ -148,6 +165,8 @@ mod tests {
         assert!(p.unwrap_denied("crates/pager-core/src/dp.rs"));
         assert!(p.unwrap_denied("crates/pager-service/src/server.rs"));
         assert!(p.unwrap_denied("crates/pager-reactor/src/poll.rs"));
+        assert!(p.unwrap_denied("crates/pager-cluster/src/router.rs"));
+        assert!(!p.unwrap_denied("crates/pager-cluster/tests/x.rs"));
         assert!(!p.unwrap_denied("crates/cellnet/src/system.rs"));
         assert!(!p.unwrap_denied("crates/pager-core/tests/dp.rs"));
         // Durability modules are covered; the rest of pager-profiles

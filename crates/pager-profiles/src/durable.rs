@@ -169,6 +169,10 @@ pub struct DurabilityStats {
 /// WAL is always a faithful replay of the in-memory apply order.
 struct WalState {
     generation: u64,
+    /// Bytes of valid frames in this generation's WAL file — the
+    /// position replication cursors point at. Tracked (not re-read)
+    /// so exports never race an in-flight append.
+    offset: u64,
     unsynced_records: u64,
     records_since_checkpoint: u64,
     /// Whether this generation's WAL file has had its directory entry
@@ -177,6 +181,57 @@ struct WalState {
     /// crash on every filesystem, so the first ack of a generation
     /// must wait for the directory sync too.
     dir_synced: bool,
+}
+
+/// Where a store's WAL currently ends — the position a replication
+/// cursor chases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalPosition {
+    /// Live WAL generation.
+    pub generation: u64,
+    /// Bytes of valid frames in that generation's WAL.
+    pub offset: u64,
+    /// The store's global version counter at the same instant.
+    pub store_version: u64,
+}
+
+/// A snapshot image captured atomically with its WAL position: every
+/// record at or before `(generation, offset)` is inside `bytes`, and
+/// every later record is a WAL frame after `offset`.
+#[derive(Debug, Clone)]
+pub struct SnapshotExport {
+    /// Generation the image belongs to.
+    pub generation: u64,
+    /// WAL byte offset the image covers up to.
+    pub offset: u64,
+    /// Store version counter at capture.
+    pub store_version: u64,
+    /// The [`ProfileStore::snapshot_bytes`] image.
+    pub bytes: Vec<u8>,
+}
+
+/// Result of asking a leader for WAL frames from a cursor position.
+#[derive(Debug, Clone)]
+pub enum WalExport {
+    /// Frames starting exactly at the requested offset (possibly
+    /// empty when the follower is caught up); `end` is the leader
+    /// offset immediately after the exported bytes — the position the
+    /// follower's cursor advances to once it applies them (equal to
+    /// `offset + bytes.len()` here, but a shipping pump that filters
+    /// frames passes a larger `end` through to the apply side).
+    Frames {
+        /// The frame bytes.
+        bytes: Vec<u8>,
+        /// Leader offset just past the exported frames.
+        end: u64,
+    },
+    /// The requested generation is gone (checkpointed away) or the
+    /// offset is past the end — the follower must re-bootstrap from a
+    /// [`SnapshotExport`].
+    Bootstrap {
+        /// The leader's live generation.
+        generation: u64,
+    },
 }
 
 /// A [`ProfileStore`] whose acked sightings survive crashes.
@@ -297,6 +352,7 @@ impl DurableStore {
             // the next healthy open — fail loudly instead.
             Err(e) => return Err(format!("read {}: {e}", wal_path.display())),
         };
+        let mut wal_offset = 0u64;
         if let Some(bytes) = wal_bytes {
             let scanned = scan(&bytes);
             let mut valid_len = 0u64;
@@ -316,6 +372,7 @@ impl DurableStore {
                     .and_then(|()| io.sync(&wal_path))
                     .map_err(|e| format!("truncate {}: {e}", wal_path.display()))?;
             }
+            wal_offset = valid_len;
         }
 
         let durable = DurableStore {
@@ -325,6 +382,7 @@ impl DurableStore {
             config,
             wal: Mutex::new(WalState {
                 generation,
+                offset: wal_offset,
                 unsynced_records: 0,
                 records_since_checkpoint: 0,
                 // Conservative: re-sync the directory on the first
@@ -380,6 +438,95 @@ impl DurableStore {
         }
     }
 
+    /// The live WAL generation.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.wal
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .generation
+    }
+
+    /// The current end of the WAL plus the store version, captured
+    /// atomically (no append can land between the three reads).
+    #[must_use]
+    pub fn wal_position(&self) -> WalPosition {
+        let wal = self.wal.lock().unwrap_or_else(PoisonError::into_inner);
+        WalPosition {
+            generation: wal.generation,
+            offset: wal.offset,
+            store_version: self.store.stats().version,
+        }
+    }
+
+    /// Captures a snapshot image together with the WAL position it
+    /// covers, under the WAL lock — the replication bootstrap source.
+    /// Works even when degraded (it reads only memory): a read-only
+    /// leader can still seed a healthy follower.
+    #[must_use]
+    pub fn export_snapshot(&self) -> SnapshotExport {
+        let wal = self.wal.lock().unwrap_or_else(PoisonError::into_inner);
+        SnapshotExport {
+            generation: wal.generation,
+            offset: wal.offset,
+            store_version: self.store.stats().version,
+            bytes: self.store.snapshot_bytes(),
+        }
+    }
+
+    /// Reads WAL frames from `(generation, offset)` for shipping, up
+    /// to `max_bytes` (frames are returned whole, so slightly fewer
+    /// bytes may come back; the follower's scanner re-validates every
+    /// frame). Held under the WAL lock so a concurrent checkpoint
+    /// cannot delete the file mid-read.
+    ///
+    /// # Errors
+    ///
+    /// [`DurableError::Degraded`] when the WAL file cannot be read —
+    /// reported without flipping the store degraded (the serving path
+    /// may still be healthy; shipping just cannot make progress).
+    pub fn export_wal(
+        &self,
+        generation: u64,
+        offset: u64,
+        max_bytes: usize,
+    ) -> Result<WalExport, DurableError> {
+        let wal = self.wal.lock().unwrap_or_else(PoisonError::into_inner);
+        if generation != wal.generation || offset > wal.offset {
+            return Ok(WalExport::Bootstrap {
+                generation: wal.generation,
+            });
+        }
+        if offset == wal.offset {
+            return Ok(WalExport::Frames {
+                bytes: Vec::new(),
+                end: wal.offset,
+            });
+        }
+        let path = self.dir.join(wal_name(wal.generation));
+        let bytes = match self.io.read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) => return Err(DurableError::Degraded(format!("read WAL for export: {e}"))),
+        };
+        // Clamp to the tracked valid length (the file may hold an
+        // unsynced tail mid-append on some backends), then cut at a
+        // frame boundary within the byte budget.
+        let end = wal.offset.min(bytes.len() as u64);
+        if offset >= end {
+            return Ok(WalExport::Frames {
+                bytes: Vec::new(),
+                end: offset,
+            });
+        }
+        let window = &bytes[offset as usize..end as usize];
+        let budget = window.len().min(max_bytes.max(1));
+        let cut = scan(&window[..budget]).valid_len as usize;
+        Ok(WalExport::Frames {
+            bytes: window[..cut].to_vec(),
+            end: offset + cut as u64,
+        })
+    }
+
     /// Whether enough records have accumulated that the owner should
     /// schedule a [`DurableStore::checkpoint`]. Clears the pending
     /// flag only when the checkpoint actually runs, so concurrent
@@ -424,6 +571,30 @@ impl DurableStore {
         cells: usize,
         sightings: &[Sighting],
     ) -> Result<Vec<(String, u64)>, DurableError> {
+        let records: Vec<SightingRecord> = sightings
+            .iter()
+            .map(|s| SightingRecord {
+                device: s.device.clone(),
+                cells,
+                time: s.time,
+                cell: s.cell,
+            })
+            .collect();
+        self.apply_records(&records)
+    }
+
+    /// Ingests pre-framed WAL records durably — the replication apply
+    /// path ([`crate::ReplicaApplier`]) and the batch ingest path
+    /// share this body, so a shipped record is re-logged and fsynced
+    /// by the follower exactly like a client-acked one.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`DurableStore::observe_batch`].
+    pub fn apply_records(
+        &self,
+        records: &[SightingRecord],
+    ) -> Result<Vec<(String, u64)>, DurableError> {
         if self.degraded() {
             return Err(DurableError::Degraded("data disk previously failed".into()));
         }
@@ -436,28 +607,26 @@ impl DurableStore {
         // WAL never holds a record that would fail replay, and replay
         // order equals apply order.
         let mut frames = Vec::new();
-        let mut versions = Vec::with_capacity(sightings.len());
+        let mut versions = Vec::with_capacity(records.len());
         let mut rejected = None;
-        for (i, s) in sightings.iter().enumerate() {
-            let frame = match encode_record(&SightingRecord {
-                device: s.device.clone(),
-                cells,
-                time: s.time,
-                cell: s.cell,
-            }) {
+        for (i, record) in records.iter().enumerate() {
+            let frame = match encode_record(record) {
                 Ok(frame) => frame,
                 Err(e) => {
                     rejected = Some(format!("sighting {i}: {e}"));
                     break;
                 }
             };
-            match self.store.observe(&s.device, cells, s.time, s.cell) {
+            match self
+                .store
+                .observe(&record.device, record.cells, record.time, record.cell)
+            {
                 Ok(version) => {
                     frames.extend_from_slice(&frame);
-                    versions.push((s.device.clone(), version));
+                    versions.push((record.device.clone(), version));
                 }
                 Err(e) => {
-                    rejected = Some(format!("sighting {i} ({:?}): {e}", s.device));
+                    rejected = Some(format!("sighting {i} ({:?}): {e}", record.device));
                     break;
                 }
             }
@@ -470,6 +639,7 @@ impl DurableStore {
             }
             // lint:allow(atomics-ordering-audit): monotone stats counter, no handoff
             self.wal_appends.fetch_add(applied, Ordering::Relaxed);
+            wal.offset += frames.len() as u64;
             wal.unsynced_records += applied;
             wal.records_since_checkpoint += applied;
             let must_sync = match self.config.fsync {
@@ -556,6 +726,7 @@ impl DurableStore {
         // next generation's WAL file does not exist yet, so its first
         // append must sync the directory entry again.
         wal.generation = new;
+        wal.offset = 0;
         wal.records_since_checkpoint = 0;
         wal.unsynced_records = 0;
         wal.dir_synced = false;

@@ -22,6 +22,11 @@
 //!   eviction under a capacity bound, globally monotone versions (so a
 //!   strategy cache keyed on versions can never serve a plan built
 //!   from older data), and `jsonio` snapshots.
+//! - [`DurableStore`] / [`ReplicaApplier`] — crash-safe persistence
+//!   (WAL + generation-numbered snapshots) and the WAL-shipping
+//!   replication endpoints built on it: leaders export snapshot
+//!   images and log frames, followers apply them exactly once behind
+//!   a durable cursor.
 //! - [`replay`](fn@replay) — the loop-closing harness: ground-truth
 //!   mobility → ingest → plan → `pager_core::simulation::run_search`,
 //!   reporting realised paging cost against the Lemma 2.1 expectation.
@@ -35,13 +40,16 @@ pub mod io;
 mod markov;
 mod profile;
 mod replay;
+mod replica;
 mod store;
 pub mod wal;
 
 pub use durable::{
     DurabilityConfig, DurabilityStats, DurableError, DurableStore, FsyncPolicy, RecoveryReport,
+    SnapshotExport, WalExport, WalPosition,
 };
 pub use markov::MarkovModel;
 pub use profile::{DeviceProfile, Estimator, ProfileConfig, Time};
 pub use replay::{replay, CallRecord, ReplayConfig, ReplayReport, Step};
+pub use replica::{ApplyOutcome, CursorStatus, ReplicaApplier};
 pub use store::{ProfileStore, Sighting, StoreConfig, StoreStats};

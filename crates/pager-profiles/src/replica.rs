@@ -1,0 +1,321 @@
+//! Follower-side WAL-shipping apply: exactly-once, cursor-durable.
+//!
+//! A follower receives a leader's state two ways: a **snapshot
+//! bootstrap** ([`ReplicaApplier::install_snapshot`], a
+//! [`crate::SnapshotExport`] image merged into the local store) and
+//! **WAL chunks** ([`ReplicaApplier::apply_chunk`], frames fetched
+//! from the leader's log starting exactly at the follower's cursor).
+//! Applied records go through the follower's own [`DurableStore`] —
+//! re-logged and fsynced like client-acked writes — and the cursor
+//! `(generation, offset)` is persisted (atomically, per source) only
+//! *after* the records are durable.
+//!
+//! # Exactly-once across crashes
+//!
+//! The profile store burns a version number even for records it ends
+//! up applying, so replaying a shipped record twice would skew the
+//! follower's version sequence away from the leader's and break
+//! byte-identical convergence. The cursor file therefore records the
+//! follower's store version at the moment it was written; on reopen,
+//! a cursor whose recorded version differs from the recovered store's
+//! is *ambiguous* (the crash landed between the durable apply and the
+//! cursor write, or durable records were torn away) and is reported
+//! invalid — the shipping pump then re-bootstraps from a fresh leader
+//! snapshot, which is always safe because
+//! [`crate::ProfileStore::merge_snapshot_bytes`] only fast-forwards.
+//!
+//! The same rule makes generation hand-off safe: when the leader
+//! checkpoints, its old WAL is deleted, `export_wal` answers
+//! `Bootstrap`, and the pump falls back to a snapshot install that
+//! resets the cursor to the new generation.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use jsonio::Value;
+
+use crate::durable::{DurableError, DurableStore};
+use crate::io::{write_atomic, StorageIo};
+use crate::wal::scan;
+
+/// What the follower knows about one source's replication progress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CursorStatus {
+    /// Source WAL generation the cursor points into.
+    pub generation: u64,
+    /// Byte offset within that generation's WAL.
+    pub offset: u64,
+    /// Whether the cursor can be trusted; `false` demands a snapshot
+    /// bootstrap before any chunk can be applied.
+    pub valid: bool,
+}
+
+/// Outcome of [`ReplicaApplier::apply_chunk`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApplyOutcome {
+    /// The chunk (or its whole-frame prefix) was applied durably and
+    /// the cursor advanced to `offset`.
+    Applied {
+        /// Records applied from this chunk.
+        records: u64,
+        /// The new cursor offset.
+        offset: u64,
+    },
+    /// The chunk does not start at the follower's cursor (or the
+    /// cursor is invalid); nothing was applied. The sender should
+    /// re-read the status and restart from there.
+    Conflict {
+        /// The follower's actual cursor.
+        status: CursorStatus,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Cursor {
+    generation: u64,
+    offset: u64,
+    store_version: u64,
+}
+
+const CURSOR_FORMAT: &str = "pager-replica/v1";
+
+/// Applies a leader's shipped state into a local [`DurableStore`],
+/// tracking one durable cursor per source node.
+pub struct ReplicaApplier {
+    durable: Arc<DurableStore>,
+    io: Arc<dyn StorageIo>,
+    dir: PathBuf,
+    /// Store version recovered at open: the yardstick cursors loaded
+    /// from disk are validated against (see the module docs).
+    version_at_open: u64,
+    /// Per-source cursor cache; `None` marks a known-invalid cursor.
+    /// Held across the whole apply so chunks for one source are
+    /// serialized. Lock order: `replica` before the durable store's
+    /// `wal`, never the other way.
+    replica: Mutex<HashMap<String, Option<Cursor>>>,
+}
+
+/// `source` embedded in a file name, defanged.
+fn sanitize(source: &str) -> String {
+    source
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+fn cursor_name(source: &str) -> String {
+    format!("replica.{}.cursor", sanitize(source))
+}
+
+impl ReplicaApplier {
+    /// Wraps `durable` (already opened and recovered) with replica
+    /// cursor state stored in `dir` on `io` — normally the same
+    /// directory and backend as the store itself.
+    #[must_use]
+    pub fn new(durable: Arc<DurableStore>, io: Arc<dyn StorageIo>, dir: &Path) -> ReplicaApplier {
+        let version_at_open = durable.store().stats().version;
+        ReplicaApplier {
+            durable,
+            io,
+            dir: dir.to_path_buf(),
+            version_at_open,
+            replica: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The wrapped store.
+    #[must_use]
+    pub fn durable(&self) -> &Arc<DurableStore> {
+        &self.durable
+    }
+
+    fn load_cursor(&self, source: &str) -> Option<Cursor> {
+        let bytes = self.io.read(&self.dir.join(cursor_name(source))).ok()?;
+        let text = std::str::from_utf8(&bytes).ok()?;
+        let value = jsonio::parse(text.trim_end()).ok()?;
+        if value.get("format").and_then(Value::as_str) != Some(CURSOR_FORMAT) {
+            return None;
+        }
+        let cursor = Cursor {
+            generation: value.get("generation").and_then(Value::as_u64)?,
+            offset: value.get("offset").and_then(Value::as_u64)?,
+            store_version: value.get("store_version").and_then(Value::as_u64)?,
+        };
+        // A cursor written for a different store state is ambiguous:
+        // the crash landed between the durable apply and the cursor
+        // write. Refuse it and force a bootstrap.
+        (cursor.store_version == self.version_at_open).then_some(cursor)
+    }
+
+    fn persist_cursor(&self, source: &str, cursor: Cursor) -> Result<(), DurableError> {
+        let line = format!(
+            "{}\n",
+            Value::object(vec![
+                ("format", Value::from(CURSOR_FORMAT)),
+                ("generation", Value::from(cursor.generation)),
+                ("offset", Value::from(cursor.offset)),
+                ("store_version", Value::from(cursor.store_version)),
+            ])
+        );
+        write_atomic(
+            self.io.as_ref(),
+            &self.dir.join(cursor_name(source)),
+            line.as_bytes(),
+        )
+        .map_err(|e| DurableError::Degraded(format!("persist replica cursor: {e}")))
+    }
+
+    fn status_locked(entry: &Option<Cursor>) -> CursorStatus {
+        match entry {
+            Some(cursor) => CursorStatus {
+                generation: cursor.generation,
+                offset: cursor.offset,
+                valid: true,
+            },
+            None => CursorStatus {
+                generation: 0,
+                offset: 0,
+                valid: false,
+            },
+        }
+    }
+
+    /// The follower's cursor for `source`, loading (and validating)
+    /// the persisted cursor on first access after open.
+    #[must_use]
+    pub fn cursor(&self, source: &str) -> CursorStatus {
+        let mut replica = self.replica.lock().unwrap_or_else(PoisonError::into_inner);
+        let entry = replica
+            .entry(source.to_string())
+            .or_insert_with(|| self.load_cursor(source));
+        Self::status_locked(entry)
+    }
+
+    /// Installs a leader snapshot: merges the image into the local
+    /// store (fast-forward only), checkpoints so the merged state is
+    /// durable on its own, and resets the cursor to the position the
+    /// image covers.
+    ///
+    /// Returns the number of profiles merged.
+    ///
+    /// # Errors
+    ///
+    /// [`DurableError::Rejected`] for a malformed image,
+    /// [`DurableError::Degraded`] when the local disk fails. Either
+    /// way the cursor is invalidated, so the next pump round starts
+    /// over from a fresh snapshot.
+    pub fn install_snapshot(
+        &self,
+        source: &str,
+        generation: u64,
+        offset: u64,
+        snapshot: &[u8],
+    ) -> Result<usize, DurableError> {
+        let mut replica = self.replica.lock().unwrap_or_else(PoisonError::into_inner);
+        replica.insert(source.to_string(), None);
+        let merged = self
+            .durable
+            .store()
+            .merge_snapshot_bytes(snapshot)
+            .map_err(DurableError::Rejected)?;
+        // Make the merged profiles durable in their own right: they
+        // arrived without local WAL records, so without this a crash
+        // would silently drop them until the next routine checkpoint.
+        self.durable.checkpoint()?;
+        let cursor = Cursor {
+            generation,
+            offset,
+            store_version: self.durable.store().stats().version,
+        };
+        self.persist_cursor(source, cursor)?;
+        replica.insert(source.to_string(), Some(cursor));
+        Ok(merged)
+    }
+
+    /// Applies one chunk of leader WAL frames starting at
+    /// `(generation, offset)`, advancing the cursor to `end` — the
+    /// *leader-side* offset after the chunk. The two are distinct
+    /// because a shipping pump may filter frames out of the chunk (a
+    /// ring deployment ships each node only the records its leader
+    /// owns): the cursor must track raw leader WAL offsets, not the
+    /// possibly-shorter shipped byte count. An unfiltered pump passes
+    /// `offset + frames.len()`.
+    ///
+    /// The chunk is re-validated by the scanner, applied through the
+    /// local durable store, and the cursor advanced — in that order,
+    /// so an advanced cursor always points past durable records.
+    ///
+    /// # Errors
+    ///
+    /// [`DurableError::Rejected`] when the chunk holds a torn frame
+    /// or a record fails to apply (the cursor is invalidated —
+    /// exactly-once can no longer be proven),
+    /// [`DurableError::Degraded`] on local disk failure.
+    pub fn apply_chunk(
+        &self,
+        source: &str,
+        generation: u64,
+        offset: u64,
+        end: u64,
+        frames: &[u8],
+    ) -> Result<ApplyOutcome, DurableError> {
+        let mut replica = self.replica.lock().unwrap_or_else(PoisonError::into_inner);
+        let entry = replica
+            .entry(source.to_string())
+            .or_insert_with(|| self.load_cursor(source));
+        let status = Self::status_locked(entry);
+        if !status.valid || status.generation != generation || status.offset != offset {
+            return Ok(ApplyOutcome::Conflict { status });
+        }
+        if end < offset {
+            return Err(DurableError::Rejected(format!(
+                "chunk end {end} precedes its offset {offset}"
+            )));
+        }
+        let scanned = scan(frames);
+        if scanned.valid_len != frames.len() as u64 {
+            // A shipment is always whole frames; a torn one means the
+            // transport (not the leader's disk) corrupted it, and the
+            // cursor can no longer say which records were covered.
+            replica.insert(source.to_string(), None);
+            return Err(DurableError::Rejected(format!(
+                "torn frame in shipped chunk: {} of {} bytes valid",
+                scanned.valid_len,
+                frames.len()
+            )));
+        }
+        if scanned.records.is_empty() && end == offset {
+            return Ok(ApplyOutcome::Applied { records: 0, offset });
+        }
+        if !scanned.records.is_empty() {
+            if let Err(e) = self.durable.apply_records(&scanned.records) {
+                // Partial or failed apply: the cursor no longer
+                // provably matches the durable state. Invalidate; the
+                // pump re-bootstraps.
+                replica.insert(source.to_string(), None);
+                return Err(e);
+            }
+        }
+        let cursor = Cursor {
+            generation,
+            offset: end,
+            store_version: self.durable.store().stats().version,
+        };
+        if let Err(e) = self.persist_cursor(source, cursor) {
+            replica.insert(source.to_string(), None);
+            return Err(e);
+        }
+        replica.insert(source.to_string(), Some(cursor));
+        Ok(ApplyOutcome::Applied {
+            records: scanned.records.len() as u64,
+            offset: cursor.offset,
+        })
+    }
+}

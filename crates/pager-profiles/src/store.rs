@@ -445,6 +445,76 @@ impl ProfileStore {
         ProfileStore::from_json(&value, config)
     }
 
+    /// Merges a snapshot image written by another store into this one
+    /// (the replication bootstrap path): every profile in the image
+    /// replaces any local profile for the same device, and the
+    /// version / sightings / latest-time counters are raised to at
+    /// least the image's values (never lowered), so local versions
+    /// stay monotone and — when this store holds nothing but replicas
+    /// of the source — the merged state is byte-identical to the
+    /// source snapshot.
+    ///
+    /// Returns the number of profiles merged.
+    ///
+    /// # Errors
+    ///
+    /// A message on a malformed image; nothing has been merged when
+    /// the format or counters fail to parse, but a bad profile mid-way
+    /// leaves the earlier profiles merged (the caller re-bootstraps).
+    pub fn merge_snapshot_bytes(&self, bytes: &[u8]) -> Result<usize, String> {
+        let text = std::str::from_utf8(bytes).map_err(|e| format!("snapshot is not UTF-8: {e}"))?;
+        let line = text
+            .strip_suffix('\n')
+            .ok_or_else(|| "snapshot is truncated: missing trailing newline marker".to_string())?;
+        let value = jsonio::parse(line).map_err(|e| format!("snapshot does not parse: {e}"))?;
+        match value.get("format").and_then(Value::as_str) {
+            Some("pager-profiles/v1") => {}
+            other => return Err(format!("unknown snapshot format {other:?}")),
+        }
+        let source_version = crate::profile::read_u64_field(&value, "snapshot", "version")?;
+        let source_sightings = crate::profile::read_u64_field(&value, "snapshot", "sightings")?;
+        let profiles = value
+            .get("profiles")
+            .and_then(Value::as_object)
+            .ok_or_else(|| "snapshot needs a \"profiles\" object".to_string())?;
+        let mut merged = 0usize;
+        let mut latest = f64::NEG_INFINITY;
+        for (device, payload) in profiles {
+            let profile =
+                DeviceProfile::from_json(payload).map_err(|e| format!("device {device:?}: {e}"))?;
+            if let Some((t, _)) = profile.last_sighting() {
+                if t > latest {
+                    latest = t;
+                }
+            }
+            let mut shard = self
+                .shard_for(device)
+                .lock()
+                .expect("profile shard poisoned");
+            shard.tick += 1;
+            let tick = shard.tick;
+            shard.map.insert(
+                device.clone(),
+                StoredProfile {
+                    profile,
+                    last_used: tick,
+                },
+            );
+            merged += 1;
+        }
+        // Raise, never lower: versions issued here must stay monotone
+        // past anything either store has handed out.
+        self.version.fetch_max(source_version, Ordering::AcqRel);
+        self.sightings
+            // lint:allow(atomics-ordering-audit): monotone stats counter, no handoff
+            .fetch_max(source_sightings, Ordering::Relaxed);
+        let mut current = self.latest_time.lock().expect("latest_time poisoned");
+        if latest > *current {
+            *current = latest;
+        }
+        Ok(merged)
+    }
+
     /// Writes the snapshot to a file crash-atomically: temp file in
     /// the same directory, `sync_all`, atomic rename, directory sync.
     /// A crash at any point leaves either the old file or the new one,

@@ -66,7 +66,10 @@ pub use deadline::Deadline;
 pub use error::ServiceError;
 pub use metrics::{LatencyHistogram, Metrics};
 pub use planner::{plan, Plan, Tier, TierPolicy, Variant, RETRY_AFTER_MS};
-pub use proto::{handle_line, handle_line_async, parse_request, LineOutcome, Request};
+pub use proto::{
+    from_hex, handle_line, handle_line_async, parse_request, to_hex, LineOutcome, ReplicateAction,
+    Request,
+};
 pub use server::{default_event_loops, serve_lines, serve_tcp, serve_tcp_with, ServerHandle};
 pub use service::{
     DevicePlanResponse, DurabilityOptions, PagerService, PlanKey, PlanResponse, PlanSpec,

@@ -36,6 +36,11 @@ impl LatencyHistogram {
         self.count.load(Ordering::Relaxed)
     }
 
+    /// Sum of all recorded samples, in microseconds.
+    pub fn total_micros(&self) -> u64 {
+        self.total_micros.load(Ordering::Relaxed)
+    }
+
     /// Upper bound (µs) of the bucket containing the `q`-quantile
     /// sample, or 0 with no samples. Approximate by construction —
     /// resolution is the power-of-two bucket width.
@@ -181,6 +186,35 @@ impl Metrics {
     /// Reads a counter.
     pub fn get(counter: &AtomicU64) -> u64 {
         counter.load(Ordering::Relaxed)
+    }
+
+    /// Advisory `retry_after_ms` for a shed request, derived from the
+    /// live backlog and the measured drain rate: the time `workers`
+    /// threads need to clear `queue_depth` jobs at the mean observed
+    /// planning latency (all tiers pooled), clamped to `[10, 2000]`
+    /// ms. Before any plan has completed there is no drain rate to
+    /// measure, so the caller's static fallback is returned instead.
+    pub fn suggested_retry_after_ms(&self, workers: u64, fallback_ms: u64) -> u64 {
+        let depth = Self::get(&self.queue_depth).max(1);
+        let tiers = [
+            &self.exact_latency,
+            &self.greedy_latency,
+            &self.bandwidth_latency,
+            &self.signature_latency,
+        ];
+        let (count, total) = tiers.iter().fold((0u64, 0u64), |(c, t), h| {
+            (c + h.count(), t + h.total_micros())
+        });
+        if count == 0 {
+            return fallback_ms;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let mean_micros = total as f64 / count as f64;
+        #[allow(clippy::cast_precision_loss)]
+        let drain_ms = depth as f64 * mean_micros / (workers.max(1) as f64) / 1000.0;
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let drain_ms = drain_ms.ceil().min(2000.0) as u64;
+        drain_ms.clamp(10, 2000)
     }
 
     /// The latency histogram for one solver tier.

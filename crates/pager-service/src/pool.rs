@@ -91,6 +91,8 @@ pub(crate) struct Dispatcher {
     queue: Mutex<Option<mpsc::SyncSender<Job>>>,
     inflight: Arc<Mutex<HashMap<PlanKey, Vec<Waiter>>>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
+    /// Pool size, kept for the shed path's drain-rate estimate.
+    worker_count: u64,
     metrics: Arc<Metrics>,
 }
 
@@ -124,6 +126,7 @@ impl Dispatcher {
         Ok(Dispatcher {
             queue: Mutex::new(Some(tx)),
             inflight,
+            worker_count: workers.max(1) as u64,
             workers: Mutex::new(handles),
             metrics,
         })
@@ -226,10 +229,17 @@ impl Dispatcher {
             Enqueue::Full => {
                 // Shed: un-register and fail everyone who coalesced
                 // onto this key between our insert and now, so nobody
-                // waits on a computation that will never run.
+                // waits on a computation that will never run. The
+                // retry hint is the time the pool needs to drain the
+                // current backlog at the measured planning rate — a
+                // full queue of microsecond greedy plans clears in
+                // milliseconds, a full queue of exact plans does not,
+                // and a constant hint gets both wrong.
                 Metrics::dec(&self.metrics.queue_depth);
                 let error = ServiceError::Overloaded {
-                    retry_after_ms: RETRY_AFTER_MS,
+                    retry_after_ms: self
+                        .metrics
+                        .suggested_retry_after_ms(self.worker_count, RETRY_AFTER_MS),
                 };
                 Metrics::inc(&self.metrics.requests_shed);
                 self.fail_coalescers(&key, &error);

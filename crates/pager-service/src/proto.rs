@@ -58,11 +58,22 @@
 //! between two identical requests always gets a fresh plan.
 //! `estimator` is `"empirical"`, `"recency"` or `"markov"` (default);
 //! `now` defaults to the latest ingested sighting time.
+//!
+//! Cluster ops (`pager-cluster` speaks these between router and
+//! nodes): `{"cmd": "node_info"}` reports build, identity,
+//! replication state and the metrics registry in one line, and
+//! `{"cmd": "replicate", "action": ...}` carries the WAL-shipping
+//! sub-protocol — leaders answer `status` / `fetch` / `snapshot`,
+//! followers accept `install` / `apply` and answer `cursor`;
+//! `promote` flips the failover flag and `probe` checks one device's
+//! presence (the harness's zero-loss assertion). Binary payloads
+//! (WAL frames, snapshot images) travel hex-encoded, keeping the
+//! protocol JSON-lines throughout.
 
 use jsonio::Value;
 use pager_core::{Delay, Instance};
 use pager_profiles::wal::MAX_DEVICE_BYTES;
-use pager_profiles::{Estimator, Sighting};
+use pager_profiles::{ApplyOutcome, CursorStatus, DurableError, Estimator, Sighting, WalExport};
 use rational::Ratio;
 
 use crate::error::ServiceError;
@@ -109,10 +120,83 @@ pub enum Request {
     ProfileStats,
     /// Dump the metrics registry.
     Metrics,
+    /// Report this node's identity, build, and replication state.
+    NodeInfo,
+    /// One WAL-shipping sub-operation (leader export or follower
+    /// apply).
+    Replicate(ReplicateAction),
     /// Liveness probe.
     Ping,
     /// Stop the server.
     Shutdown,
+}
+
+/// The `replicate` sub-protocol: what one shipping round asks a node
+/// to do. Leaders answer the export half, followers the apply half;
+/// every node answers both (any node may be either role for some
+/// shard).
+#[derive(Debug, Clone)]
+pub enum ReplicateAction {
+    /// Leader: report the current WAL position (generation, offset,
+    /// store version).
+    Status,
+    /// Leader: export whole WAL frames starting at `(generation,
+    /// offset)`, at most `max_bytes` of them.
+    Fetch {
+        /// WAL generation the caller's cursor points into.
+        generation: u64,
+        /// Byte offset of valid frames already applied.
+        offset: u64,
+        /// Upper bound on exported frame bytes.
+        max_bytes: usize,
+    },
+    /// Leader: export a full snapshot image plus the WAL position it
+    /// covers, for follower bootstrap.
+    Snapshot,
+    /// Follower: merge a snapshot image and reset the cursor for
+    /// `source` to the position it covers.
+    Install {
+        /// Leader node id the image came from.
+        source: String,
+        /// WAL generation the image covers.
+        generation: u64,
+        /// WAL offset the image covers.
+        offset: u64,
+        /// The snapshot image bytes.
+        bytes: Vec<u8>,
+    },
+    /// Follower: report the cursor for `source`.
+    Cursor {
+        /// Leader node id the cursor tracks.
+        source: String,
+    },
+    /// Follower: apply shipped WAL frames at the cursor position.
+    Apply {
+        /// Leader node id the frames came from.
+        source: String,
+        /// WAL generation the frames belong to.
+        generation: u64,
+        /// Byte offset the frames start at.
+        offset: u64,
+        /// Leader-side offset after the chunk; exceeds
+        /// `offset + frames.len()` when the pump filtered records the
+        /// leader does not own out of the shipment.
+        end: u64,
+        /// The frame bytes.
+        frames: Vec<u8>,
+    },
+    /// Flip this node's promotion flag (follower takes over a dead
+    /// leader's shard).
+    Promote {
+        /// The new flag value.
+        promoted: bool,
+    },
+    /// Check one device's presence and profile version — the
+    /// harness's zero-acked-loss assertion.
+    Probe {
+        /// Device id to look up.
+        device: String,
+    },
 }
 
 /// Parses one wire line. Unknown fields are ignored for forward
@@ -134,6 +218,8 @@ pub fn parse_request(line: &str) -> Result<Request, ServiceError> {
             Some("observe") => parse_observe(&value).map_err(ServiceError::BadRequest),
             Some("plan_devices") => parse_plan_devices(&value),
             Some("profile_stats") => Ok(Request::ProfileStats),
+            Some("node_info") => Ok(Request::NodeInfo),
+            Some("replicate") => parse_replicate(&value),
             _ => Err(ServiceError::Unsupported(format!("unknown cmd {cmd}"))),
         };
     }
@@ -257,6 +343,132 @@ fn parse_plan_devices(value: &Value) -> Result<Request, ServiceError> {
         now,
         spec,
     })
+}
+
+/// Encodes binary payloads for the JSON-lines wire (lowercase hex).
+#[must_use]
+pub fn to_hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push(char::from_digit(u32::from(b >> 4), 16).unwrap_or('0'));
+        out.push(char::from_digit(u32::from(b & 0xf), 16).unwrap_or('0'));
+    }
+    out
+}
+
+/// Decodes a hex payload from the wire.
+///
+/// # Errors
+///
+/// A description of the first bad digit or an odd length.
+pub fn from_hex(text: &str) -> Result<Vec<u8>, String> {
+    let digits = text.as_bytes();
+    if !digits.len().is_multiple_of(2) {
+        return Err(format!("hex payload has odd length {}", digits.len()));
+    }
+    let mut out = Vec::with_capacity(digits.len() / 2);
+    for pair in digits.chunks_exact(2) {
+        let hi = (pair[0] as char).to_digit(16);
+        let lo = (pair[1] as char).to_digit(16);
+        match (hi, lo) {
+            (Some(hi), Some(lo)) => {
+                // Both digits are in 0..16, so the product fits a byte.
+                #[allow(clippy::cast_possible_truncation)]
+                out.push(((hi << 4) | lo) as u8);
+            }
+            _ => {
+                return Err(format!(
+                    "invalid hex digits {:?}{:?}",
+                    pair[0] as char, pair[1] as char
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn req_u64(value: &Value, field: &str) -> Result<u64, ServiceError> {
+    value.get(field).and_then(Value::as_u64).ok_or_else(|| {
+        ServiceError::BadRequest(format!(
+            "\"replicate\" needs a non-negative integer {field:?}"
+        ))
+    })
+}
+
+fn req_str(value: &Value, field: &str) -> Result<String, ServiceError> {
+    Ok(value
+        .get(field)
+        .and_then(Value::as_str)
+        .ok_or_else(|| ServiceError::BadRequest(format!("\"replicate\" needs a string {field:?}")))?
+        .to_string())
+}
+
+fn req_hex(value: &Value, field: &str) -> Result<Vec<u8>, ServiceError> {
+    from_hex(&req_str(value, field)?)
+        .map_err(|e| ServiceError::BadRequest(format!("{field:?}: {e}")))
+}
+
+/// Bound on one `fetch`'s exported frame bytes; keeps a single
+/// response line (hex doubles the payload) well under the server's
+/// input buffer cap.
+const MAX_FETCH_BYTES: usize = 4 << 20;
+
+fn parse_replicate(value: &Value) -> Result<Request, ServiceError> {
+    let action = value
+        .get("action")
+        .and_then(Value::as_str)
+        .ok_or_else(|| ServiceError::BadRequest("\"replicate\" needs an \"action\"".to_string()))?;
+    let action = match action {
+        "status" => ReplicateAction::Status,
+        "fetch" => ReplicateAction::Fetch {
+            generation: req_u64(value, "generation")?,
+            offset: req_u64(value, "offset")?,
+            max_bytes: value
+                .get("max_bytes")
+                .and_then(Value::as_usize)
+                .unwrap_or(MAX_FETCH_BYTES)
+                .min(MAX_FETCH_BYTES),
+        },
+        "snapshot" => ReplicateAction::Snapshot,
+        "install" => ReplicateAction::Install {
+            source: req_str(value, "source")?,
+            generation: req_u64(value, "generation")?,
+            offset: req_u64(value, "offset")?,
+            bytes: req_hex(value, "snapshot")?,
+        },
+        "cursor" => ReplicateAction::Cursor {
+            source: req_str(value, "source")?,
+        },
+        "apply" => {
+            let offset = req_u64(value, "offset")?;
+            let frames = req_hex(value, "frames")?;
+            ReplicateAction::Apply {
+                source: req_str(value, "source")?,
+                generation: req_u64(value, "generation")?,
+                offset,
+                end: match value.get("end") {
+                    None => offset + frames.len() as u64,
+                    Some(_) => req_u64(value, "end")?,
+                },
+                frames,
+            }
+        }
+        "promote" => ReplicateAction::Promote {
+            promoted: value
+                .get("promoted")
+                .and_then(Value::as_bool)
+                .unwrap_or(true),
+        },
+        "probe" => ReplicateAction::Probe {
+            device: req_str(value, "device")?,
+        },
+        other => {
+            return Err(ServiceError::Unsupported(format!(
+                "unknown replicate action {other:?}"
+            )))
+        }
+    };
+    Ok(Request::Replicate(action))
 }
 
 /// Accepts either the JSON rows form or the `textio` string form.
@@ -404,6 +616,17 @@ pub fn handle_line(service: &PagerService, line: &str) -> LineOutcome {
                 shutdown: false,
             }
         }
+        Ok(Request::NodeInfo) => LineOutcome {
+            response: ok_response(vec![("node", node_info(service))]),
+            shutdown: false,
+        },
+        Ok(Request::Replicate(action)) => LineOutcome {
+            response: match handle_replicate(service, &action) {
+                Ok(fields) => ok_response(fields),
+                Err(error) => error_response(&Value::Null, &error),
+            },
+            shutdown: false,
+        },
         Ok(Request::PlanDevices {
             id,
             devices,
@@ -470,6 +693,160 @@ pub fn handle_line_async(
         // handler (which never reaches a pool recv for these).
         _ => Some(handle_line(service, line)),
     }
+}
+
+/// Assembles the `node_info` payload: build, identity, replication
+/// state and the full metrics registry in one object, so the router's
+/// heartbeat and the cluster harness each need exactly one round trip
+/// per node.
+fn node_info(service: &PagerService) -> Value {
+    let stats = service.profiles().stats();
+    Value::object(vec![
+        ("build", Value::from(env!("CARGO_PKG_VERSION"))),
+        (
+            "node_id",
+            match service.node_id() {
+                Some(id) => Value::from(id),
+                None => Value::Null,
+            },
+        ),
+        ("promoted", Value::Bool(service.promoted())),
+        ("degraded", Value::Bool(service.degraded())),
+        ("durable", Value::Bool(service.durable().is_some())),
+        (
+            "generation",
+            match service.durable() {
+                Some(durable) => Value::from(durable.generation()),
+                None => Value::Null,
+            },
+        ),
+        ("store_version", Value::from(stats.version)),
+        ("devices", Value::from(stats.devices)),
+        ("metrics", service.metrics().to_json()),
+    ])
+}
+
+fn durable_error(error: DurableError) -> ServiceError {
+    match error {
+        DurableError::Rejected(message) => ServiceError::BadRequest(message),
+        DurableError::Degraded(message) => ServiceError::Degraded(message),
+    }
+}
+
+/// Executes one `replicate` sub-action. Export actions need the
+/// durable store, apply actions the replica endpoint; a node running
+/// without durability answers `unsupported` (except `promote` and
+/// `probe`, which only touch in-memory state).
+fn handle_replicate(
+    service: &PagerService,
+    action: &ReplicateAction,
+) -> Result<Vec<(&'static str, Value)>, ServiceError> {
+    let durable = || {
+        service.durable().ok_or_else(|| {
+            ServiceError::Unsupported("this node runs without durability".to_string())
+        })
+    };
+    let replica = || {
+        service.replica().ok_or_else(|| {
+            ServiceError::Unsupported("this node runs without durability".to_string())
+        })
+    };
+    match action {
+        ReplicateAction::Status => {
+            let position = durable()?.wal_position();
+            Ok(vec![
+                ("generation", Value::from(position.generation)),
+                ("offset", Value::from(position.offset)),
+                ("store_version", Value::from(position.store_version)),
+            ])
+        }
+        ReplicateAction::Fetch {
+            generation,
+            offset,
+            max_bytes,
+        } => match durable()?
+            .export_wal(*generation, *offset, *max_bytes)
+            .map_err(durable_error)?
+        {
+            WalExport::Bootstrap { generation } => Ok(vec![
+                ("bootstrap", Value::Bool(true)),
+                ("generation", Value::from(generation)),
+            ]),
+            WalExport::Frames { bytes, end } => Ok(vec![
+                ("frames", Value::Str(to_hex(&bytes))),
+                ("end", Value::from(end)),
+            ]),
+        },
+        ReplicateAction::Snapshot => {
+            let snap = durable()?.export_snapshot();
+            Ok(vec![
+                ("generation", Value::from(snap.generation)),
+                ("offset", Value::from(snap.offset)),
+                ("store_version", Value::from(snap.store_version)),
+                ("snapshot", Value::Str(to_hex(&snap.bytes))),
+            ])
+        }
+        ReplicateAction::Install {
+            source,
+            generation,
+            offset,
+            bytes,
+        } => {
+            let merged = replica()?
+                .install_snapshot(source, *generation, *offset, bytes)
+                .map_err(durable_error)?;
+            Ok(vec![("merged", Value::from(merged))])
+        }
+        ReplicateAction::Cursor { source } => {
+            let status = replica()?.cursor(source);
+            Ok(cursor_fields(&status))
+        }
+        ReplicateAction::Apply {
+            source,
+            generation,
+            offset,
+            end,
+            frames,
+        } => match replica()?
+            .apply_chunk(source, *generation, *offset, *end, frames)
+            .map_err(durable_error)?
+        {
+            ApplyOutcome::Applied { records, offset } => Ok(vec![
+                ("applied", Value::from(records)),
+                ("offset", Value::from(offset)),
+            ]),
+            ApplyOutcome::Conflict { status } => {
+                let mut fields = vec![("conflict", Value::Bool(true))];
+                fields.extend(cursor_fields(&status));
+                Ok(fields)
+            }
+        },
+        ReplicateAction::Promote { promoted } => {
+            service.set_promoted(*promoted);
+            Ok(vec![("promoted", Value::Bool(*promoted))])
+        }
+        ReplicateAction::Probe { device } => {
+            let version = service.profiles().version(device);
+            Ok(vec![
+                ("present", Value::Bool(version.is_some())),
+                (
+                    "version",
+                    match version {
+                        Some(v) => Value::from(v),
+                        None => Value::Null,
+                    },
+                ),
+            ])
+        }
+    }
+}
+
+fn cursor_fields(status: &CursorStatus) -> Vec<(&'static str, Value)> {
+    vec![
+        ("generation", Value::from(status.generation)),
+        ("offset", Value::from(status.offset)),
+        ("valid", Value::Bool(status.valid)),
+    ]
 }
 
 /// Formats a plan result (success or error) as its response line.
@@ -782,6 +1159,182 @@ mod tests {
             let v = jsonio::parse(&handle_line(&svc, bad).response).unwrap();
             assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false), "{bad}");
         }
+    }
+
+    fn durable_service(io: &std::sync::Arc<pager_profiles::io::MemIo>) -> PagerService {
+        use crate::service::DurabilityOptions;
+        use pager_profiles::io::StorageIo;
+        let storage: std::sync::Arc<dyn StorageIo> = std::sync::Arc::clone(io) as _;
+        PagerService::new(ServiceConfig {
+            workers: 2,
+            capacity: 64,
+            node_id: Some("node-a".to_string()),
+            durability: Some(DurabilityOptions {
+                data_dir: "/data".into(),
+                fsync: pager_profiles::FsyncPolicy::Always,
+                checkpoint_every: 0,
+                io: Some(storage),
+            }),
+            ..ServiceConfig::default()
+        })
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        for bytes in [
+            vec![],
+            vec![0u8],
+            vec![0xde, 0xad, 0xbe, 0xef],
+            (0..=255).collect(),
+        ] {
+            assert_eq!(from_hex(&to_hex(&bytes)).unwrap(), bytes);
+        }
+        assert!(from_hex("abc").is_err(), "odd length");
+        assert!(from_hex("zz").is_err(), "bad digit");
+    }
+
+    #[test]
+    fn node_info_reports_identity_and_replication_state() {
+        let io = std::sync::Arc::new(pager_profiles::io::MemIo::new());
+        let svc = durable_service(&io);
+        let v = jsonio::parse(&handle_line(&svc, r#"{"cmd": "node_info"}"#).response).unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "{v}");
+        let node = v.get("node").unwrap();
+        assert_eq!(node.get("node_id").and_then(Value::as_str), Some("node-a"));
+        assert_eq!(node.get("promoted").and_then(Value::as_bool), Some(false));
+        assert_eq!(node.get("degraded").and_then(Value::as_bool), Some(false));
+        assert_eq!(node.get("durable").and_then(Value::as_bool), Some(true));
+        assert_eq!(
+            node.get("build").and_then(Value::as_str),
+            Some(env!("CARGO_PKG_VERSION"))
+        );
+        assert!(node.get("generation").and_then(Value::as_u64).is_some());
+        assert!(node.get("metrics").is_some());
+        // Promote flips the reported flag.
+        let p = handle_line(&svc, r#"{"cmd": "replicate", "action": "promote"}"#);
+        assert!(p.response.contains("true"));
+        let v = jsonio::parse(&handle_line(&svc, r#"{"cmd": "node_info"}"#).response).unwrap();
+        assert_eq!(
+            v.get("node")
+                .unwrap()
+                .get("promoted")
+                .and_then(Value::as_bool),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn replicate_ships_leader_state_to_a_follower_over_the_wire() {
+        let leader_io = std::sync::Arc::new(pager_profiles::io::MemIo::new());
+        let follower_io = std::sync::Arc::new(pager_profiles::io::MemIo::new());
+        let leader = durable_service(&leader_io);
+        let follower = durable_service(&follower_io);
+        // Ingest on the leader.
+        let observe = r#"{"cmd": "observe", "cells": 4, "sightings": [
+            {"device": "a", "cell": 1, "time": 1.0},
+            {"device": "b", "cell": 2, "time": 2.0}]}"#;
+        let v = jsonio::parse(&handle_line(&leader, observe).response).unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "{v}");
+        // Bootstrap: snapshot export → install.
+        let snap = jsonio::parse(
+            &handle_line(&leader, r#"{"cmd": "replicate", "action": "snapshot"}"#).response,
+        )
+        .unwrap();
+        assert_eq!(
+            snap.get("ok").and_then(Value::as_bool),
+            Some(true),
+            "{snap}"
+        );
+        let install = format!(
+            r#"{{"cmd": "replicate", "action": "install", "source": "node-a",
+                "generation": {}, "offset": {}, "snapshot": "{}"}}"#,
+            snap.get("generation").and_then(Value::as_u64).unwrap(),
+            snap.get("offset").and_then(Value::as_u64).unwrap(),
+            snap.get("snapshot").and_then(Value::as_str).unwrap(),
+        );
+        let v = jsonio::parse(&handle_line(&follower, &install).response).unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "{v}");
+        assert_eq!(v.get("merged").and_then(Value::as_u64), Some(2));
+        // Leader moves on; follower catches up over fetch/apply.
+        let more = r#"{"cmd": "observe", "cells": 4, "sightings": [
+            {"device": "c", "cell": 3, "time": 3.0}]}"#;
+        assert!(handle_line(&leader, more).response.contains("true"));
+        let cursor = jsonio::parse(
+            &handle_line(
+                &follower,
+                r#"{"cmd": "replicate", "action": "cursor", "source": "node-a"}"#,
+            )
+            .response,
+        )
+        .unwrap();
+        assert_eq!(cursor.get("valid").and_then(Value::as_bool), Some(true));
+        let (generation, offset) = (
+            cursor.get("generation").and_then(Value::as_u64).unwrap(),
+            cursor.get("offset").and_then(Value::as_u64).unwrap(),
+        );
+        let fetch = format!(
+            r#"{{"cmd": "replicate", "action": "fetch", "generation": {generation},
+                "offset": {offset}, "max_bytes": 65536}}"#
+        );
+        let frames = jsonio::parse(&handle_line(&leader, &fetch).response).unwrap();
+        let payload = frames.get("frames").and_then(Value::as_str).unwrap();
+        assert!(!payload.is_empty());
+        let apply = format!(
+            r#"{{"cmd": "replicate", "action": "apply", "source": "node-a",
+                "generation": {generation}, "offset": {offset}, "frames": "{payload}"}}"#
+        );
+        let v = jsonio::parse(&handle_line(&follower, &apply).response).unwrap();
+        assert_eq!(v.get("applied").and_then(Value::as_u64), Some(1), "{v}");
+        // The probe op sees every shipped device on the follower.
+        for device in ["a", "b", "c"] {
+            let probe =
+                format!(r#"{{"cmd": "replicate", "action": "probe", "device": "{device}"}}"#);
+            let v = jsonio::parse(&handle_line(&follower, &probe).response).unwrap();
+            assert_eq!(
+                v.get("present").and_then(Value::as_bool),
+                Some(true),
+                "device {device} missing on follower"
+            );
+        }
+        // Byte-identical stores after catch-up.
+        assert_eq!(
+            leader.profiles().snapshot_bytes(),
+            follower.profiles().snapshot_bytes()
+        );
+    }
+
+    #[test]
+    fn replicate_without_durability_is_unsupported() {
+        let svc = service();
+        for line in [
+            r#"{"cmd": "replicate", "action": "status"}"#,
+            r#"{"cmd": "replicate", "action": "snapshot"}"#,
+            r#"{"cmd": "replicate", "action": "cursor", "source": "x"}"#,
+        ] {
+            let v = jsonio::parse(&handle_line(&svc, line).response).unwrap();
+            assert_eq!(v.get("code").and_then(Value::as_str), Some("unsupported"));
+        }
+        // Probe and promote only touch in-memory state: fine anywhere.
+        let v = jsonio::parse(
+            &handle_line(
+                &svc,
+                r#"{"cmd": "replicate", "action": "probe", "device": "x"}"#,
+            )
+            .response,
+        )
+        .unwrap();
+        assert_eq!(v.get("present").and_then(Value::as_bool), Some(false));
+        // Malformed replicate lines get bad_request, unknown actions
+        // unsupported.
+        let v = jsonio::parse(
+            &handle_line(&svc, r#"{"cmd": "replicate", "action": "fetch"}"#).response,
+        )
+        .unwrap();
+        assert_eq!(v.get("code").and_then(Value::as_str), Some("bad_request"));
+        let v =
+            jsonio::parse(&handle_line(&svc, r#"{"cmd": "replicate", "action": "warp"}"#).response)
+                .unwrap();
+        assert_eq!(v.get("code").and_then(Value::as_str), Some("unsupported"));
     }
 
     #[test]

@@ -1,14 +1,14 @@
 //! The planning service façade: cache → coalesce → plan.
 
 use std::path::PathBuf;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use pager_core::{Delay, Instance};
 use pager_profiles::io::{DiskIo, StorageIo};
 use pager_profiles::{
     DurabilityConfig, DurableError, DurableStore, Estimator, FsyncPolicy, ProfileStore,
-    RecoveryReport, Sighting, StoreConfig, Time,
+    RecoveryReport, ReplicaApplier, Sighting, StoreConfig, Time,
 };
 
 use crate::cache::ShardedCache;
@@ -114,6 +114,9 @@ pub struct ServiceConfig {
     pub default_deadline_ms: Option<u64>,
     /// Crash-safe profile persistence (`None` = in-memory only).
     pub durability: Option<DurabilityOptions>,
+    /// Stable identity of this node in a cluster deployment, reported
+    /// by the `node_info` wire op (`None` = standalone).
+    pub node_id: Option<String>,
 }
 
 impl Default for ServiceConfig {
@@ -130,6 +133,7 @@ impl Default for ServiceConfig {
             queue_depth: 256,
             default_deadline_ms: Some(30_000),
             durability: None,
+            node_id: None,
         }
     }
 }
@@ -279,6 +283,14 @@ pub struct PagerService {
     /// Present when the service was configured with a data directory;
     /// `observe` then appends to the WAL before acking.
     durable: Option<Arc<DurableStore>>,
+    /// WAL-shipping apply endpoint, present alongside `durable`: the
+    /// `replicate` wire op installs snapshots and applies shipped
+    /// frames through it.
+    replica: Option<Arc<ReplicaApplier>>,
+    /// Set by the `replicate`/`promote` wire op when this node takes
+    /// over a dead leader's shard; reported by `node_info` so the
+    /// cluster harness can observe the failover state machine.
+    promoted: AtomicBool,
     /// What startup recovery found (None without durability).
     recovery: Option<RecoveryReport>,
 }
@@ -309,17 +321,17 @@ impl PagerService {
     /// outside `(0, 1]`, ...); [`ServiceError::Internal`] when worker
     /// threads cannot be started.
     pub fn try_new(config: ServiceConfig) -> Result<PagerService, ServiceError> {
-        let (profiles, durable, recovery) = match &config.durability {
+        let (profiles, durable, replica, recovery) = match &config.durability {
             None => {
                 let profiles = Arc::new(ProfileStore::new(config.profiles).map_err(|why| {
                     ServiceError::BadRequest(format!("invalid profile configuration: {why}"))
                 })?);
-                (profiles, None, None)
+                (profiles, None, None, None)
             }
             Some(opts) => {
                 let io: Arc<dyn StorageIo> = opts.io.clone().unwrap_or_else(|| Arc::new(DiskIo));
                 let (durable, report) = DurableStore::open(
-                    io,
+                    Arc::clone(&io),
                     &opts.data_dir,
                     config.profiles,
                     DurabilityConfig {
@@ -334,7 +346,17 @@ impl PagerService {
                     ))
                 })?;
                 let durable = Arc::new(durable);
-                (Arc::clone(durable.store()), Some(durable), Some(report))
+                let replica = Arc::new(ReplicaApplier::new(
+                    Arc::clone(&durable),
+                    io,
+                    &opts.data_dir,
+                ));
+                (
+                    Arc::clone(durable.store()),
+                    Some(durable),
+                    Some(replica),
+                    Some(report),
+                )
             }
         };
         let cache = Arc::new(ShardedCache::new(config.capacity, config.shards));
@@ -357,6 +379,8 @@ impl PagerService {
             dispatcher,
             profiles,
             durable,
+            replica,
+            promoted: AtomicBool::new(false),
             recovery,
         })
     }
@@ -394,6 +418,38 @@ impl PagerService {
     #[must_use]
     pub fn degraded(&self) -> bool {
         self.durable.as_ref().is_some_and(|d| d.degraded())
+    }
+
+    /// The durable store, when the service persists profiles. The
+    /// `replicate` wire op exports WAL frames and snapshots from it.
+    #[must_use]
+    pub fn durable(&self) -> Option<&Arc<DurableStore>> {
+        self.durable.as_ref()
+    }
+
+    /// The replication apply endpoint, present iff durability is on.
+    #[must_use]
+    pub fn replica(&self) -> Option<&Arc<ReplicaApplier>> {
+        self.replica.as_ref()
+    }
+
+    /// This node's cluster identity (`None` when standalone).
+    #[must_use]
+    pub fn node_id(&self) -> Option<&str> {
+        self.config.node_id.as_deref()
+    }
+
+    /// Whether this node has been promoted to leader for a shard it
+    /// was following (set by the `replicate`/`promote` wire op).
+    #[must_use]
+    pub fn promoted(&self) -> bool {
+        self.promoted.load(Ordering::Acquire)
+    }
+
+    /// Flips the promotion flag; called by the wire layer on
+    /// `replicate`/`promote`.
+    pub fn set_promoted(&self, promoted: bool) {
+        self.promoted.store(promoted, Ordering::Release);
     }
 
     /// The cache key for a request, exposed so tests and tools can

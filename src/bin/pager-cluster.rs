@@ -1,0 +1,113 @@
+//! `pager-cluster` — consistent-hash sharded deployment front.
+//!
+//! ```text
+//! USAGE:
+//!   pager-cluster --topology FILE [--listen HOST:PORT] [--workers N]
+//! ```
+//!
+//! Reads a static seed topology (see `pager_cluster::topology`),
+//! builds the shared consistent-hash ring, and runs the two moving
+//! parts of a cluster deployment in one process:
+//!
+//! - the **router**: terminates client JSON-lines connections on
+//!   `--listen` (default `127.0.0.1:7900`) and routes each request by
+//!   device key to the owning `pager-serve` node, fanning out and
+//!   merging multi-device requests;
+//! - the **pump**: heartbeats every node, ships WAL frames from each
+//!   shard owner to its ring follower, promotes the follower when the
+//!   owner dies, and resyncs + demotes on revival.
+//!
+//! The process runs until a client sends `{"cmd": "shutdown"}` to the
+//! router (which stops the router only — nodes are left running).
+//! Cluster events (deaths, promotions, revivals) are logged to
+//! stderr as they happen.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use pager_cluster::router::RouterConfig;
+use pager_cluster::{serve_router, Cluster, Pump, Topology};
+
+/// Per-operation I/O timeout for node round trips.
+const NODE_TIMEOUT: Duration = Duration::from_secs(5);
+
+struct Options {
+    topology: std::path::PathBuf,
+    listen: String,
+    workers: usize,
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: pager-cluster --topology FILE [--listen HOST:PORT] [--workers N]");
+    ExitCode::from(2)
+}
+
+fn parse_args(mut args: std::env::Args) -> Result<Options, String> {
+    let _ = args.next();
+    let mut topology: Option<std::path::PathBuf> = None;
+    let mut listen = "127.0.0.1:7900".to_string();
+    let mut workers = RouterConfig::default().workers;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--topology" => {
+                topology = Some(args.next().ok_or("--topology needs a file")?.into());
+            }
+            "--listen" => listen = args.next().ok_or("--listen needs HOST:PORT")?,
+            "--workers" => {
+                workers = args
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or("--workers needs a positive integer")?;
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(Options {
+        topology: topology.ok_or("--topology is required")?,
+        listen,
+        workers,
+    })
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args(std::env::args()) {
+        Ok(opts) => opts,
+        Err(message) => {
+            eprintln!("pager-cluster: {message}");
+            return usage();
+        }
+    };
+    let topology = match Topology::from_file(&opts.topology) {
+        Ok(topology) => topology,
+        Err(message) => {
+            eprintln!("pager-cluster: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let members = topology.nodes.len();
+    let cluster = Arc::new(Cluster::new(topology, NODE_TIMEOUT));
+    let mut pump = Pump::start(Arc::clone(&cluster));
+    let mut router = match serve_router(
+        Arc::clone(&cluster),
+        opts.listen.as_str(),
+        &RouterConfig {
+            workers: opts.workers,
+        },
+    ) {
+        Ok(router) => router,
+        Err(e) => {
+            eprintln!("pager-cluster: cannot bind {}: {e}", opts.listen);
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "pager-cluster: listening on {} ({members} nodes)",
+        router.local_addr()
+    );
+    router.wait();
+    eprintln!("pager-cluster: shutting down");
+    pump.stop();
+    ExitCode::SUCCESS
+}

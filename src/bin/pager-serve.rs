@@ -5,7 +5,7 @@
 //!   pager-serve [--addr HOST:PORT] [--stdio] [--event-loops N]
 //!               [--workers N] [--shards N] [--capacity N] [--grid G]
 //!               [--queue-depth N] [--deadline-ms MS] [--drain-ms MS]
-//!               [--metrics-json] [--data-dir DIR]
+//!               [--metrics-json] [--data-dir DIR] [--node-id NAME]
 //!               [--fsync always|never|interval:N] [--checkpoint-every N]
 //! ```
 //!
@@ -59,7 +59,7 @@ struct Options {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: pager-serve [--addr HOST:PORT] [--stdio] [--event-loops N] [--workers N] [--shards N] [--capacity N] [--grid G] [--queue-depth N] [--deadline-ms MS] [--drain-ms MS] [--metrics-json] [--data-dir DIR] [--fsync always|never|interval:N] [--checkpoint-every N]"
+        "usage: pager-serve [--addr HOST:PORT] [--stdio] [--event-loops N] [--workers N] [--shards N] [--capacity N] [--grid G] [--queue-depth N] [--deadline-ms MS] [--drain-ms MS] [--metrics-json] [--data-dir DIR] [--node-id NAME] [--fsync always|never|interval:N] [--checkpoint-every N]"
     );
     ExitCode::from(2)
 }
@@ -113,6 +113,9 @@ fn parse_args(mut args: std::env::Args) -> Result<Options, String> {
             }
             "--data-dir" => {
                 data_dir = Some(args.next().ok_or("--data-dir needs a directory")?.into());
+            }
+            "--node-id" => {
+                opts.config.node_id = Some(args.next().ok_or("--node-id needs a name")?);
             }
             "--fsync" => {
                 let policy = args.next().ok_or("--fsync needs a policy")?;

@@ -1,0 +1,226 @@
+//! Real-process cluster end-to-end: N `pager-serve` children behind
+//! the `pager-cluster` router, mixed traffic, SIGKILL of a shard
+//! owner mid-stream.
+//!
+//! The acceptance bar this file exists for: killing the owner of a
+//! shard loses **zero** fsync-acked observes (the follower holds the
+//! WAL-shipped copy), the follower is promoted, and the router serves
+//! the shard from the new owner. The binary under test is the real
+//! release artifact (`CARGO_BIN_EXE_pager-serve`), the kill is a real
+//! SIGKILL, and every assertion runs over real TCP.
+
+use std::time::{Duration, Instant};
+
+use jsonio::Value;
+use pager_cluster::{ClusterHarness, HarnessConfig, LineClient};
+
+const HEARTBEAT_MS: u64 = 100;
+
+fn harness(tag: &str, nodes: usize) -> (ClusterHarness, std::path::PathBuf) {
+    let data_root = std::env::temp_dir().join(format!(
+        "pager-cluster-harness-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&data_root);
+    let harness = ClusterHarness::launch(HarnessConfig {
+        binary: env!("CARGO_BIN_EXE_pager-serve").into(),
+        nodes,
+        data_root: data_root.clone(),
+        heartbeat_ms: HEARTBEAT_MS,
+        vnodes: 16,
+    })
+    .expect("cluster launch");
+    (harness, data_root)
+}
+
+fn observe(client: &mut LineClient, device: &str, time: f64, cell: usize) -> Value {
+    let line = format!(
+        "{{\"cmd\": \"observe\", \"cells\": 4, \"sightings\": [{{\"device\": \"{device}\", \"cell\": {cell}, \"time\": {time}}}]}}"
+    );
+    client.call(&line).expect("observe round trip")
+}
+
+fn probe_present(client: &mut LineClient, device: &str) -> bool {
+    let line =
+        format!("{{\"cmd\": \"replicate\", \"action\": \"probe\", \"device\": \"{device}\"}}");
+    client
+        .call(&line)
+        .ok()
+        .and_then(|v| v.get("present").and_then(Value::as_bool))
+        == Some(true)
+}
+
+/// Polls until `device` is probe-present on node `index`.
+fn await_present(h: &ClusterHarness, index: usize, device: &str, within: Duration) -> bool {
+    let deadline = Instant::now() + within;
+    loop {
+        if let Ok(mut client) = h.node_client(index) {
+            if probe_present(&mut client, device) {
+                return true;
+            }
+        }
+        if Instant::now() >= deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn sigkill_of_a_shard_owner_loses_no_acked_observes() {
+    let (mut h, data_root) = harness("sigkill", 3);
+    let cluster = std::sync::Arc::clone(h.cluster());
+    let mut client = h.client().expect("router client");
+
+    // Mixed traffic through the router: observes across all shards
+    // plus planning requests interleaved.
+    let devices: Vec<String> = (0..60).map(|i| format!("dev-{i}")).collect();
+    for (i, device) in devices.iter().enumerate() {
+        let v = observe(&mut client, device, i as f64, i % 4);
+        assert_eq!(
+            v.get("ok").and_then(Value::as_bool),
+            Some(true),
+            "observe for {device} must ack: {v}"
+        );
+        if i % 20 == 0 {
+            let plan =
+                format!("{{\"cmd\": \"plan_devices\", \"devices\": [\"{device}\"], \"delay\": 2}}");
+            let v = client.call(&plan).expect("plan round trip");
+            assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "{v}");
+        }
+    }
+
+    // Let the pump's WAL shipping catch every acked observe up onto
+    // the owners' followers before pulling the trigger.
+    let victim = cluster.owner_of(&devices[0]);
+    let follower = cluster.ring().follower_of(victim).expect("follower");
+    let victim_devices: Vec<&String> = devices
+        .iter()
+        .filter(|d| cluster.owner_of(d) == victim)
+        .collect();
+    assert!(!victim_devices.is_empty(), "victim must own some devices");
+    for device in &victim_devices {
+        assert!(
+            await_present(&h, follower, device, Duration::from_secs(10)),
+            "{device} must replicate to follower n{follower} before the kill"
+        );
+    }
+
+    // SIGKILL the shard owner mid-stream, with traffic still flowing.
+    h.kill(victim);
+    let killed_at = Instant::now();
+
+    // The router keeps acking observes for the dead owner's shard:
+    // its failover retry covers the gap until the heartbeat promotes.
+    let v = observe(&mut client, victim_devices[0], 1000.0, 2);
+    assert_eq!(
+        v.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "observe during the outage must ack via the replica: {v}"
+    );
+
+    // The heartbeat declares the owner dead and promotes the follower
+    // within a small multiple of the heartbeat interval.
+    assert!(
+        h.await_liveness(victim, false, Duration::from_millis(HEARTBEAT_MS * 20)),
+        "heartbeat must declare the killed owner dead"
+    );
+    let rerouted_in = killed_at.elapsed();
+    assert!(cluster.is_failed_over(victim), "shard must be failed over");
+    assert_eq!(
+        cluster.route(victim_devices[0]),
+        Some(follower),
+        "routing must serve the shard from the promoted follower"
+    );
+
+    // Zero acked-observe loss: every observe acked before the kill is
+    // present on the node now serving the shard.
+    for device in &victim_devices {
+        let mut node = h.node_client(follower).expect("follower client");
+        assert!(
+            probe_present(&mut node, device),
+            "acked observe for {device} lost after SIGKILL of its owner"
+        );
+    }
+
+    // The promoted follower reports its new role over the wire.
+    let mut node = h.node_client(follower).expect("follower client");
+    let v = node.call("{\"cmd\": \"node_info\"}").expect("node_info");
+    assert_eq!(
+        v.get("node")
+            .and_then(|n| n.get("promoted"))
+            .and_then(Value::as_bool),
+        Some(true),
+        "promoted flag must be set on the follower: {v}"
+    );
+
+    // And the router serves reads for the shard from the new owner.
+    let plan = format!(
+        "{{\"cmd\": \"plan_devices\", \"devices\": [\"{}\"], \"delay\": 2}}",
+        victim_devices[0]
+    );
+    let v = client.call(&plan).expect("plan after failover");
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "{v}");
+
+    eprintln!(
+        "cluster_harness: rerouted in {rerouted_in:?} (heartbeat {HEARTBEAT_MS}ms), \
+         {} devices verified loss-free",
+        victim_devices.len()
+    );
+
+    h.shutdown();
+    let _ = std::fs::remove_dir_all(&data_root);
+}
+
+#[test]
+fn killed_owner_rejoins_after_restart_and_serves_again() {
+    let (mut h, data_root) = harness("rejoin", 3);
+    let cluster = std::sync::Arc::clone(h.cluster());
+    let mut client = h.client().expect("router client");
+
+    // Seed traffic, then kill the owner of dev-0's shard.
+    for i in 0..30 {
+        let v = observe(&mut client, &format!("dev-{i}"), i as f64, i % 4);
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "{v}");
+    }
+    let victim = cluster.owner_of("dev-0");
+    let follower = cluster.ring().follower_of(victim).expect("follower");
+    assert!(
+        await_present(&h, follower, "dev-0", Duration::from_secs(10)),
+        "dev-0 must replicate before the kill"
+    );
+    h.kill(victim);
+    assert!(
+        h.await_liveness(victim, false, Duration::from_millis(HEARTBEAT_MS * 20)),
+        "killed owner must be declared dead"
+    );
+
+    // Traffic lands on the promoted follower during the outage.
+    let v = observe(&mut client, "dev-0", 500.0, 3);
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "{v}");
+
+    // Restart on the same address + data dir: recovery replays the
+    // local snapshot/WAL, the pump resyncs what the shard saw during
+    // the outage, and the node rejoins the ring.
+    h.restart(victim).expect("restart");
+    assert!(
+        h.await_liveness(victim, true, Duration::from_secs(15)),
+        "restarted owner must rejoin the ring"
+    );
+    assert_eq!(
+        cluster.route("dev-0"),
+        Some(victim),
+        "routing must return to the revived owner"
+    );
+    assert!(
+        await_present(&h, victim, "dev-0", Duration::from_secs(10)),
+        "outage-era record must be resynced onto the revived owner"
+    );
+
+    // End-to-end through the router once more.
+    let v = observe(&mut client, "dev-0", 900.0, 1);
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "{v}");
+
+    h.shutdown();
+    let _ = std::fs::remove_dir_all(&data_root);
+}
