@@ -54,8 +54,8 @@ fn bench_ratio_sum(crit: &mut Criterion) {
 
 fn bench_exact_ep(crit: &mut Criterion) {
     let mut group = crit.benchmark_group("exact_expected_paging");
-    let exact = pager_core::lower_bound_instance::instance_exact();
-    let strategy = pager_core::lower_bound_instance::optimal_strategy();
+    let exact = pager_core::lower_bound_instance::instance_exact().expect("valid instance");
+    let strategy = pager_core::lower_bound_instance::optimal_strategy().expect("valid strategy");
     group.bench_function("section_4_3_instance", |b| {
         b.iter(|| exact.expected_paging(&strategy).unwrap());
     });

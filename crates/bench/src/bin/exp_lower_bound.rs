@@ -11,7 +11,7 @@ use pager_core::{greedy_strategy_exact, Delay};
 
 fn main() {
     println!("E5: the m = 2, c = 8, d = 2 instance of Section 4.3\n");
-    let exact = lbi::instance_exact();
+    let exact = lbi::instance_exact().expect("valid instance");
     println!("probabilities (exact):");
     for (i, row) in exact.rows().enumerate() {
         let cells: Vec<String> = row.iter().map(ToString::to_string).collect();
@@ -19,7 +19,7 @@ fn main() {
     }
     println!();
 
-    let heur = greedy_strategy_exact(&exact, Delay::new(2).expect("d"));
+    let heur = greedy_strategy_exact(&exact, Delay::new(2).expect("d")).expect("feasible");
     let opt = optimal_two_round_exact(&exact).expect("c = 8");
     println!("heuristic strategy : {}", heur.strategy);
     println!(
@@ -44,8 +44,8 @@ fn main() {
         "epsilon", "heuristic EP", "optimal EP", "ratio"
     );
     for denom in [1_000i64, 10_000, 100_000, 1_000_000] {
-        let p = lbi::perturbed_exact(denom);
-        let heur = greedy_strategy_exact(&p, Delay::new(2).expect("d"));
+        let p = lbi::perturbed_exact(denom).expect("valid instance");
+        let heur = greedy_strategy_exact(&p, Delay::new(2).expect("d")).expect("feasible");
         let opt = optimal_two_round_exact(&p).expect("c = 8");
         let ratio = (&heur.expected_paging / &opt.expected_paging).to_f64();
         println!(

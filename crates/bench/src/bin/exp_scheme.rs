@@ -45,7 +45,7 @@ fn main() {
         ),
         (
             "section 4.3",
-            pager_core::lower_bound_instance::instance_f64(),
+            pager_core::lower_bound_instance::instance_f64().expect("section 4.3 instance"),
         ),
     ];
     for (name, inst) in &structured {

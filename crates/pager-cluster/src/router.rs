@@ -849,6 +849,7 @@ pub fn serve_router<A: ToSocketAddrs>(
             .name(format!("router-worker-{index}"))
             .spawn(move || loop {
                 let job = {
+                    let _cls = pager_core::lockcheck::acquire("worker_rx");
                     let rx = rx.lock().unwrap_or_else(PoisonError::into_inner);
                     rx.recv()
                 };

@@ -66,6 +66,7 @@ impl Upstream {
     /// Drops every idle connection (after a node restart the old
     /// sockets are dead weight).
     pub fn flush(&self) {
+        let _cls = pager_core::lockcheck::acquire("ring");
         self.idle
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
@@ -120,11 +121,13 @@ impl Upstream {
     /// to (after one stale-connection retry),
     /// [`UpstreamError::Protocol`] when its answer is not JSON.
     pub fn call(&self, line: &str) -> Result<Value, UpstreamError> {
-        let pooled = self
-            .idle
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .pop_front();
+        let pooled = {
+            let _cls = pager_core::lockcheck::acquire("ring");
+            self.idle
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .pop_front()
+        };
         let mut fresh = pooled.is_none();
         let mut conn = match pooled {
             Some(conn) => conn,
@@ -133,6 +136,7 @@ impl Upstream {
         loop {
             match Self::round_trip(&mut conn, line) {
                 Ok(value) => {
+                    let _cls = pager_core::lockcheck::acquire("ring");
                     let mut idle = self.idle.lock().unwrap_or_else(PoisonError::into_inner);
                     if idle.len() < POOL_SIZE {
                         idle.push_back(conn);

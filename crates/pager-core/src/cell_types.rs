@@ -285,7 +285,7 @@ mod tests {
 
     #[test]
     fn section43_instance_has_three_types() {
-        let inst = crate::lower_bound_instance::instance_f64();
+        let inst = crate::lower_bound_instance::instance_f64().unwrap();
         let types = CellTypes::of(&inst);
         // cell 0 (2/7, 0), cells 1..=5 (1/7, 1/7), cells 6..7 (0, 1/7).
         assert_eq!(types.num_types(), 3);
@@ -311,7 +311,7 @@ mod tests {
 
     #[test]
     fn type_dp_solves_the_section43_instance_exactly() {
-        let inst = crate::lower_bound_instance::instance_f64();
+        let inst = crate::lower_bound_instance::instance_f64().unwrap();
         let plan = optimal_by_types(&inst, Delay::new(2).unwrap()).unwrap();
         let target = crate::lower_bound_instance::optimal_ep().to_f64();
         assert!(

@@ -157,10 +157,10 @@ pub fn optimal_split_exact(g: &[Ratio], d: usize, max_group: Option<usize>) -> O
             let lo = j.saturating_sub(b).max(l - 1);
             let mut bost: Option<(Ratio, usize)> = None;
             for prev in lo..j {
-                let Some(prev_best) = best[l - 1][prev].clone() else {
+                let Some(prev_best) = best[l - 1][prev].as_ref() else {
                     continue;
                 };
-                let cand = &prev_best + &(&Ratio::from(j - prev) * &g[prev]);
+                let cand = prev_best + &(&Ratio::from(j - prev) * &g[prev]);
                 match &bost {
                     Some((cur, _)) if *cur >= cand => {}
                     _ => bost = Some((cand, prev)),

@@ -179,7 +179,7 @@ mod tests {
     fn section_4_3_heuristic_choice() {
         // The heuristic on the Section 4.3 instance pages cells 1..5
         // (0-based 0..=4) first and achieves 320/49.
-        let inst = crate::lower_bound_instance::instance_f64();
+        let inst = crate::lower_bound_instance::instance_f64().unwrap();
         let out = approximation(&inst, Delay::new(2).unwrap());
         assert_eq!(out.sizes, vec![5, 3]);
         let mut first: Vec<usize> = out.order[..5].to_vec();

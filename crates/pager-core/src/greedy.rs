@@ -96,20 +96,29 @@ pub fn greedy_strategy_planned_cancel(
 /// Exact-rational counterpart of [`greedy_strategy_planned`]: identical
 /// cell sequencing and dynamic program, evaluated over the rationals so
 /// the planned strategy and its expected paging are certified.
-#[must_use]
-pub fn greedy_strategy_exact(instance: &ExactInstance, delay: Delay) -> ExactPlannedStrategy {
+///
+/// # Errors
+///
+/// [`Error::DelayExceedsCells`] if the cut DP finds no feasible split —
+/// unreachable for valid instances (the delay is clamped to the cell
+/// count first), but surfaced as a typed error rather than a panic so
+/// a solver-invariant break cannot take a serving process down.
+pub fn greedy_strategy_exact(
+    instance: &ExactInstance,
+    delay: Delay,
+) -> Result<ExactPlannedStrategy> {
     let c = instance.num_cells();
     let d = delay.clamp_to_cells(c).get();
     let order = instance.cells_by_weight_desc();
     let rows: Vec<&[Ratio]> = instance.rows().collect();
     let g = conference_stop_probs_exact(&rows, &order);
-    let split = optimal_split_exact(&g, d, None).expect("clamped delay always feasible");
-    let strategy = Strategy::from_order_and_sizes(&order, &split.sizes)
-        .expect("DP split sizes partition the order");
-    ExactPlannedStrategy {
+    let split =
+        optimal_split_exact(&g, d, None).ok_or(Error::DelayExceedsCells { delay: d, cells: c })?;
+    let strategy = Strategy::from_order_and_sizes(&order, &split.sizes)?;
+    Ok(ExactPlannedStrategy {
         expected_paging: &Ratio::from(c) - &split.savings,
         strategy,
-    }
+    })
 }
 
 /// The Section 4.1 algorithm for `m = 2`, `d = 2`: scans every split
@@ -254,9 +263,9 @@ mod tests {
             ],
         ])
         .unwrap();
-        let inst = exact.to_f64();
+        let inst = exact.to_f64().unwrap();
         for d in 1..=4 {
-            let e = greedy_strategy_exact(&exact, Delay::new(d).unwrap());
+            let e = greedy_strategy_exact(&exact, Delay::new(d).unwrap()).unwrap();
             let f = greedy_strategy_planned(&inst, Delay::new(d).unwrap());
             assert!(
                 (e.expected_paging.to_f64() - f.expected_paging).abs() < 1e-9,
@@ -289,8 +298,8 @@ mod tests {
 
     #[test]
     fn section_4_3_exact_heuristic_value() {
-        let exact = crate::lower_bound_instance::instance_exact();
-        let plan = greedy_strategy_exact(&exact, Delay::new(2).unwrap());
+        let exact = crate::lower_bound_instance::instance_exact().unwrap();
+        let plan = greedy_strategy_exact(&exact, Delay::new(2).unwrap()).unwrap();
         assert_eq!(plan.expected_paging, Ratio::from_fraction(320, 49));
     }
 

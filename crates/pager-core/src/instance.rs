@@ -213,21 +213,28 @@ impl Instance {
     /// Converts to an exact instance. Each `f64` becomes the dyadic
     /// rational it represents, then the row is renormalised by its exact
     /// sum so rows sum to exactly one.
-    #[must_use]
-    pub fn to_exact(&self) -> ExactInstance {
-        let rows = self
-            .rows
-            .iter()
-            .map(|row| {
-                let exact: Vec<Ratio> = row
-                    .iter()
-                    .map(|&p| Ratio::from_f64(p).expect("validated probability is finite"))
-                    .collect();
-                let sum: Ratio = exact.iter().sum();
-                exact.into_iter().map(|p| &p / &sum).collect()
-            })
-            .collect();
-        ExactInstance { rows }
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidProbability`] if an entry is not a finite `f64` —
+    /// unreachable for a validated instance, but surfaced as a typed
+    /// error rather than a panic.
+    pub fn to_exact(&self) -> Result<ExactInstance> {
+        let mut rows = Vec::with_capacity(self.rows.len());
+        for (i, row) in self.rows.iter().enumerate() {
+            let mut exact = Vec::with_capacity(row.len());
+            for (j, &p) in row.iter().enumerate() {
+                let r = Ratio::from_f64(p).ok_or(Error::InvalidProbability {
+                    device: i,
+                    cell: j,
+                    value: p,
+                })?;
+                exact.push(r);
+            }
+            let sum: Ratio = exact.iter().sum();
+            rows.push(exact.into_iter().map(|p| &p / &sum).collect());
+        }
+        Ok(ExactInstance { rows })
     }
 }
 
@@ -333,12 +340,12 @@ impl ExactInstance {
     /// Converts to a floating-point instance (renormalising rounding
     /// error away).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the rounded rows fail `f64` validation, which cannot
-    /// happen for a valid exact instance.
-    #[must_use]
-    pub fn to_f64(&self) -> Instance {
+    /// The rounded rows always pass `f64` validation for a valid exact
+    /// instance; a validation error here means the rational layer
+    /// produced a non-finite value and propagates as a typed error.
+    pub fn to_f64(&self) -> Result<Instance> {
         let rows: Vec<Vec<f64>> = self
             .rows
             .iter()
@@ -351,7 +358,7 @@ impl ExactInstance {
                 v
             })
             .collect();
-        Instance::from_rows(rows).expect("exact instance converts to a valid f64 instance")
+        Instance::from_rows(rows)
     }
 }
 
@@ -467,9 +474,9 @@ mod tests {
             Ratio::from_fraction(5, 7),
         ]])
         .unwrap();
-        let f = exact.to_f64();
+        let f = exact.to_f64().unwrap();
         assert!((f.prob(0, 0) - 2.0 / 7.0).abs() < 1e-15);
-        let back = f.to_exact();
+        let back = f.to_exact().unwrap();
         // 2/7 is not dyadic, so the round trip is approximate but
         // renormalised: rows still sum to exactly 1.
         let sum: Ratio = back.rows().next().unwrap().iter().sum();
@@ -507,7 +514,7 @@ mod tests {
     #[test]
     fn instance_to_exact_renormalises() {
         let inst = Instance::from_rows(vec![vec![1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0]]).unwrap();
-        let exact = inst.to_exact();
+        let exact = inst.to_exact().unwrap();
         let sum: Ratio = exact.rows().next().unwrap().iter().sum();
         assert_eq!(sum, Ratio::one());
     }

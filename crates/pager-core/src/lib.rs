@@ -60,6 +60,7 @@ pub mod fingerprint;
 pub mod greedy;
 mod instance;
 mod json_impls;
+pub mod lockcheck;
 pub mod lossy;
 pub mod lower_bound_instance;
 pub mod moving;

@@ -1,0 +1,206 @@
+//! Runtime lock-order checker (debug/test builds only).
+//!
+//! The workspace declares a global lock acquisition order (mirrored by
+//! `pager-lint`'s `config::LOCK_ORDER`): a thread holding a lock of
+//! class `LOCK_ORDER[i]` may only acquire locks of class
+//! `LOCK_ORDER[j]` with `j > i`. `pager-lint` enforces that order
+//! statically from source; this module enforces it dynamically, on the
+//! lock acquisitions a test actually performs.
+//!
+//! Call sites wrap each classified `Mutex::lock()` with
+//! [`acquire`]:
+//!
+//! ```
+//! use pager_core::lockcheck;
+//!
+//! let _held = lockcheck::acquire("queue");
+//! // ... take the queue mutex and work under it ...
+//! drop(_held); // releases the class when the guard goes away
+//! ```
+//!
+//! In debug builds (`cfg(debug_assertions)`, which covers `cargo
+//! test`) each thread keeps a stack of held classes; acquiring a class
+//! that ranks **before** the deepest class already held panics with
+//! both class names and the declared order. Release builds compile the
+//! tracker away entirely: [`acquire`] returns a zero-sized guard and
+//! performs no work, so production binaries pay nothing.
+//!
+//! Re-acquiring the *same* class while it is held (two shards, two
+//! pool entries) is allowed — the declared order only constrains
+//! *distinct* classes, and same-class nesting is the static analyzer's
+//! near-miss case, not a violation.
+
+#[cfg(debug_assertions)]
+use core::cell::RefCell;
+
+/// Lock classes in their global acquisition order. Must stay equal to
+/// `pager-lint`'s `config::LOCK_ORDER`; a pager-lint test asserts the
+/// two lists match so they cannot drift apart.
+pub const LOCK_ORDER: &[&str] = &[
+    "queue",
+    "workers",
+    "inflight",
+    "worker_rx",
+    "ring",
+    "replica",
+    "wal",
+    "shard",
+    "latest_time",
+    "fs",
+    "lifecycle",
+    "injector",
+];
+
+/// Rank of a class in [`LOCK_ORDER`], or `None` for unknown classes.
+#[must_use]
+pub fn rank(class: &str) -> Option<usize> {
+    LOCK_ORDER.iter().position(|&c| c == class)
+}
+
+#[cfg(debug_assertions)]
+thread_local! {
+    /// Classes held by this thread, in acquisition order, as
+    /// `(rank, class)` pairs.
+    static HELD: RefCell<Vec<(usize, &'static str)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Proof that a lock class is registered as held by this thread.
+///
+/// Dropping the guard unregisters the class. Guards may be dropped out
+/// of acquisition order (each drop removes that class's most recent
+/// entry), matching how lock guards of distinct mutexes may be
+/// released in any order.
+#[derive(Debug)]
+pub struct ClassGuard {
+    #[cfg(debug_assertions)]
+    class: &'static str,
+}
+
+/// Registers `class` as acquired by the current thread and returns a
+/// guard that releases it on drop.
+///
+/// # Panics
+///
+/// In debug builds, panics if `class` ranks before the deepest class
+/// this thread already holds — the dynamic analogue of pager-lint's
+/// `lock-order` rule. Unknown classes (not in [`LOCK_ORDER`]) also
+/// panic in debug builds: every classified call site must use a
+/// declared class. Release builds never panic and track nothing.
+#[must_use]
+pub fn acquire(class: &'static str) -> ClassGuard {
+    #[cfg(debug_assertions)]
+    {
+        let Some(new_rank) = rank(class) else {
+            // lint:allow(no-unwrap-outside-tests): debug-only assertion, compiled out in release
+            panic!("lockcheck: unknown lock class {class:?}; declare it in LOCK_ORDER")
+        };
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(&(deepest_rank, deepest)) = held.iter().max_by_key(|&&(r, _)| r) {
+                if new_rank < deepest_rank {
+                    // lint:allow(no-unwrap-outside-tests): debug-only assertion, compiled out in release
+                    panic!(
+                        "lock-order violation: acquiring class {class:?} (rank {new_rank}) \
+                         while holding {deepest:?} (rank {deepest_rank}); declared order is \
+                         {LOCK_ORDER:?}"
+                    );
+                }
+            }
+            held.push((new_rank, class));
+        });
+        ClassGuard { class }
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        let _ = class;
+        ClassGuard {}
+    }
+}
+
+impl Drop for ClassGuard {
+    fn drop(&mut self) {
+        #[cfg(debug_assertions)]
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(pos) = held.iter().rposition(|&(_, c)| c == self.class) {
+                held.remove(pos);
+            }
+        });
+    }
+}
+
+/// The classes currently held by this thread, in acquisition order.
+/// Debug builds only; release builds always return an empty list.
+#[must_use]
+pub fn held() -> Vec<&'static str> {
+    #[cfg(debug_assertions)]
+    {
+        HELD.with(|held| held.borrow().iter().map(|&(_, c)| c).collect())
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        Vec::new()
+    }
+}
+
+#[cfg(all(test, debug_assertions))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_acquisition_is_clean() {
+        let a = acquire("queue");
+        let b = acquire("inflight");
+        let c = acquire("shard");
+        assert_eq!(held(), vec!["queue", "inflight", "shard"]);
+        drop(b); // out-of-LIFO release is fine
+        assert_eq!(held(), vec!["queue", "shard"]);
+        drop(c);
+        drop(a);
+        assert!(held().is_empty());
+    }
+
+    #[test]
+    fn same_class_reacquisition_is_allowed() {
+        let a = acquire("shard");
+        let b = acquire("shard");
+        assert_eq!(held(), vec!["shard", "shard"]);
+        drop(a);
+        assert_eq!(held(), vec!["shard"]);
+        drop(b);
+    }
+
+    #[test]
+    #[should_panic(expected = "lock-order violation")]
+    fn out_of_order_acquisition_panics() {
+        let _wal = acquire("wal");
+        let _queue = acquire("queue"); // queue ranks before wal: boom
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown lock class")]
+    fn unknown_class_panics() {
+        let _x = acquire("mystery");
+    }
+
+    #[test]
+    fn guards_do_not_leak_across_panicking_tests() {
+        // Each test thread has its own stack; a fresh thread starts
+        // empty even after other tests panicked mid-hold.
+        std::thread::spawn(|| {
+            assert!(held().is_empty());
+            let _g = acquire("fs");
+            assert_eq!(held(), vec!["fs"]);
+        })
+        .join()
+        .expect("spawned checker thread");
+    }
+
+    #[test]
+    fn order_matches_rank() {
+        for (i, &class) in LOCK_ORDER.iter().enumerate() {
+            assert_eq!(rank(class), Some(i));
+        }
+        assert_eq!(rank("mystery"), None);
+    }
+}

@@ -13,6 +13,7 @@
 //! breaking, and only slightly moves the ratio. [`perturbed_exact`]
 //! implements that perturbation exactly.
 
+use crate::error::Result;
 use crate::instance::{ExactInstance, Instance};
 use rational::Ratio;
 
@@ -25,27 +26,28 @@ pub const D: usize = 2;
 
 /// The instance over exact rationals.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Never panics: the construction is statically valid.
-#[must_use]
-pub fn instance_exact() -> ExactInstance {
+/// Construction is statically valid, so an error here means instance
+/// validation itself regressed; the typed error propagates instead of
+/// panicking in library code.
+pub fn instance_exact() -> Result<ExactInstance> {
     let f = |n: i64| Ratio::from_fraction(n, 7);
     // Device 1: 2/7 in cell 1, 1/7 in cells 2..6, 0 in cells 7, 8.
     let row1 = vec![f(2), f(1), f(1), f(1), f(1), f(1), f(0), f(0)];
     // Device 2: 0 in cell 1, 1/7 in cells 2..8.
     let row2 = vec![f(0), f(1), f(1), f(1), f(1), f(1), f(1), f(1)];
-    ExactInstance::from_rows(vec![row1, row2]).expect("the Section 4.3 instance is valid")
+    ExactInstance::from_rows(vec![row1, row2])
 }
 
 /// The instance over `f64`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Never panics: the construction is statically valid.
-#[must_use]
-pub fn instance_f64() -> Instance {
-    instance_exact().to_f64()
+/// Same as [`instance_exact`]: only on an instance-validation
+/// regression.
+pub fn instance_f64() -> Result<Instance> {
+    instance_exact()?.to_f64()
 }
 
 /// The optimal two-round expected paging, `317/49`.
@@ -68,13 +70,12 @@ pub fn ratio() -> Ratio {
 
 /// The optimal strategy: page cells `2..6` (0-based `1..=5`) first.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Never panics: the strategy is statically valid.
-#[must_use]
-pub fn optimal_strategy() -> crate::strategy::Strategy {
+/// Only on a strategy-validation regression; the construction is
+/// statically valid.
+pub fn optimal_strategy() -> Result<crate::strategy::Strategy> {
     crate::strategy::Strategy::new(vec![vec![1, 2, 3, 4, 5], vec![0, 6, 7]])
-        .expect("the optimal strategy is valid")
 }
 
 /// An `ε`-perturbed, strictly-positive variant that forces the heuristic
@@ -86,12 +87,16 @@ pub fn optimal_strategy() -> crate::strategy::Strategy {
 /// devices `ε'` mass in the cells where they had zero (preserving row
 /// sums and keeping every probability positive).
 ///
+/// # Errors
+///
+/// Only on an instance-validation regression (rows sum to one by
+/// construction).
+///
 /// # Panics
 ///
 /// Panics if `denom < 200` — the perturbation `1/denom` must be small
 /// enough to keep all entries positive and the ordering intact.
-#[must_use]
-pub fn perturbed_exact(denom: i64) -> ExactInstance {
+pub fn perturbed_exact(denom: i64) -> Result<ExactInstance> {
     assert!(denom >= 200, "perturbation 1/{denom} too large");
     let eps = Ratio::from_fraction(1, denom);
     let f = |n: i64| Ratio::from_fraction(n, 7);
@@ -123,7 +128,7 @@ pub fn perturbed_exact(denom: i64) -> ExactInstance {
     for p in row1.iter_mut().chain(row2.iter_mut()) {
         assert!(p.is_positive(), "perturbed probability must be positive");
     }
-    ExactInstance::from_rows(vec![row1, row2]).expect("perturbed instance is valid")
+    ExactInstance::from_rows(vec![row1, row2])
 }
 
 #[cfg(test)]
@@ -134,7 +139,7 @@ mod tests {
 
     #[test]
     fn instance_shape() {
-        let e = instance_exact();
+        let e = instance_exact().unwrap();
         assert_eq!(e.num_devices(), M);
         assert_eq!(e.num_cells(), C);
         assert_eq!(e.prob(0, 0), &Ratio::from_fraction(2, 7));
@@ -145,15 +150,15 @@ mod tests {
 
     #[test]
     fn optimal_strategy_achieves_317_49() {
-        let e = instance_exact();
-        let ep = e.expected_paging(&optimal_strategy()).unwrap();
+        let e = instance_exact().unwrap();
+        let ep = e.expected_paging(&optimal_strategy().unwrap()).unwrap();
         assert_eq!(ep, optimal_ep());
     }
 
     #[test]
     fn heuristic_achieves_320_49() {
-        let e = instance_exact();
-        let plan = greedy_strategy_exact(&e, Delay::new(D).unwrap());
+        let e = instance_exact().unwrap();
+        let plan = greedy_strategy_exact(&e, Delay::new(D).unwrap()).unwrap();
         assert_eq!(plan.expected_paging, heuristic_ep());
         // And the heuristic's first group is cells 0..=4.
         let mut first = plan.strategy.group(0).to_vec();
@@ -170,7 +175,7 @@ mod tests {
     fn optimal_is_truly_optimal() {
         // Exhaustive check over all 2^8 − 2 two-round strategies: no
         // strategy beats 317/49.
-        let e = instance_exact();
+        let e = instance_exact().unwrap();
         let c = C;
         let mut best = Ratio::from(c);
         for mask in 1u32..((1 << c) - 1) {
@@ -187,7 +192,7 @@ mod tests {
 
     #[test]
     fn perturbed_instance_valid_and_positive() {
-        let p = perturbed_exact(1000);
+        let p = perturbed_exact(1000).unwrap();
         for row in p.rows() {
             for v in row {
                 assert!(v.is_positive());
@@ -199,11 +204,11 @@ mod tests {
 
     #[test]
     fn perturbed_heuristic_still_picks_cell_one_first() {
-        let p = perturbed_exact(10_000);
+        let p = perturbed_exact(10_000).unwrap();
         // Cell 0 now has strictly the largest weight.
         let order = p.cells_by_weight_desc();
         assert_eq!(order[0], 0);
-        let plan = greedy_strategy_exact(&p, Delay::new(2).unwrap());
+        let plan = greedy_strategy_exact(&p, Delay::new(2).unwrap()).unwrap();
         let mut first = plan.strategy.group(0).to_vec();
         first.sort_unstable();
         assert_eq!(first, vec![0, 1, 2, 3, 4]);
@@ -211,8 +216,8 @@ mod tests {
 
     #[test]
     fn perturbed_ratio_close_to_320_317() {
-        let p = perturbed_exact(100_000);
-        let plan = greedy_strategy_exact(&p, Delay::new(2).unwrap());
+        let p = perturbed_exact(100_000).unwrap();
+        let plan = greedy_strategy_exact(&p, Delay::new(2).unwrap()).unwrap();
         // Exhaustive optimal on the perturbed instance.
         let mut best = Ratio::from(C);
         for mask in 1u32..((1 << C) - 1) {

@@ -64,9 +64,13 @@ pub fn optimal_exhaustive(instance: &Instance, delay: Delay) -> Result<PlannedSt
             break;
         }
     }
-    let (ep, assignment) = best.expect("d <= c guarantees at least one onto assignment");
-    let strategy = Strategy::new(groups_of(&assignment, d).expect("stored assignment is onto"))
-        .expect("valid partition");
+    // d <= c guarantees at least one onto assignment, so `best` is
+    // populated; the typed error keeps an enumeration bug from
+    // panicking a serving process.
+    let (ep, assignment) = best.ok_or(Error::DelayExceedsCells { delay: d, cells: c })?;
+    let groups =
+        groups_of(&assignment, d).ok_or(Error::DelayExceedsCells { delay: d, cells: c })?;
+    let strategy = Strategy::new(groups)?;
     Ok(PlannedStrategy {
         strategy,
         expected_paging: ep,
@@ -110,9 +114,12 @@ pub fn optimal_exhaustive_exact(
             break;
         }
     }
-    let (ep, assignment) = best.expect("d <= c guarantees a strategy");
-    let strategy =
-        Strategy::new(groups_of(&assignment, d).expect("onto")).expect("valid partition");
+    // Same reasoning as `optimal_exhaustive`: d <= c guarantees an
+    // onto assignment was stored.
+    let (ep, assignment) = best.ok_or(Error::DelayExceedsCells { delay: d, cells: c })?;
+    let groups =
+        groups_of(&assignment, d).ok_or(Error::DelayExceedsCells { delay: d, cells: c })?;
+    let strategy = Strategy::new(groups)?;
     Ok(ExactPlannedStrategy {
         strategy,
         expected_paging: ep,
@@ -267,7 +274,8 @@ pub fn optimal_subset_dp_cancel(
         groups.push(cells);
         prev = l;
     }
-    let strategy = Strategy::new(groups).expect("chain yields a partition");
+    // The backtracked chain yields a partition by construction.
+    let strategy = Strategy::new(groups)?;
     Ok(PlannedStrategy {
         expected_paging: c as f64 - savings,
         strategy,
@@ -314,10 +322,11 @@ pub fn optimal_two_round_exact(instance: &ExactInstance) -> Result<ExactPlannedS
             best = Some((ep, mask));
         }
     }
-    let (ep, mask) = best.expect("c >= 2 yields candidates");
+    // c >= 2 yields at least one candidate mask.
+    let (ep, mask) = best.ok_or(Error::DelayExceedsCells { delay: 2, cells: c })?;
     let first: Vec<usize> = (0..c).filter(|&j| mask & (1 << j) != 0).collect();
     let second: Vec<usize> = (0..c).filter(|&j| mask & (1 << j) == 0).collect();
-    let strategy = Strategy::new(vec![first, second]).expect("mask split is a partition");
+    let strategy = Strategy::new(vec![first, second])?;
     Ok(ExactPlannedStrategy {
         strategy,
         expected_paging: ep,
@@ -354,10 +363,10 @@ mod tests {
 
     #[test]
     fn two_round_exact_agrees_with_float_engines() {
-        let exact = crate::lower_bound_instance::instance_exact();
+        let exact = crate::lower_bound_instance::instance_exact().unwrap();
         let e = optimal_two_round_exact(&exact).unwrap();
         assert_eq!(e.expected_paging, crate::lower_bound_instance::optimal_ep());
-        let f = optimal_subset_dp(&exact.to_f64(), Delay::new(2).unwrap()).unwrap();
+        let f = optimal_subset_dp(&exact.to_f64().unwrap(), Delay::new(2).unwrap()).unwrap();
         assert!((e.expected_paging.to_f64() - f.expected_paging).abs() < 1e-9);
     }
 
@@ -378,8 +387,8 @@ mod tests {
 
     #[test]
     fn exhaustive_exact_matches_float() {
-        let exact = crate::lower_bound_instance::instance_exact();
-        let inst = exact.to_f64();
+        let exact = crate::lower_bound_instance::instance_exact().unwrap();
+        let inst = exact.to_f64().unwrap();
         for d in [2usize, 3] {
             let e = optimal_exhaustive_exact(&exact, Delay::new(d).unwrap()).unwrap();
             let f = optimal_exhaustive(&inst, Delay::new(d).unwrap()).unwrap();

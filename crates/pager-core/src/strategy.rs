@@ -484,7 +484,7 @@ mod tests {
         .unwrap();
         let s = Strategy::new(vec![vec![1], vec![0, 2]]).unwrap();
         let exact_ep = exact.expected_paging(&s).unwrap();
-        let float_ep = exact.to_f64().expected_paging(&s).unwrap();
+        let float_ep = exact.to_f64().unwrap().expected_paging(&s).unwrap();
         assert!((exact_ep.to_f64() - float_ep).abs() < 1e-12);
         // EP = 3 − 2·(1/2)·(1/3) = 3 − 1/3 = 8/3.
         assert_eq!(exact_ep, Ratio::from_fraction(8, 3));

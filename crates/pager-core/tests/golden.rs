@@ -93,7 +93,7 @@ fn greedy_hand_trace() {
         vec![r(1, 4), r(1, 4), r(1, 2)],
     ])
     .unwrap();
-    let plan = greedy_strategy_exact(&exact, Delay::new(2).unwrap());
+    let plan = greedy_strategy_exact(&exact, Delay::new(2).unwrap()).unwrap();
     assert_eq!(plan.expected_paging, r(39, 16));
     assert_eq!(plan.strategy.group(0), &[0, 2]);
     assert_eq!(plan.strategy.group(1), &[1]);

@@ -115,10 +115,10 @@ proptest! {
             })
             .collect();
         let exact = pager_core::ExactInstance::from_rows(rows_exact).unwrap();
-        let float = exact.to_f64();
+        let float = exact.to_f64().unwrap();
         for d in [2usize, 3] {
             let delay = Delay::new(d).unwrap();
-            let e = pager_core::greedy_strategy_exact(&exact, delay);
+            let e = pager_core::greedy_strategy_exact(&exact, delay).unwrap();
             let f = greedy_strategy_planned(&float, delay);
             prop_assert!((e.expected_paging.to_f64() - f.expected_paging).abs() < 1e-6,
                 "d={d}: exact {} vs float {}", e.expected_paging.to_f64(), f.expected_paging);

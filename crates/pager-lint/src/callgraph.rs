@@ -1,0 +1,365 @@
+//! The intra-workspace call graph.
+//!
+//! For every function body the pass extracts call sites (`name(` free
+//! calls, `.name(` method calls, `Self::name(` associated calls) and
+//! resolves each name against the [`crate::symbols::Index`]:
+//!
+//! - same file first (all matches),
+//! - then same crate (all matches — methods never resolve further),
+//! - then workspace-wide, only when the name is unique.
+//!
+//! Method calls participate only when their receiver chain is rooted
+//! at `self` (`self.f(`, `self.pool.submit(`, `self.shard_for(0).g(`):
+//! `self` is the one receiver a token-level pass can type. Resolving
+//! `buf.drain(`, `thread.join(`, or `ring.stop(` by bare name would
+//! wire the graph to whatever same-crate fn shares a std method's
+//! name, and every such edge we tried was wrong.
+//!
+//! Qualified calls other than `Self::`/`self::` (`Vec::new`,
+//! `File::open`, `thread::sleep`) are *not* resolved: their qualifier
+//! is almost always a std type, and resolving the bare terminal name
+//! (`new`!) would wire the graph to unrelated constructors. The
+//! blocking-op catalog in [`crate::rules::blocking`] recognises the
+//! std-blocking qualified calls lexically instead.
+//!
+//! Macros never match (the `!` sits where the `(` must be), and calls
+//! inside a *nested* fn body are attributed to the nested fn, not the
+//! enclosing one.
+
+use crate::lexer::{Token, TokenKind};
+use crate::symbols::Index;
+use crate::FileData;
+
+/// One call site inside a function body, with its resolutions.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// The called name (method or free-fn terminal name, pre-alias).
+    pub name: String,
+    /// Token index of the name in the defining file.
+    pub token: usize,
+    /// 1-based source line.
+    pub line: u32,
+    /// Whether this was a `.name(` method call.
+    pub method: bool,
+    /// Indices into [`Index::fns`] this call may land in (empty when
+    /// the name resolves to nothing in the workspace).
+    pub callees: Vec<usize>,
+}
+
+/// Call sites per function, parallel to [`Index::fns`].
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// `sites[f]` lists fn `f`'s call sites in source order.
+    pub sites: Vec<Vec<CallSite>>,
+}
+
+/// Names that look like calls but never are (control flow, tuple-enum
+/// constructors). `drop(x)` is `std::mem::drop`, not any in-repo
+/// `Drop::drop` — resolving it wires guard releases to destructors.
+const NON_CALLS: &[&str] = &[
+    "if", "while", "match", "for", "return", "loop", "in", "as", "move", "let", "else", "break",
+    "continue", "unsafe", "ref", "dyn", "box", "fn", "where", "impl", "Some", "None", "Ok", "Err",
+    "drop",
+];
+
+impl CallGraph {
+    /// Builds the graph for every fn in the index.
+    #[must_use]
+    pub fn build(files: &[FileData], index: &Index) -> CallGraph {
+        let mut sites = Vec::with_capacity(index.fns.len());
+        for (fn_idx, sym) in index.fns.iter().enumerate() {
+            let fd = &files[sym.file];
+            let tokens = &fd.lexed.tokens;
+            // Token ranges of fns nested inside this one: their calls
+            // belong to them.
+            let nested: Vec<(usize, usize)> = index
+                .fns
+                .iter()
+                .enumerate()
+                .filter(|&(other, o)| {
+                    other != fn_idx
+                        && o.file == sym.file
+                        && sym.span.open < o.span.open
+                        && o.span.close < sym.span.close
+                })
+                .map(|(_, o)| (o.span.open, o.span.close))
+                .collect();
+            let mut fn_sites = Vec::new();
+            let mut j = sym.span.open;
+            while j <= sym.span.close {
+                if let Some(&(_, close)) = nested.iter().find(|&&(open, _)| open == j) {
+                    j = close + 1;
+                    continue;
+                }
+                if let Some(site) = call_site_at(tokens, j, sym.file, index) {
+                    fn_sites.push(site);
+                }
+                j += 1;
+            }
+            sites.push(fn_sites);
+        }
+        CallGraph { sites }
+    }
+}
+
+/// Classifies the token at `j` as a call-site name, resolving it.
+fn call_site_at(tokens: &[Token], j: usize, file: usize, index: &Index) -> Option<CallSite> {
+    let t = &tokens[j];
+    if t.kind != TokenKind::Ident || !tokens.get(j + 1)?.is_punct("(") {
+        return None;
+    }
+    if NON_CALLS.contains(&t.text.as_str()) {
+        return None;
+    }
+    let prev = j.checked_sub(1).map(|k| &tokens[k]);
+    let method = prev.is_some_and(|p| p.is_punct("."));
+    if prev.is_some_and(|p| p.is_ident("fn")) {
+        return None; // a declaration, not a call
+    }
+    if method && !self_rooted(tokens, j - 1) {
+        return None; // untypeable receiver (see module docs)
+    }
+    if prev.is_some_and(|p| p.is_punct("::")) {
+        // Qualified: resolve only `Self::name(` / `self::name(`.
+        let qualifier = j.checked_sub(2).map(|k| &tokens[k]);
+        if !qualifier.is_some_and(|q| q.is_ident("Self") || q.is_ident("self")) {
+            return None;
+        }
+    }
+    Some(CallSite {
+        name: t.text.clone(),
+        token: j,
+        line: t.line,
+        method,
+        callees: resolve(&t.text, file, method, index),
+    })
+}
+
+/// Whether the method-call receiver chain ending at the `.` at `dot`
+/// is rooted at `self`: `self.f(`, `self.a.b.f(`, `self.a(x).b.f(`.
+/// Walks the chain backwards, skipping call/index groups.
+fn self_rooted(tokens: &[Token], dot: usize) -> bool {
+    let mut k = dot;
+    loop {
+        let Some(mut p) = k.checked_sub(1) else {
+            return false;
+        };
+        if tokens[p].is_punct(")") || tokens[p].is_punct("]") {
+            // Skip the group; the element is the ident before its `(`/`[`.
+            let Some(open) = matching_open(tokens, p) else {
+                return false;
+            };
+            let Some(q) = open.checked_sub(1) else {
+                return false;
+            };
+            if tokens[q].kind != TokenKind::Ident {
+                return false; // grouping paren or slice — untypeable
+            }
+            p = q;
+        }
+        if tokens[p].kind != TokenKind::Ident {
+            return false;
+        }
+        if tokens[p].text == "self" {
+            return true;
+        }
+        match p.checked_sub(1) {
+            Some(b) if tokens[b].is_punct(".") => k = b,
+            _ => return false,
+        }
+    }
+}
+
+/// Index of the `(`/`[` matching the closer at `close`, scanning back.
+fn matching_open(tokens: &[Token], close: usize) -> Option<usize> {
+    let (open, shut) = if tokens[close].is_punct(")") {
+        ("(", ")")
+    } else {
+        ("[", "]")
+    };
+    let mut depth = 0i32;
+    for j in (0..=close).rev() {
+        if tokens[j].is_punct(shut) {
+            depth += 1;
+        } else if tokens[j].is_punct(open) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Resolves a called name to candidate fn indices (see module docs for
+/// the preference order).
+#[must_use]
+pub fn resolve(raw_name: &str, file: usize, method: bool, index: &Index) -> Vec<usize> {
+    let name = index.aliases[file]
+        .get(raw_name)
+        .map_or(raw_name, String::as_str);
+    let Some(candidates) = index.by_name.get(name) else {
+        return Vec::new();
+    };
+    let same_file: Vec<usize> = candidates
+        .iter()
+        .copied()
+        .filter(|&c| index.fns[c].file == file)
+        .collect();
+    if !same_file.is_empty() {
+        return same_file;
+    }
+    let this_crate = &index.crate_of_file[file];
+    let same_crate: Vec<usize> = candidates
+        .iter()
+        .copied()
+        .filter(|&c| &index.crate_of_file[index.fns[c].file] == this_crate)
+        .collect();
+    if !same_crate.is_empty() {
+        return same_crate;
+    }
+    // Methods on foreign types stay unresolved; free names resolve
+    // across crates only when unambiguous.
+    if !method && candidates.len() == 1 {
+        return candidates.clone();
+    }
+    Vec::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FileData;
+
+    fn ws(files: &[(&str, &str)]) -> (Vec<FileData>, Index) {
+        let data: Vec<FileData> = files
+            .iter()
+            .map(|(p, s)| FileData::new((*p).to_string(), (*s).to_string()))
+            .collect();
+        let index = Index::build(&data);
+        (data, index)
+    }
+
+    fn fn_idx(index: &Index, name: &str) -> usize {
+        index.by_name[name][0]
+    }
+
+    fn callee_names(graph: &CallGraph, index: &Index, caller: &str) -> Vec<String> {
+        graph.sites[fn_idx(index, caller)]
+            .iter()
+            .flat_map(|s| s.callees.iter().map(|&c| index.fns[c].name.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn same_file_beats_same_crate() {
+        let (files, index) = ws(&[
+            (
+                "crates/app/src/a.rs",
+                "fn helper() {} fn caller() { helper(); }",
+            ),
+            ("crates/app/src/b.rs", "fn helper() {}"),
+        ]);
+        let graph = CallGraph::build(&files, &index);
+        let callees = &graph.sites[index.by_name["caller"][0]][0].callees;
+        assert_eq!(callees.len(), 1);
+        assert_eq!(index.fns[callees[0]].file, 0, "same-file helper wins");
+    }
+
+    #[test]
+    fn cross_crate_needs_uniqueness() {
+        let (files, index) = ws(&[
+            ("crates/app/src/a.rs", "fn caller() { unique(); ambig(); }"),
+            (
+                "crates/lib1/src/l.rs",
+                "pub fn unique() {} pub fn ambig() {}",
+            ),
+            ("crates/lib2/src/l.rs", "pub fn ambig() {}"),
+        ]);
+        let graph = CallGraph::build(&files, &index);
+        assert_eq!(callee_names(&graph, &index, "caller"), vec!["unique"]);
+    }
+
+    #[test]
+    fn alias_and_rename_resolve_to_original() {
+        let (files, index) = ws(&[
+            (
+                "crates/app/src/a.rs",
+                "use crate::util::spin_wait as sw;\nfn caller() { sw(); }",
+            ),
+            ("crates/app/src/util.rs", "pub fn spin_wait() {}"),
+        ]);
+        let graph = CallGraph::build(&files, &index);
+        assert_eq!(callee_names(&graph, &index, "caller"), vec!["spin_wait"]);
+    }
+
+    #[test]
+    fn methods_resolve_within_crate_only() {
+        let (files, index) = ws(&[
+            (
+                "crates/app/src/a.rs",
+                "impl S { fn caller(&self) { self.apply(); self.display(); } }",
+            ),
+            ("crates/app/src/b.rs", "impl S { pub fn apply(&self) {} }"),
+            (
+                "crates/other/src/c.rs",
+                "impl T { pub fn display(&self) {} }",
+            ),
+        ]);
+        let graph = CallGraph::build(&files, &index);
+        assert_eq!(callee_names(&graph, &index, "caller"), vec!["apply"]);
+    }
+
+    #[test]
+    fn non_self_receivers_do_not_resolve() {
+        // `buf.drain(`, `thread.join(`, `ring.stop(` must not bind to
+        // same-crate fns that happen to share a std method's name —
+        // only `self`-rooted chains are typeable.
+        let (files, index) = ws(&[
+            (
+                "crates/app/src/a.rs",
+                "impl S { fn caller(&mut self) { \
+                 self.buf.drain(); thread.join(); self.shard_for(0).apply(); } }",
+            ),
+            (
+                "crates/app/src/b.rs",
+                "impl S { pub fn drain(&mut self) {} pub fn join(&mut self) {} \
+                 pub fn apply(&self) {} }",
+            ),
+        ]);
+        let graph = CallGraph::build(&files, &index);
+        // `self.buf.drain()` and `self.shard_for(0).apply()` are
+        // self-rooted (resolve); bare `thread.join()` is not.
+        assert_eq!(
+            callee_names(&graph, &index, "caller"),
+            vec!["drain", "apply"]
+        );
+    }
+
+    #[test]
+    fn macros_qualified_std_and_keywords_are_skipped() {
+        let (files, index) = ws(&[(
+            "crates/app/src/a.rs",
+            "fn new() {} fn drop(g: G) {} fn caller() { vec![1]; println!(\"x\"); Vec::new(); \
+             if (true) {} drop(guard); Self::new(); }",
+        )]);
+        let graph = CallGraph::build(&files, &index);
+        // Only `Self::new()` resolves — `Vec::new()` must not.
+        let sites = &graph.sites[index.by_name["caller"][0]];
+        let resolved: Vec<&CallSite> = sites.iter().filter(|s| !s.callees.is_empty()).collect();
+        assert_eq!(resolved.len(), 1);
+        assert_eq!(resolved[0].name, "new");
+        assert!(sites.iter().all(|s| s.name != "vec" && s.name != "println"));
+    }
+
+    #[test]
+    fn nested_fn_calls_belong_to_the_nested_fn() {
+        let (files, index) = ws(&[(
+            "crates/app/src/a.rs",
+            "fn leaf() {} fn outer() { fn inner() { leaf(); } inner(); }",
+        )]);
+        let graph = CallGraph::build(&files, &index);
+        assert_eq!(callee_names(&graph, &index, "outer"), vec!["inner"]);
+        assert_eq!(callee_names(&graph, &index, "inner"), vec!["leaf"]);
+    }
+}

@@ -72,6 +72,59 @@ pub fn lock_rank(class: &str) -> Option<usize> {
     LOCK_ORDER.iter().position(|&c| c == class)
 }
 
+/// Lock classes that may be *contended or held across I/O* — taking
+/// one of these from a reactor callback can stall the event loop for
+/// an fsync or a chunk apply. The short in-memory classes (`shard`,
+/// `latest_time`, `inflight`, …) are deliberately absent: the inline
+/// service path takes them for microseconds and flagging them would
+/// drown the signal.
+pub const CONTENDED_CLASSES: &[&str] = &["replica", "wal", "fs"];
+
+/// Functions that *hand work off* to another thread: a call argument
+/// (typically a closure) passed to one of these executes on a worker,
+/// not on the reactor thread, so blocking operations inside it are
+/// fine. The blocking-in-reactor traversal skips the argument lists of
+/// these calls and does not follow the call edge.
+pub const HOP_FNS: &[&str] = &[
+    "spawn",
+    "submit",
+    "submit_with",
+    "submit_callback",
+    "submit_maintenance",
+    "inject",
+    "try_send",
+];
+
+/// Reactor driver callbacks: everything reachable from these without a
+/// worker-pool hop runs on an event-loop thread and must not block.
+pub const REACTOR_ROOTS: &[&str] = &["on_event", "on_task", "on_timer"];
+
+/// FFI calls that return an owned raw file descriptor. A `let`-bound
+/// result of one of these must visibly reach an [`FD_SINKS`] call, an
+/// `Ok(..)`/`Some(..)` return, a struct field, or a `return` within
+/// the same function — otherwise the fd leaks on some path.
+pub const FD_PRODUCERS: &[&str] = &["socket", "epoll_create1", "eventfd", "accept", "dup"];
+
+/// Calls that consume or transfer ownership of a raw fd.
+pub const FD_SINKS: &[&str] = &["close", "close_fd", "from_raw_fd"];
+
+/// Solver hot-path functions: heap allocation inside a *loop* in these
+/// is a per-iteration cost on the O(d·c²) DP that dominates plan
+/// latency. Keyed by workspace-relative file path.
+#[must_use]
+pub fn hot_path_fns(path: &str) -> &'static [&'static str] {
+    match path {
+        "crates/pager-core/src/dp.rs" => &[
+            "optimal_split",
+            "optimal_split_cancel",
+            "optimal_split_exact",
+            "conference_stop_probs",
+            "conference_stop_probs_exact",
+        ],
+        _ => &[],
+    }
+}
+
 /// The workspace policy consulted by rules.
 #[derive(Debug, Default)]
 pub struct Policy;

@@ -3,52 +3,204 @@
 //! A pure-std linter (no `syn`, no network) that enforces the
 //! workspace's own invariants on top of rustc/clippy: float-comparison
 //! discipline, no panicking escape hatches on the serving path, audited
-//! atomic orderings, validated `Instance` construction, and the global
-//! lock-acquisition order. See DESIGN.md §9 for the architecture and
-//! rule catalog.
+//! atomic orderings, validated `Instance` construction, the global
+//! lock-acquisition order, blocking-free reactor callbacks, audited
+//! `unsafe`, and allocation-free solver hot paths. See DESIGN.md §9 and
+//! §14 for the architecture and rule catalog.
 //!
-//! Pipeline per file: [`lexer::lex`] → shared analyses
-//! ([`rules::test_regions`], [`rules::fn_spans`]) → rule dispatch
-//! ([`rules::run_all`]) → inline suppression filter
-//! ([`suppress::Allows`]). Across files: findings diff against the
-//! committed [`baseline`] so CI fails only on *new* violations.
+//! The analyzer runs two passes:
+//!
+//! 1. **Load**: every `.rs` file is lexed once into a [`FileData`]
+//!    (tokens, comments, `#[cfg(test)]` regions, `fn` spans); a
+//!    [`symbols::Index`] and [`callgraph::CallGraph`] link the files.
+//! 2. **Rules**: per-file rules ([`rules::run_all`]) see one file's
+//!    [`rules::FileContext`]; workspace rules
+//!    ([`rules::lock_graph`], [`rules::blocking`]) see the whole
+//!    [`Workspace`]. Both kinds of findings pass through the same
+//!    inline suppression filter ([`suppress::Allows`]) and the same
+//!    [`baseline`] diff, so CI fails only on *new* violations.
 
 pub mod baseline;
+pub mod callgraph;
 pub mod config;
 pub mod findings;
 pub mod lexer;
 pub mod rules;
 pub mod suppress;
+pub mod symbols;
 pub mod walk;
 
 use config::Policy;
 use findings::Report;
 use std::path::Path;
 
+/// One loaded source file with its shared per-file analyses.
+#[derive(Debug)]
+pub struct FileData {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// The raw source text.
+    pub source: String,
+    /// Lexed tokens and comments.
+    pub lexed: lexer::Lexed,
+    /// Line spans of `#[cfg(test)]` items (inclusive).
+    pub test_regions: Vec<(u32, u32)>,
+    /// Token ranges of every `fn` body.
+    pub fn_spans: Vec<rules::FnSpan>,
+}
+
+impl FileData {
+    /// Lexes `source` and precomputes the shared analyses.
+    #[must_use]
+    pub fn new(path: String, source: String) -> FileData {
+        let lexed = lexer::lex(&source);
+        let test_regions = rules::test_regions(&lexed.tokens);
+        let fn_spans = rules::fn_spans(&lexed.tokens);
+        FileData {
+            path,
+            source,
+            lexed,
+            test_regions,
+            fn_spans,
+        }
+    }
+
+    /// Whether `line` lies inside a `#[cfg(test)]` item.
+    #[must_use]
+    pub fn in_test_region(&self, line: u32) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(start, end)| line >= start && line <= end)
+    }
+
+    /// Builds a finding at `line` of this file (workspace-rule
+    /// counterpart of [`rules::FileContext::finding`]).
+    #[must_use]
+    pub fn finding(&self, rule: &'static str, line: u32, message: String) -> findings::Finding {
+        let excerpt = self
+            .source
+            .lines()
+            .nth(line.saturating_sub(1) as usize)
+            .map_or("", str::trim)
+            .to_string();
+        findings::Finding {
+            rule,
+            file: self.path.clone(),
+            line,
+            message,
+            excerpt,
+        }
+    }
+}
+
+/// The fully loaded workspace: files plus the cross-file link layer.
+#[derive(Debug)]
+pub struct Workspace {
+    /// Every `.rs` file, sorted by path.
+    pub files: Vec<FileData>,
+    /// The fn symbol table and per-file alias maps.
+    pub index: symbols::Index,
+    /// Resolved call sites per fn.
+    pub calls: callgraph::CallGraph,
+}
+
+/// Loads every `.rs` file under `root` and links them.
+///
+/// # Errors
+///
+/// A message on unreadable files or directories.
+pub fn load_workspace(root: &Path) -> Result<Workspace, String> {
+    let paths =
+        walk::collect_rust_files(root).map_err(|e| format!("walking {}: {e}", root.display()))?;
+    let mut files = Vec::with_capacity(paths.len());
+    for path in paths {
+        let source = std::fs::read_to_string(root.join(&path))
+            .map_err(|e| format!("reading {path}: {e}"))?;
+        files.push(FileData::new(path, source));
+    }
+    let index = symbols::Index::build(&files);
+    let calls = callgraph::CallGraph::build(&files, &index);
+    Ok(Workspace {
+        files,
+        index,
+        calls,
+    })
+}
+
 /// Lints one file's source, splitting results into kept and
-/// inline-suppressed findings.
+/// inline-suppressed findings. Runs the per-file rules only — the
+/// workspace rules need a [`Workspace`].
 #[must_use]
 pub fn lint_source(
     path: &str,
     source: &str,
     policy: &Policy,
 ) -> (Vec<findings::Finding>, Vec<findings::Finding>) {
-    let lexed = lexer::lex(source);
-    let lines: Vec<&str> = source.lines().collect();
-    let regions = rules::test_regions(&lexed.tokens);
-    let spans = rules::fn_spans(&lexed.tokens);
+    let fd = FileData::new(path.to_string(), source.to_string());
+    let lines: Vec<&str> = fd.source.lines().collect();
     let ctx = rules::FileContext {
         path,
-        tokens: &lexed.tokens,
+        tokens: &fd.lexed.tokens,
+        comments: &fd.lexed.comments,
         lines: &lines,
-        test_regions: &regions,
-        fn_spans: &spans,
+        test_regions: &fd.test_regions,
+        fn_spans: &fd.fn_spans,
         policy,
     };
-    let allows = suppress::Allows::collect(&lexed.comments);
+    let allows = suppress::Allows::collect(&fd.lexed.comments);
     rules::run_all(&ctx)
         .into_iter()
         .partition(|f| !allows.covers(f.rule, f.line))
+}
+
+/// Runs every rule — per-file and workspace — over a loaded workspace.
+#[must_use]
+pub fn lint_loaded(ws: &Workspace) -> Report {
+    let policy = Policy;
+    let mut report = Report::default();
+    let mut all: Vec<findings::Finding> = Vec::new();
+    for fd in &ws.files {
+        let lines: Vec<&str> = fd.source.lines().collect();
+        let ctx = rules::FileContext {
+            path: &fd.path,
+            tokens: &fd.lexed.tokens,
+            comments: &fd.lexed.comments,
+            lines: &lines,
+            test_regions: &fd.test_regions,
+            fn_spans: &fd.fn_spans,
+            policy: &policy,
+        };
+        all.extend(rules::run_all(&ctx));
+        report.files_scanned += 1;
+    }
+    all.extend(rules::lock_graph::check_workspace(ws));
+    all.extend(rules::blocking::check_workspace(ws));
+    // One suppression pass over everything: workspace-rule findings
+    // honour the same inline `lint:allow` markers as per-file ones.
+    let allows: std::collections::HashMap<&str, suppress::Allows> = ws
+        .files
+        .iter()
+        .map(|fd| {
+            (
+                fd.path.as_str(),
+                suppress::Allows::collect(&fd.lexed.comments),
+            )
+        })
+        .collect();
+    for finding in all {
+        let covered = allows
+            .get(finding.file.as_str())
+            .is_some_and(|a| a.covers(finding.rule, finding.line));
+        if covered {
+            report.allowed.push(finding);
+        } else {
+            report.findings.push(finding);
+        }
+    }
+    report
+        .findings
+        .sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
+    report
 }
 
 /// Lints every `.rs` file under `root`.
@@ -57,19 +209,7 @@ pub fn lint_source(
 ///
 /// A message on unreadable files or directories.
 pub fn lint_workspace(root: &Path) -> Result<Report, String> {
-    let files =
-        walk::collect_rust_files(root).map_err(|e| format!("walking {}: {e}", root.display()))?;
-    let policy = Policy;
-    let mut report = Report::default();
-    for file in files {
-        let source = std::fs::read_to_string(root.join(&file))
-            .map_err(|e| format!("reading {file}: {e}"))?;
-        let (kept, allowed) = lint_source(&file, &source, &policy);
-        report.findings.extend(kept);
-        report.allowed.extend(allowed);
-        report.files_scanned += 1;
-    }
-    Ok(report)
+    Ok(lint_loaded(&load_workspace(root)?))
 }
 
 #[cfg(test)]

@@ -2,16 +2,23 @@
 //!
 //! ```text
 //! pager-lint [--root DIR] [--baseline PATH] [--json] [--write-baseline]
+//!            [--emit-lock-graph DIR]
 //! ```
 //!
 //! Exit status: 0 when no findings are new relative to the baseline,
 //! 1 when new findings exist, 2 on usage or I/O errors. After fixing
 //! or deliberately baselining findings, regenerate the committed
 //! baseline with `cargo run -p pager-lint -- --write-baseline`.
+//!
+//! `--emit-lock-graph DIR` additionally writes the workspace
+//! lock-acquisition graph to `DIR/lock-graph.dot` and
+//! `DIR/lock-graph.json` (the committed copies live under `docs/` and
+//! are kept fresh by the `lock_graph_artifact` repo test).
 
 use pager_lint::baseline::Baseline;
 use pager_lint::findings::Finding;
-use pager_lint::{lint_workspace, walk};
+use pager_lint::rules::lock_graph;
+use pager_lint::{lint_loaded, load_workspace, walk};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -22,6 +29,7 @@ struct Options {
     baseline: Option<PathBuf>,
     json: bool,
     write_baseline: bool,
+    emit_lock_graph: Option<PathBuf>,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -30,6 +38,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         baseline: None,
         json: false,
         write_baseline: false,
+        emit_lock_graph: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -44,9 +53,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--json" => opts.json = true,
             "--write-baseline" => opts.write_baseline = true,
+            "--emit-lock-graph" => {
+                let v = it.next().ok_or("--emit-lock-graph needs a directory")?;
+                opts.emit_lock_graph = Some(PathBuf::from(v));
+            }
             "--help" | "-h" => {
                 return Err("usage: pager-lint [--root DIR] [--baseline PATH] [--json] \
-                     [--write-baseline]"
+                     [--write-baseline] [--emit-lock-graph DIR]"
                     .to_string())
             }
             other => return Err(format!("unknown argument {other:?}")),
@@ -87,7 +100,27 @@ fn run() -> Result<ExitCode, String> {
     };
     let baseline_path = opts.baseline.unwrap_or_else(|| root.join(DEFAULT_BASELINE));
 
-    let report = lint_workspace(&root)?;
+    let ws = load_workspace(&root)?;
+
+    if let Some(dir) = &opts.emit_lock_graph {
+        let graph = lock_graph::build(&ws);
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        let dot = dir.join("lock-graph.dot");
+        let json = dir.join("lock-graph.json");
+        std::fs::write(&dot, graph.to_dot())
+            .map_err(|e| format!("writing {}: {e}", dot.display()))?;
+        std::fs::write(&json, graph.to_json())
+            .map_err(|e| format!("writing {}: {e}", json.display()))?;
+        eprintln!(
+            "pager-lint: lock graph ({} nodes, {} edges, {} cycles) written to {}",
+            graph.nodes().len(),
+            graph.edges.len(),
+            graph.cycles().len(),
+            dir.display()
+        );
+    }
+
+    let report = lint_loaded(&ws);
 
     if opts.write_baseline {
         Baseline::write(&report, &baseline_path)

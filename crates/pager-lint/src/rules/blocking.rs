@@ -1,0 +1,349 @@
+//! `no-blocking-in-reactor`: blocking operations must not be reachable
+//! from reactor driver callbacks.
+//!
+//! Every `Driver::on_event` / `on_task` / `on_timer` body runs on an
+//! event-loop thread; one blocking call there stalls every connection
+//! on that loop. The rule walks the call graph from those roots
+//! (breadth-first, cross-file) and reports blocking operations found in
+//! any reachable body, with the call path as evidence.
+//!
+//! Two escapes keep the rule honest:
+//!
+//! - **Worker-pool hops**: the *argument list* of a call to one of
+//!   [`crate::config::HOP_FNS`] (`spawn`, `submit*`, `inject`,
+//!   `try_send`) executes on another thread — closures handed off this
+//!   way may block freely. The scan skips those token ranges entirely
+//!   (and since closures are not call-graph nodes, nothing is followed
+//!   into them). The hop function's *own body* still runs on the
+//!   reactor thread and is traversed normally.
+//! - **Contended-lock scope**: `.lock()` only counts as blocking for
+//!   classes in [`crate::config::CONTENDED_CLASSES`] — the ones held
+//!   across I/O. The short in-memory classes on the inline service
+//!   path (`shard`, `inflight`, …) are microsecond critical sections,
+//!   not stalls.
+//!
+//! The blocking catalog is lexical (qualified std calls like
+//! `thread::sleep` or `File::open` never resolve through the call
+//! graph): channel `recv`/`wait`/`join()`, `thread::sleep`, file and
+//! `std::fs` I/O, fsync, `TcpStream::connect`, bounded-channel `send`
+//! (receiver declared as a `SyncSender`), and contended `.lock()`.
+
+use crate::config::{lock_class, Policy, CONTENDED_CLASSES, HOP_FNS, REACTOR_ROOTS};
+use crate::findings::Finding;
+use crate::lexer::{Token, TokenKind};
+use crate::Workspace;
+use std::collections::{BTreeMap, VecDeque};
+
+pub(crate) const RULE: &str = "no-blocking-in-reactor";
+
+/// Runs the rule over a loaded workspace.
+#[must_use]
+pub fn check_workspace(ws: &Workspace) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    // Breadth-first reach from every reactor root, remembering the
+    // shortest call path for the message.
+    let mut reached: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    for (fn_idx, sym) in ws.index.fns.iter().enumerate() {
+        let fd = &ws.files[sym.file];
+        if REACTOR_ROOTS.contains(&sym.name.as_str())
+            && !Policy::is_test_path(&fd.path)
+            && !fd.in_test_region(sym.line)
+        {
+            reached.insert(fn_idx, vec![sym.name.clone()]);
+            queue.push_back(fn_idx);
+        }
+    }
+    while let Some(fn_idx) = queue.pop_front() {
+        let path = reached[&fn_idx].clone();
+        let sym = &ws.index.fns[fn_idx];
+        let fd = &ws.files[sym.file];
+        let skip = skip_ranges(ws, fn_idx);
+        findings.extend(scan_blocking(fd, sym, &skip, &path));
+        for site in &ws.calls.sites[fn_idx] {
+            if in_skipped(&skip, site.token) || HOP_FNS.contains(&site.name.as_str()) {
+                // The hop's body is its own root-reachable node only
+                // via non-hop call sites; following the hop edge here
+                // would conflate the handed-off closure with the hop
+                // body. Hop bodies (pool submit paths) are short and
+                // covered by their own callers' tests.
+                continue;
+            }
+            for &callee in &site.callees {
+                if reached.contains_key(&callee) {
+                    continue;
+                }
+                let mut next_path = path.clone();
+                next_path.push(ws.index.fns[callee].name.clone());
+                reached.insert(callee, next_path);
+                queue.push_back(callee);
+            }
+        }
+    }
+    findings
+}
+
+/// Token ranges not to scan in a fn body: nested fn bodies (their own
+/// call-graph nodes) and argument lists of worker-pool hops.
+fn skip_ranges(ws: &Workspace, fn_idx: usize) -> Vec<(usize, usize)> {
+    let sym = &ws.index.fns[fn_idx];
+    let tokens = &ws.files[sym.file].lexed.tokens;
+    let mut ranges: Vec<(usize, usize)> = ws
+        .index
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|&(other, o)| {
+            other != fn_idx
+                && o.file == sym.file
+                && sym.span.open < o.span.open
+                && o.span.close < sym.span.close
+        })
+        .map(|(_, o)| (o.span.open, o.span.close))
+        .collect();
+    let mut j = sym.span.open;
+    while j <= sym.span.close {
+        let t = &tokens[j];
+        if t.kind == TokenKind::Ident
+            && HOP_FNS.contains(&t.text.as_str())
+            && tokens.get(j + 1).is_some_and(|t| t.is_punct("("))
+        {
+            let close = matching_paren(tokens, j + 1);
+            ranges.push((j + 1, close));
+            j = close;
+        }
+        j += 1;
+    }
+    ranges
+}
+
+fn in_skipped(ranges: &[(usize, usize)], tok: usize) -> bool {
+    ranges
+        .iter()
+        .any(|&(open, close)| open <= tok && tok <= close)
+}
+
+/// Index of the `)` matching the `(` at `open`.
+fn matching_paren(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (j, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct("(") {
+            depth += 1;
+        } else if t.is_punct(")") {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Scans one reachable body for catalog matches.
+fn scan_blocking(
+    fd: &crate::FileData,
+    sym: &crate::symbols::FnSym,
+    skip: &[(usize, usize)],
+    path: &[String],
+) -> Vec<Finding> {
+    let tokens = &fd.lexed.tokens;
+    let mut findings = Vec::new();
+    for j in sym.span.open..=sym.span.close {
+        if in_skipped(skip, j) {
+            continue;
+        }
+        if let Some(what) = blocking_op(tokens, j, fd) {
+            findings.push(fd.finding(
+                RULE,
+                tokens[j].line,
+                format!(
+                    "blocking operation ({what}) on the reactor thread, reachable via {}; \
+                     hand it to the worker pool or make it nonblocking",
+                    path.join(" -> ")
+                ),
+            ));
+        }
+    }
+    findings
+}
+
+/// Names the blocking operation at token `j`, if any.
+fn blocking_op(tokens: &[Token], j: usize, fd: &crate::FileData) -> Option<String> {
+    let t = &tokens[j];
+    if t.kind != TokenKind::Ident || !tokens.get(j + 1).is_some_and(|n| n.is_punct("(")) {
+        return None;
+    }
+    let prev = j.checked_sub(1).map(|k| &tokens[k]);
+    let qualifier = j.checked_sub(2).map(|k| &tokens[k]);
+    let name = t.text.as_str();
+    let after_dot = prev.is_some_and(|p| p.is_punct("."));
+    let after_path = prev.is_some_and(|p| p.is_punct("::"));
+    match name {
+        "sleep" => return Some("thread::sleep".to_string()),
+        "recv" | "recv_timeout" | "wait" | "wait_timeout" if after_dot => {
+            return Some(format!("channel/condvar .{name}()"));
+        }
+        "join" if after_dot && tokens.get(j + 2).is_some_and(|n| n.is_punct(")")) => {
+            return Some("thread .join()".to_string());
+        }
+        "connect" if after_path && qualifier.is_some_and(|q| q.is_ident("TcpStream")) => {
+            return Some("TcpStream::connect".to_string());
+        }
+        "open" | "create" if after_path && qualifier.is_some_and(|q| q.is_ident("File")) => {
+            return Some(format!("File::{name}"));
+        }
+        "sync_all" | "sync_data" if after_dot => {
+            return Some(format!("fsync via .{name}()"));
+        }
+        "send" if after_dot => {
+            let receiver = super::lock_order::receiver_ident(tokens, j - 1);
+            if receiver.is_some_and(|r| declared_sync_sender(tokens, r)) {
+                return Some("bounded-channel .send() (SyncSender blocks when full)".to_string());
+            }
+        }
+        "lock"
+            if after_dot
+                && tokens.get(j + 2).is_some_and(|n| n.is_punct(")"))
+                && tokens.get(j + 1).is_some_and(|n| n.is_punct("(")) =>
+        {
+            let class = super::lock_order::receiver_ident(tokens, j - 1).and_then(lock_class);
+            if let Some(class) = class {
+                if CONTENDED_CLASSES.contains(&class) {
+                    return Some(format!("contended `{class}` lock (held across I/O)"));
+                }
+            }
+        }
+        _ if after_path && qualifier.is_some_and(|q| q.is_ident("fs")) => {
+            return Some(format!("std::fs::{name}"));
+        }
+        _ => {}
+    }
+    let _ = fd;
+    None
+}
+
+/// Whether `receiver` is declared in this file with a `SyncSender`
+/// type (struct field or annotated binding): `jobs: mpsc::SyncSender<..>`.
+fn declared_sync_sender(tokens: &[Token], receiver: &str) -> bool {
+    for (k, t) in tokens.iter().enumerate() {
+        if t.is_ident(receiver)
+            && tokens.get(k + 1).is_some_and(|n| n.is_punct(":"))
+            && tokens
+                .iter()
+                .skip(k + 2)
+                .take(8)
+                .any(|n| n.is_ident("SyncSender"))
+        {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FileData, Workspace};
+
+    fn workspace(files: &[(&str, &str)]) -> Workspace {
+        let files: Vec<FileData> = files
+            .iter()
+            .map(|(p, s)| FileData::new((*p).to_string(), (*s).to_string()))
+            .collect();
+        let index = crate::symbols::Index::build(&files);
+        let calls = crate::callgraph::CallGraph::build(&files, &index);
+        Workspace {
+            files,
+            index,
+            calls,
+        }
+    }
+
+    #[test]
+    fn transitive_sleep_from_on_event_is_flagged() {
+        let ws = workspace(&[
+            (
+                "crates/app/src/driver.rs",
+                "impl Driver for D { fn on_event(&mut self) { self.step(); } }\n\
+                 impl D { fn step(&self) { settle(); } }",
+            ),
+            (
+                "crates/app/src/util.rs",
+                "pub fn settle() { thread::sleep(Duration::from_millis(1)); }",
+            ),
+        ]);
+        let findings = check_workspace(&ws);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("thread::sleep"));
+        assert!(findings[0].message.contains("on_event -> step -> settle"));
+    }
+
+    #[test]
+    fn blocking_behind_worker_pool_hop_is_clean() {
+        // The closure handed to submit() runs on a worker: near miss.
+        let ws = workspace(&[(
+            "crates/app/src/driver.rs",
+            "impl Driver for D { fn on_task(&mut self) { \
+             self.pool.submit(move || { thread::sleep(Duration::from_secs(1)); fs::remove_file(p); }); } }",
+        )]);
+        assert!(check_workspace(&ws).is_empty());
+    }
+
+    #[test]
+    fn contended_lock_flagged_inline_lock_clean() {
+        let ws = workspace(&[(
+            "crates/app/src/driver.rs",
+            "impl Driver for D { fn on_event(&mut self) { \
+             let s = self.shard_for(0).lock().unwrap(); drop(s); \
+             let w = self.wal.lock().unwrap(); drop(w); } }",
+        )]);
+        let findings = check_workspace(&ws);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("`wal` lock"));
+    }
+
+    #[test]
+    fn sync_sender_send_flagged_unbounded_send_clean() {
+        let ws = workspace(&[(
+            "crates/app/src/driver.rs",
+            "struct D { jobs: mpsc::SyncSender<Job>, events: mpsc::Sender<Event> }\n\
+             impl Driver for D { fn on_event(&mut self) { \
+             let _ = self.jobs.send(j); let _ = self.events.send(e); } }",
+        )]);
+        let findings = check_workspace(&ws);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("SyncSender"));
+    }
+
+    #[test]
+    fn recv_join_and_file_io_are_flagged() {
+        let ws = workspace(&[(
+            "crates/app/src/driver.rs",
+            "impl Driver for D { fn on_timer(&mut self) { \
+             let x = self.rx2.recv(); h.join(); File::open(p); fs::read(p); \
+             let parts = s.join(\", \"); } }",
+        )]);
+        let findings = check_workspace(&ws);
+        // 4 blocking ops; `s.join(\", \")` (separator arg) is not one.
+        assert_eq!(findings.len(), 4, "{findings:?}");
+    }
+
+    #[test]
+    fn code_not_reachable_from_roots_is_ignored() {
+        let ws = workspace(&[(
+            "crates/app/src/worker.rs",
+            "fn worker_loop(&self) { loop { let j = self.rx.recv(); } }",
+        )]);
+        assert!(check_workspace(&ws).is_empty());
+    }
+
+    #[test]
+    fn test_region_drivers_are_ignored() {
+        let ws = workspace(&[(
+            "crates/app/src/driver.rs",
+            "#[cfg(test)]\nmod tests {\n impl Driver for Fake { fn on_event(&mut self) { \
+             thread::sleep(d); } }\n}",
+        )]);
+        assert!(check_workspace(&ws).is_empty());
+    }
+}

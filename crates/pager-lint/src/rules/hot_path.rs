@@ -1,0 +1,205 @@
+//! `no-alloc-in-hot-path`: no heap allocation inside loops of the
+//! solver's hot functions.
+//!
+//! The DP in `pager-core/src/dp.rs` runs O(d·c²) iterations per plan
+//! and dominates request latency; one `clone()` or `format!` inside
+//! those loops multiplies into millions of allocations under load. The
+//! hot-function list lives in [`crate::config::hot_path_fns`] — the
+//! rule only fires inside those functions, and only at *loop depth ≥ 1*
+//! (setup allocations before the loops are the right way to hoist).
+//!
+//! Recognised allocating calls: `.clone()`, `.to_vec()`,
+//! `.to_owned()`, `.to_string()`, `.collect()`, `vec![...]`,
+//! `format!(...)`, `String::from(...)`, and
+//! `Vec`/`Box`/`String`/`HashMap`/`BTreeMap`/`VecDeque`
+//! `::new`/`::with_capacity`.
+
+use super::FileContext;
+use crate::config::hot_path_fns;
+use crate::findings::Finding;
+use crate::lexer::{Token, TokenKind};
+
+pub(crate) const RULE: &str = "no-alloc-in-hot-path";
+
+/// Method names that allocate.
+const ALLOC_METHODS: &[&str] = &["clone", "to_vec", "to_owned", "to_string", "collect"];
+
+/// Macros that allocate.
+const ALLOC_MACROS: &[&str] = &["vec", "format"];
+
+/// Types whose `new`/`with_capacity`/`from` allocate.
+const ALLOC_TYPES: &[&str] = &["Vec", "Box", "String", "HashMap", "BTreeMap", "VecDeque"];
+
+/// Runs the rule over one file.
+#[must_use]
+pub fn check(ctx: &FileContext<'_>) -> Vec<Finding> {
+    let hot = hot_path_fns(ctx.path);
+    if hot.is_empty() {
+        return Vec::new();
+    }
+    let mut findings = Vec::new();
+    for (name, span, line) in crate::symbols::named_fns(ctx.tokens) {
+        if !hot.contains(&name.as_str()) || ctx.in_test_region(line) {
+            continue;
+        }
+        scan_fn(
+            ctx,
+            &name,
+            &ctx.tokens[span.open..=span.close],
+            &mut findings,
+        );
+    }
+    findings
+}
+
+fn scan_fn(ctx: &FileContext<'_>, fn_name: &str, body: &[Token], findings: &mut Vec<Finding>) {
+    let mut depth = 0i32;
+    // Brace depths at which a loop body opened; its length is the
+    // current loop nesting level.
+    let mut loop_depths: Vec<i32> = Vec::new();
+    let mut pending_loop = false;
+    let mut i = 0usize;
+    while i < body.len() {
+        let t = &body[i];
+        if t.is_punct("{") {
+            depth += 1;
+            if pending_loop {
+                loop_depths.push(depth);
+                pending_loop = false;
+            }
+        } else if t.is_punct("}") {
+            if loop_depths.last() == Some(&depth) {
+                loop_depths.pop();
+            }
+            depth -= 1;
+        } else if t.is_ident("for") || t.is_ident("while") || t.is_ident("loop") {
+            pending_loop = true;
+        } else if !loop_depths.is_empty() {
+            if let Some(what) = alloc_at(body, i) {
+                findings.push(ctx.finding(
+                    RULE,
+                    t.line,
+                    format!(
+                        "heap allocation ({what}) inside a loop of hot-path fn \
+                         `{fn_name}`; hoist it above the loop or reuse a buffer"
+                    ),
+                ));
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Names the allocating call at token `i`, if any.
+fn alloc_at(body: &[Token], i: usize) -> Option<String> {
+    let t = &body[i];
+    if t.kind != TokenKind::Ident {
+        return None;
+    }
+    let name = t.text.as_str();
+    let prev = i.checked_sub(1).map(|k| &body[k]);
+    let next = body.get(i + 1);
+    if ALLOC_MACROS.contains(&name) && next.is_some_and(|n| n.is_punct("!")) {
+        return Some(format!("{name}!"));
+    }
+    if !next.is_some_and(|n| n.is_punct("(")) {
+        return None;
+    }
+    if ALLOC_METHODS.contains(&name) && prev.is_some_and(|p| p.is_punct(".")) {
+        return Some(format!(".{name}()"));
+    }
+    if matches!(name, "new" | "with_capacity" | "from") && prev.is_some_and(|p| p.is_punct("::")) {
+        let qualifier = i.checked_sub(2).map(|k| &body[k]);
+        if qualifier.is_some_and(|q| ALLOC_TYPES.contains(&q.text.as_str())) {
+            return Some(format!("{}::{name}", qualifier.map_or("?", |q| &q.text)));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::tests_support::run_rule_at;
+
+    const PATH: &str = "crates/pager-core/src/dp.rs";
+
+    #[test]
+    fn setup_allocation_before_loops_is_fine() {
+        let src = "\
+pub fn optimal_split(g: &[f64], d: usize) -> Option<Split> {
+    let mut best = vec![vec![0.0; c + 1]; d + 1];
+    let mut sizes = Vec::with_capacity(d);
+    for l in 1..=d {
+        for j in 0..=c {
+            best[l][j] = best[l - 1][j].max(0.0);
+        }
+    }
+    Some(Split { sizes })
+}
+";
+        assert!(run_rule_at(PATH, src, check).is_empty());
+    }
+
+    #[test]
+    fn clone_inside_loop_is_flagged() {
+        let src = "\
+pub fn optimal_split_exact(g: &[Ratio], d: usize) -> Option<ExactSplit> {
+    for l in 1..=d {
+        for prev in 0..=c {
+            let v = best[l - 1][prev].clone();
+        }
+    }
+    None
+}
+";
+        let findings = run_rule_at(PATH, src, check);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains(".clone()"));
+        assert!(findings[0].message.contains("optimal_split_exact"));
+    }
+
+    #[test]
+    fn vec_macro_and_format_in_loop_are_flagged() {
+        let src = "\
+pub fn conference_stop_probs(rows: &[&[f64]]) -> Vec<f64> {
+    let mut out = Vec::new();
+    loop {
+        let row = vec![0.0; c];
+        let msg = format!(\"{row:?}\");
+        break;
+    }
+    out
+}
+";
+        let findings = run_rule_at(PATH, src, check);
+        assert_eq!(findings.len(), 2, "{findings:?}");
+    }
+
+    #[test]
+    fn non_hot_functions_and_other_files_are_exempt() {
+        let src = "\
+pub fn helper() { for _ in 0..3 { let v = vec![1]; } }
+";
+        assert!(run_rule_at(PATH, src, check).is_empty());
+        let hot_shape = "\
+pub fn optimal_split(g: &[f64]) { for _ in 0..3 { let v = vec![1]; } }
+";
+        assert!(run_rule_at("crates/pager-core/src/greedy.rs", hot_shape, check).is_empty());
+        assert_eq!(run_rule_at(PATH, hot_shape, check).len(), 1);
+    }
+
+    #[test]
+    fn while_let_and_labelled_loops_count() {
+        let src = "\
+pub fn optimal_split(q: &mut VecDeque<u32>) {
+    'outer: while let Some(x) = q.pop_front() {
+        let s = x.to_string();
+    }
+}
+";
+        let findings = run_rule_at(PATH, src, check);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains(".to_string()"));
+    }
+}

@@ -126,7 +126,7 @@ fn scan_body(ctx: &FileContext<'_>, body: &[Token], findings: &mut Vec<Finding>)
 /// the immediate identifier (`queue.lock()`, `self.inflight.lock()`),
 /// or the callee/array name across one balanced call or index group
 /// (`shard_for(device).lock()`, `shards[i].lock()`).
-fn receiver_ident(body: &[Token], dot: usize) -> Option<&str> {
+pub(crate) fn receiver_ident(body: &[Token], dot: usize) -> Option<&str> {
     let mut j = dot.checked_sub(1)?;
     let t = &body[j];
     if t.kind == TokenKind::Ident {
@@ -159,7 +159,7 @@ const UNWRAP_CHAIN: &[&str] = &["expect", "unwrap", "unwrap_or_else"];
 /// If the statement is `let [mut] name = <recv>.lock()` followed only
 /// by unwrap-chain calls and the terminating `;`, returns the binding
 /// name; otherwise the guard is a temporary.
-fn simple_let_binding(body: &[Token], close_paren: usize) -> Option<String> {
+pub(crate) fn simple_let_binding(body: &[Token], close_paren: usize) -> Option<String> {
     // Forward: only unwrap-chain method calls until `;`.
     let mut j = close_paren + 1;
     loop {

@@ -7,14 +7,18 @@
 //! tokens, not over a full AST (the workspace is offline, so no `syn`).
 
 pub mod atomics;
+pub mod blocking;
 pub mod float_eq;
+pub mod hot_path;
 pub mod instance_literal;
+pub mod lock_graph;
 pub mod lock_order;
+pub mod unsafe_ffi;
 pub mod unwrap;
 
 use crate::config::Policy;
 use crate::findings::Finding;
-use crate::lexer::{Token, TokenKind};
+use crate::lexer::{Comment, Token, TokenKind};
 
 /// A half-open token range `[open, close]` of one `fn` body's braces.
 #[derive(Debug, Clone, Copy)]
@@ -31,6 +35,8 @@ pub struct FileContext<'a> {
     pub path: &'a str,
     /// The lexed code tokens.
     pub tokens: &'a [Token],
+    /// The lexed comments (for `// SAFETY:` proximity checks).
+    pub comments: &'a [Comment],
     /// Raw source split into lines (for excerpts).
     pub lines: &'a [&'a str],
     /// Line spans of `#[cfg(test)]` items (inclusive).
@@ -77,6 +83,8 @@ pub fn run_all(ctx: &FileContext<'_>) -> Vec<Finding> {
     findings.extend(atomics::check(ctx));
     findings.extend(instance_literal::check(ctx));
     findings.extend(lock_order::check(ctx));
+    findings.extend(unsafe_ffi::check(ctx));
+    findings.extend(hot_path::check(ctx));
     findings.sort_by(|a, b| a.line.cmp(&b.line).then_with(|| a.rule.cmp(b.rule)));
     findings.dedup();
     findings
@@ -344,6 +352,7 @@ pub(crate) mod tests_support {
         let ctx = FileContext {
             path,
             tokens: &lexed.tokens,
+            comments: &lexed.comments,
             lines: &lines,
             test_regions: &regions,
             fn_spans: &spans,

@@ -1,0 +1,316 @@
+//! `unsafe-safety-comment` + `raw-fd-lifecycle`: the unsafe/FFI audit.
+//!
+//! Only `pager-reactor` may contain `unsafe` (the other crates carry
+//! `#![forbid(unsafe_code)]`), and each of its unsafe surfaces is a
+//! raw syscall wrapper. Two checks keep that surface reviewable:
+//!
+//! - **`unsafe-safety-comment`**: every `unsafe` keyword (block, fn,
+//!   impl) must have a `// SAFETY:` comment on the same line or at
+//!   most two lines above. Runs of consecutive `//` lines coalesce
+//!   into one block first, so a multi-line SAFETY explanation (or one
+//!   shared by adjacent `unsafe impl`s) counts from the run's *last*
+//!   line — close enough that the comment demonstrably refers to this
+//!   code, far enough that a stale comment elsewhere in the file
+//!   can't vouch for new unsafe code.
+//! - **`raw-fd-lifecycle`**: a `let`-bound result of an fd-returning
+//!   FFI call ([`crate::config::FD_PRODUCERS`]) must visibly reach an
+//!   ownership sink in the same function: a [`crate::config::FD_SINKS`]
+//!   call, `Ok(fd)` / `Some(fd)`, a `return`, a struct field, or the
+//!   body's tail expression. A binding that reaches none of those
+//!   leaks the descriptor on some path.
+
+use super::FileContext;
+use crate::config::{FD_PRODUCERS, FD_SINKS};
+use crate::findings::Finding;
+use crate::lexer::TokenKind;
+
+pub(crate) const SAFETY_RULE: &str = "unsafe-safety-comment";
+pub(crate) const FD_RULE: &str = "raw-fd-lifecycle";
+
+/// Runs both checks over one file.
+#[must_use]
+pub fn check(ctx: &FileContext<'_>) -> Vec<Finding> {
+    if crate::config::Policy::is_test_path(ctx.path) {
+        return Vec::new();
+    }
+    let mut findings = Vec::new();
+    safety_comments(ctx, &mut findings);
+    fd_lifecycle(ctx, &mut findings);
+    findings
+}
+
+fn safety_comments(ctx: &FileContext<'_>, findings: &mut Vec<Finding>) {
+    // Coalesce runs of consecutive comment lines: a `// SAFETY:` block
+    // whose explanation spans several `//` lines covers code within
+    // two lines of the *block's* end, not of the line that happens to
+    // carry the keyword.
+    let mut blocks: Vec<(bool, u32, u32)> = Vec::new(); // (has SAFETY, start, end)
+    for c in ctx.comments {
+        match blocks.last_mut() {
+            Some((has, _, end)) if c.line <= *end + 1 => {
+                *has |= c.text.contains("SAFETY");
+                *end = (*end).max(c.end_line);
+            }
+            _ => blocks.push((c.text.contains("SAFETY"), c.line, c.end_line)),
+        }
+    }
+    for t in ctx.tokens {
+        if !t.is_ident("unsafe") || ctx.in_test_region(t.line) {
+            continue;
+        }
+        // Covered when a SAFETY block begins at or above the unsafe
+        // line and ends within two lines of it (a trailing same-line
+        // comment saturates to distance 0).
+        let covered = blocks
+            .iter()
+            .any(|&(has, start, end)| has && start <= t.line && t.line.saturating_sub(end) <= 2);
+        if !covered {
+            findings.push(
+                ctx.finding(
+                    SAFETY_RULE,
+                    t.line,
+                    "`unsafe` without a `// SAFETY:` comment on the same line or \
+                 the two lines above; state the invariant that makes this sound"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+}
+
+fn fd_lifecycle(ctx: &FileContext<'_>, findings: &mut Vec<Finding>) {
+    for span in ctx.fn_spans {
+        let body = &ctx.tokens[span.open..=span.close];
+        for i in 0..body.len() {
+            let t = &body[i];
+            if t.kind != TokenKind::Ident
+                || !FD_PRODUCERS.contains(&t.text.as_str())
+                || !body.get(i + 1).is_some_and(|n| n.is_punct("("))
+                || ctx.in_test_region(t.line)
+            {
+                continue;
+            }
+            // The producer must sit in a `let [mut] name = ...;`
+            // statement; otherwise its result is returned or consumed
+            // directly and ownership is visible at the call site.
+            let Some((name, stmt_end)) = let_binding_around(body, i) else {
+                continue;
+            };
+            if !reaches_sink(body, stmt_end, &name) {
+                findings.push(ctx.finding(
+                    FD_RULE,
+                    t.line,
+                    format!(
+                        "raw fd `{name}` from `{}` never reaches a close/ownership sink \
+                         ({}, Ok/Some, return, or a struct field) in this function; \
+                         it leaks on some path",
+                        t.text,
+                        FD_SINKS.join("/"),
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// If token `i` lies in a `let [mut] name = ...;` statement, returns
+/// the binding name and the index of the terminating `;`.
+fn let_binding_around(body: &[crate::lexer::Token], i: usize) -> Option<(String, usize)> {
+    // Producer results are typically wrapped (`check(unsafe { socket(..) })`),
+    // so walk back across braces/parens to the nearest `;` and take the
+    // last `let` of that statement.
+    let stmt_start = (0..i)
+        .rev()
+        .find(|&k| body[k].is_punct(";"))
+        .map_or(0, |k| k + 1);
+    let mut k = (stmt_start..i).rev().find(|&k| body[k].is_ident("let"))?;
+    k += 1;
+    if body.get(k)?.is_ident("mut") {
+        k += 1;
+    }
+    let name = body.get(k)?;
+    if name.kind != TokenKind::Ident || !body.get(k + 1)?.is_punct("=") {
+        return None;
+    }
+    let stmt_end = (i..body.len()).find(|&k| body[k].is_punct(";"))?;
+    Some((name.text.clone(), stmt_end))
+}
+
+/// Whether `name` reaches an ownership sink after `from`.
+fn reaches_sink(body: &[crate::lexer::Token], from: usize, name: &str) -> bool {
+    for k in (from + 1)..body.len() {
+        if !body[k].is_ident(name) {
+            continue;
+        }
+        let prev = k.checked_sub(1).map(|p| &body[p]);
+        let prev2 = k.checked_sub(2).map(|p| &body[p]);
+        // `sink(name` or `Ok(name` / `Some(name` — also as a non-first
+        // argument (`from_raw_fd(x, name` does not occur, but
+        // `close_fd(fd)` and `Listener::from_raw(fd)` shapes do).
+        if prev.is_some_and(|p| p.is_punct("(") || p.is_punct(","))
+            && (0..k).rev().any(|p| {
+                body[p].kind == TokenKind::Ident
+                    && (FD_SINKS.contains(&body[p].text.as_str())
+                        || body[p].text == "Ok"
+                        || body[p].text == "Some")
+                    && body.get(p + 1).is_some_and(|n| n.is_punct("("))
+                    && p < k
+                    && matching_close(body, p + 1).is_some_and(|c| c >= k)
+            })
+        {
+            return true;
+        }
+        // `return name`, `field: name`, or the body's tail expression.
+        if prev.is_some_and(|p| p.is_ident("return"))
+            || prev.is_some_and(|p| p.is_punct(":"))
+                && prev2.is_some_and(|p| p.kind == TokenKind::Ident)
+        {
+            return true;
+        }
+        if body.get(k + 1).is_some_and(|n| n.is_punct("}")) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Index of the `)` matching the `(` at `open` (within one body).
+fn matching_close(body: &[crate::lexer::Token], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in body.iter().enumerate().skip(open) {
+        if t.is_punct("(") {
+            depth += 1;
+        } else if t.is_punct(")") {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::tests_support::run_rule_at;
+
+    const PATH: &str = "crates/pager-reactor/src/sys.rs";
+
+    #[test]
+    fn unsafe_without_safety_comment_is_flagged() {
+        let src = "fn f() -> i32 { unsafe { libc_call() } }";
+        let findings = run_rule_at(PATH, src, check);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, SAFETY_RULE);
+    }
+
+    #[test]
+    fn same_line_and_two_lines_above_are_covered() {
+        let src = "\
+fn a() -> i32 { unsafe { x() } } // SAFETY: ffi contract upheld
+// SAFETY: Wakers only touch the eventfd, which is Sync.
+unsafe impl Send for Waker {}
+unsafe impl Sync for Waker {}
+";
+        let findings = run_rule_at(PATH, src, check);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn multi_line_safety_block_covers_adjacent_impls() {
+        // wake.rs shape: one two-line SAFETY comment over consecutive
+        // `unsafe impl`s — the block's end line anchors the distance.
+        let src = "\
+// SAFETY: the only state is an eventfd; write and close are
+// thread-safe syscalls, and no &mut aliasing exists.
+unsafe impl Send for Waker {}
+unsafe impl Sync for Waker {}
+";
+        let findings = run_rule_at(PATH, src, check);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn stale_comment_three_lines_up_does_not_cover() {
+        let src = "\
+// SAFETY: this vouches for nothing below
+fn pad1() {}
+fn pad2() {}
+fn f() { unsafe { x() } }
+";
+        let findings = run_rule_at(PATH, src, check);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].line, 4);
+    }
+
+    #[test]
+    fn test_regions_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n fn f() { unsafe { x() } }\n}";
+        assert!(run_rule_at(PATH, src, check).is_empty());
+    }
+
+    #[test]
+    fn leaked_fd_is_flagged() {
+        let src = "\
+fn f() -> io::Result<()> {
+    // SAFETY: ffi
+    let fd = check(unsafe { socket(AF_INET, SOCK_STREAM, 0) })?;
+    do_something_else();
+    Ok(())
+}
+";
+        let findings = run_rule_at(PATH, src, check);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, FD_RULE);
+        assert!(findings[0].message.contains("`fd`"));
+    }
+
+    #[test]
+    fn close_on_error_and_ok_return_are_sinks() {
+        let src = "\
+fn f() -> io::Result<RawFd> {
+    // SAFETY: ffi
+    let fd = check(unsafe { socket(AF_INET, SOCK_STREAM, 0) })?;
+    if let Err(e) = setup(fd) {
+        close_fd(fd);
+        return Err(e);
+    }
+    Ok(fd)
+}
+";
+        assert!(run_rule_at(PATH, src, check).is_empty());
+    }
+
+    #[test]
+    fn direct_return_without_binding_is_fine() {
+        let src = "\
+fn epoll_create() -> io::Result<RawFd> {
+    // SAFETY: no arguments to get wrong
+    check(unsafe { epoll_create1(EPOLL_CLOEXEC) })
+}
+";
+        assert!(run_rule_at(PATH, src, check).is_empty());
+    }
+
+    #[test]
+    fn struct_field_and_tail_expr_are_sinks() {
+        let src = "\
+fn a() -> io::Result<Poller> {
+    // SAFETY: ffi
+    let fd = check(unsafe { epoll_create1(0) })?;
+    Ok(Poller { epfd: fd })
+}
+fn b() -> RawFd {
+    // SAFETY: ffi
+    let fd = unsafe { eventfd(0, 0) };
+    fd
+}
+";
+        assert!(
+            run_rule_at(PATH, src, check).is_empty(),
+            "{:?}",
+            run_rule_at(PATH, src, check)
+        );
+    }
+}

@@ -1,0 +1,275 @@
+//! The workspace symbol table: every named `fn`, per-crate, plus each
+//! file's `use`-alias map.
+//!
+//! This is the "linking" half of the multi-pass analyzer: per-file
+//! rules see one token stream, workspace rules ([`crate::rules::lock_graph`],
+//! [`crate::rules::blocking`]) need to know *which function* a call
+//! lands in. The table is deliberately name-based — no types, no trait
+//! resolution — because the workspace's concurrency surfaces
+//! (dispatcher, durable store, reactor drivers) use distinct function
+//! names, and a name-based over-approximation errs toward reporting.
+
+use crate::lexer::{Token, TokenKind};
+use crate::rules::{matching_brace, FnSpan};
+use crate::FileData;
+use std::collections::HashMap;
+
+/// One named function with a body.
+#[derive(Debug, Clone)]
+pub struct FnSym {
+    /// The function's bare name (no path, no generics).
+    pub name: String,
+    /// Index of the defining file in the workspace file list.
+    pub file: usize,
+    /// Token range of the body braces in that file.
+    pub span: FnSpan,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+}
+
+/// The cross-file symbol index.
+#[derive(Debug, Default)]
+pub struct Index {
+    /// Every named fn in the workspace, file order then source order.
+    pub fns: Vec<FnSym>,
+    /// fn name → indices into [`Index::fns`].
+    pub by_name: HashMap<String, Vec<usize>>,
+    /// Per file: the crate it belongs to (see [`crate_of`]).
+    pub crate_of_file: Vec<String>,
+    /// Per file: local name → original terminal name, from `use`
+    /// declarations (`use a::b as c` maps `c → b`).
+    pub aliases: Vec<HashMap<String, String>>,
+}
+
+impl Index {
+    /// Builds the index over every file of a loaded workspace.
+    #[must_use]
+    pub fn build(files: &[FileData]) -> Index {
+        let mut index = Index::default();
+        for (file_idx, fd) in files.iter().enumerate() {
+            index.crate_of_file.push(crate_of(&fd.path));
+            index.aliases.push(use_aliases(&fd.lexed.tokens));
+            for (name, span, line) in named_fns(&fd.lexed.tokens) {
+                let sym_idx = index.fns.len();
+                index.by_name.entry(name.clone()).or_default().push(sym_idx);
+                index.fns.push(FnSym {
+                    name,
+                    file: file_idx,
+                    span,
+                    line,
+                });
+            }
+        }
+        index
+    }
+
+    /// The fn (by index) whose body span contains token `tok` of file
+    /// `file`, preferring the innermost (nested fns shadow their
+    /// parent).
+    #[must_use]
+    pub fn enclosing_fn(&self, file: usize, tok: usize) -> Option<usize> {
+        self.fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.file == file && f.span.open <= tok && tok <= f.span.close)
+            .min_by_key(|(_, f)| f.span.close - f.span.open)
+            .map(|(i, _)| i)
+    }
+}
+
+/// The crate a workspace-relative path belongs to:
+/// `crates/<name>/...` → `<name>`, everything else (the root package's
+/// `src/`, `tests/`, `examples/`) → `<root>`.
+#[must_use]
+pub fn crate_of(path: &str) -> String {
+    let mut parts = path.split('/');
+    if parts.next() == Some("crates") {
+        if let Some(name) = parts.next() {
+            return name.to_string();
+        }
+    }
+    "<root>".to_string()
+}
+
+/// Every named `fn` with a body: `(name, body span, line)`. Mirrors
+/// [`crate::rules::fn_spans`]'s walk (trait signatures and extern
+/// declarations without bodies are skipped) but keeps the name.
+#[must_use]
+pub fn named_fns(tokens: &[Token]) -> Vec<(String, FnSpan, u32)> {
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if !t.is_ident("fn") {
+            continue;
+        }
+        let Some(name_tok) = tokens.get(i + 1) else {
+            continue;
+        };
+        if name_tok.kind != TokenKind::Ident {
+            continue;
+        }
+        // Walk to the body `{` exactly as `fn_spans` does: generic
+        // angle brackets (including `>>` lexed as one token), parens,
+        // and the return arrow pass through; `;` means no body.
+        let mut j = i + 2;
+        let mut angle = 0i32;
+        let mut paren = 0i32;
+        while j < tokens.len() {
+            let t = &tokens[j];
+            if t.is_punct("(") || t.is_punct("[") {
+                paren += 1;
+            } else if t.is_punct(")") || t.is_punct("]") {
+                paren -= 1;
+            } else if t.is_punct("<") {
+                angle += 1;
+            } else if t.is_punct(">") {
+                angle = (angle - 1).max(0);
+            } else if t.is_punct("<<") {
+                angle += 2;
+            } else if t.is_punct(">>") {
+                angle = (angle - 2).max(0);
+            } else if paren == 0 && angle == 0 && t.is_punct(";") {
+                break;
+            } else if paren == 0 && angle == 0 && t.is_punct("{") {
+                out.push((
+                    name_tok.text.clone(),
+                    FnSpan {
+                        open: j,
+                        close: matching_brace(tokens, j),
+                    },
+                    tokens[i].line,
+                ));
+                break;
+            }
+            j += 1;
+        }
+    }
+    out
+}
+
+/// Collects `use` aliases from one file's tokens: for every leaf of a
+/// use tree, maps the locally visible name to the original terminal
+/// segment. `use a::b;` yields `b → b`; `use a::b as c;` yields
+/// `c → b`; groups and `self` leaves are handled; globs contribute
+/// nothing.
+#[must_use]
+pub fn use_aliases(tokens: &[Token]) -> HashMap<String, String> {
+    let mut out = HashMap::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_ident("use") {
+            i += 1;
+            parse_use_tree(tokens, &mut i, None, &mut out);
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Parses one use-tree level starting at `*i`, stopping after the
+/// terminating `,`, `}` or `;` (which is left unconsumed for the
+/// caller). `parent` is the path segment owning a `{...}` group, for
+/// resolving `self` leaves.
+fn parse_use_tree(
+    tokens: &[Token],
+    i: &mut usize,
+    parent: Option<&str>,
+    out: &mut HashMap<String, String>,
+) {
+    let mut last: Option<String> = None;
+    while let Some(t) = tokens.get(*i) {
+        if t.is_punct(";") || t.is_punct(",") || t.is_punct("}") {
+            if let Some(name) = last {
+                out.insert(name.clone(), name);
+            }
+            return;
+        }
+        if t.is_ident("as") {
+            *i += 1;
+            if let (Some(orig), Some(alias)) = (last.take(), tokens.get(*i)) {
+                if alias.kind == TokenKind::Ident {
+                    out.insert(alias.text.clone(), orig);
+                    *i += 1;
+                }
+            }
+            continue;
+        }
+        if t.is_punct("{") {
+            *i += 1;
+            loop {
+                parse_use_tree(tokens, i, last.as_deref(), out);
+                match tokens.get(*i) {
+                    Some(t) if t.is_punct(",") => *i += 1,
+                    _ => break,
+                }
+            }
+            if tokens.get(*i).is_some_and(|t| t.is_punct("}")) {
+                *i += 1;
+            }
+            last = None;
+            continue;
+        }
+        if t.is_punct("*") {
+            last = None; // glob: nothing nameable
+            *i += 1;
+            continue;
+        }
+        if t.kind == TokenKind::Ident {
+            last = if t.text == "self" {
+                parent.map(String::from)
+            } else {
+                Some(t.text.clone())
+            };
+            *i += 1;
+            continue;
+        }
+        // `::` and anything else: path separator, keep walking.
+        *i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn crate_mapping() {
+        assert_eq!(crate_of("crates/pager-core/src/dp.rs"), "pager-core");
+        assert_eq!(crate_of("src/bin/pager.rs"), "<root>");
+        assert_eq!(crate_of("tests/differential.rs"), "<root>");
+    }
+
+    #[test]
+    fn named_fns_capture_names_and_skip_signatures() {
+        let src = "\
+trait T { fn sig(&self); }
+fn outer() { fn inner() { 1 } inner() }
+impl S { fn method<V: Into<Vec<u8>>>(&self, v: V) -> usize { v.into().len() } }
+";
+        let lexed = lex(src);
+        let fns = named_fns(&lexed.tokens);
+        let names: Vec<&str> = fns.iter().map(|(n, _, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["outer", "inner", "method"]);
+        // The outer span contains the inner span.
+        assert!(fns[0].1.open < fns[1].1.open && fns[1].1.close < fns[0].1.close);
+    }
+
+    #[test]
+    fn use_aliases_cover_plain_grouped_and_renamed() {
+        let src = "\
+use std::collections::HashMap;
+use crate::helpers::{spin_wait, poll as poll_once, io::{self, flush_all}};
+use pager_core::lockcheck::acquire as lock_class;
+use std::fmt::*;
+";
+        let map = use_aliases(&lex(src).tokens);
+        assert_eq!(map.get("HashMap").map(String::as_str), Some("HashMap"));
+        assert_eq!(map.get("spin_wait").map(String::as_str), Some("spin_wait"));
+        assert_eq!(map.get("poll_once").map(String::as_str), Some("poll"));
+        assert_eq!(map.get("io").map(String::as_str), Some("io"));
+        assert_eq!(map.get("flush_all").map(String::as_str), Some("flush_all"));
+        assert_eq!(map.get("lock_class").map(String::as_str), Some("acquire"));
+        assert!(!map.contains_key("*"));
+    }
+}

@@ -97,6 +97,37 @@ fn json_output_is_machine_readable() {
 }
 
 #[test]
+fn emit_lock_graph_writes_dot_and_json() {
+    let root = fixture_workspace("lockgraph");
+    std::fs::write(
+        root.join("crates/pager-core/src/locks.rs"),
+        "pub fn nested(a: &S) {\n    let q = a.queue.lock();\n    \
+         let w = a.wal.lock();\n    drop(w);\n    drop(q);\n}\n",
+    )
+    .expect("write locks");
+    let out = root.join("graph-out");
+    let (code, _, stderr) = run(
+        &root,
+        &["--emit-lock-graph", out.to_str().expect("utf8 path")],
+    );
+    assert_eq!(code, 0, "{stderr}");
+    let dot = std::fs::read_to_string(out.join("lock-graph.dot")).expect("dot written");
+    assert!(dot.contains("\"queue\" -> \"wal\""), "{dot}");
+    let json = jsonio::parse(&std::fs::read_to_string(out.join("lock-graph.json")).expect("json"))
+        .expect("valid JSON");
+    let edges = json
+        .get("edges")
+        .and_then(jsonio::Value::as_array)
+        .expect("edges array");
+    assert_eq!(edges.len(), 1);
+    assert_eq!(
+        edges[0].get("from").and_then(jsonio::Value::as_str),
+        Some("queue")
+    );
+    std::fs::remove_dir_all(&root).expect("cleanup");
+}
+
+#[test]
 fn usage_errors_exit_two() {
     let root = fixture_workspace("usage");
     let (code, _, stderr) = run(&root, &["--no-such-flag"]);

@@ -1,0 +1,85 @@
+//! The committed lock-graph artifact must stay fresh, cycle-free, and
+//! order-consistent, and the declared order must not drift from the
+//! runtime checker's copy.
+//!
+//! `docs/lock-graph.dot` / `docs/lock-graph.json` are regenerated with
+//! `cargo run -p pager-lint -- --emit-lock-graph docs`; CI diffs them
+//! against the working tree, and this test is the local equivalent.
+
+use pager_lint::load_workspace;
+use pager_lint::rules::lock_graph;
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root above crates/pager-lint")
+        .to_path_buf()
+}
+
+#[test]
+fn declared_order_matches_runtime_lockcheck() {
+    // pager-lint's static order and pager-core's runtime checker must
+    // agree, or a site could pass one enforcement and fail the other.
+    assert_eq!(
+        pager_lint::config::LOCK_ORDER,
+        pager_core::lockcheck::LOCK_ORDER,
+        "config::LOCK_ORDER drifted from pager_core::lockcheck::LOCK_ORDER"
+    );
+}
+
+#[test]
+fn committed_artifact_is_fresh() {
+    let root = workspace_root();
+    let ws = load_workspace(&root).expect("load workspace");
+    let graph = lock_graph::build(&ws);
+    for (name, generated) in [
+        ("lock-graph.dot", graph.to_dot()),
+        ("lock-graph.json", graph.to_json()),
+    ] {
+        let path = root.join("docs").join(name);
+        let committed = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing committed artifact {}: {e}", path.display()));
+        assert_eq!(
+            committed.trim(),
+            generated.trim(),
+            "{} is stale; regenerate with \
+             `cargo run -p pager-lint -- --emit-lock-graph docs`",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn workspace_lock_graph_is_acyclic_and_ordered() {
+    let root = workspace_root();
+    let ws = load_workspace(&root).expect("load workspace");
+    let graph = lock_graph::build(&ws);
+    assert!(
+        !graph.edges.is_empty(),
+        "lock graph inference found no edges at all — the analysis broke"
+    );
+    assert!(
+        graph.cycles().is_empty(),
+        "lock-acquisition cycles in the workspace: {:?}",
+        graph.cycles()
+    );
+    let violations: Vec<_> = graph
+        .edges
+        .iter()
+        .filter(|e| {
+            let (Some(from), Some(to)) = (
+                pager_core::lockcheck::rank(e.from),
+                pager_core::lockcheck::rank(e.to),
+            ) else {
+                return true; // undeclared class: also a violation
+            };
+            from >= to
+        })
+        .collect();
+    assert!(
+        violations.is_empty(),
+        "lock acquisitions against the declared order: {violations:?}"
+    );
+}

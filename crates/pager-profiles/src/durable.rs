@@ -441,6 +441,7 @@ impl DurableStore {
     /// The live WAL generation.
     #[must_use]
     pub fn generation(&self) -> u64 {
+        let _cls = pager_core::lockcheck::acquire("wal");
         self.wal
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
@@ -451,6 +452,7 @@ impl DurableStore {
     /// atomically (no append can land between the three reads).
     #[must_use]
     pub fn wal_position(&self) -> WalPosition {
+        let _cls = pager_core::lockcheck::acquire("wal");
         let wal = self.wal.lock().unwrap_or_else(PoisonError::into_inner);
         WalPosition {
             generation: wal.generation,
@@ -465,6 +467,7 @@ impl DurableStore {
     /// leader can still seed a healthy follower.
     #[must_use]
     pub fn export_snapshot(&self) -> SnapshotExport {
+        let _cls = pager_core::lockcheck::acquire("wal");
         let wal = self.wal.lock().unwrap_or_else(PoisonError::into_inner);
         SnapshotExport {
             generation: wal.generation,
@@ -491,6 +494,7 @@ impl DurableStore {
         offset: u64,
         max_bytes: usize,
     ) -> Result<WalExport, DurableError> {
+        let _cls = pager_core::lockcheck::acquire("wal");
         let wal = self.wal.lock().unwrap_or_else(PoisonError::into_inner);
         if generation != wal.generation || offset > wal.offset {
             return Ok(WalExport::Bootstrap {
@@ -537,6 +541,7 @@ impl DurableStore {
             return false;
         }
         let due = {
+            let _cls = pager_core::lockcheck::acquire("wal");
             let wal = self.wal.lock().unwrap_or_else(PoisonError::into_inner);
             wal.records_since_checkpoint >= self.config.checkpoint_every
         };
@@ -598,6 +603,7 @@ impl DurableStore {
         if self.degraded() {
             return Err(DurableError::Degraded("data disk previously failed".into()));
         }
+        let _cls = pager_core::lockcheck::acquire("wal");
         let mut wal = self.wal.lock().unwrap_or_else(PoisonError::into_inner);
         // Encode before applying: a sighting that cannot be framed
         // (device name over the WAL's size bound, values that do not
@@ -679,6 +685,7 @@ impl DurableStore {
     ///
     /// [`DurableError::Degraded`] on I/O failure.
     pub fn flush(&self) -> Result<(), DurableError> {
+        let _cls = pager_core::lockcheck::acquire("wal");
         let mut wal = self.wal.lock().unwrap_or_else(PoisonError::into_inner);
         if wal.unsynced_records == 0 {
             return Ok(());
@@ -714,6 +721,7 @@ impl DurableStore {
         if self.degraded() {
             return Err(DurableError::Degraded("data disk previously failed".into()));
         }
+        let _cls = pager_core::lockcheck::acquire("wal");
         let mut wal = self.wal.lock().unwrap_or_else(PoisonError::into_inner);
         let old = wal.generation;
         let new = old + 1;

@@ -191,6 +191,7 @@ impl ReplicaApplier {
     /// the persisted cursor on first access after open.
     #[must_use]
     pub fn cursor(&self, source: &str) -> CursorStatus {
+        let _cls = pager_core::lockcheck::acquire("replica");
         let mut replica = self.replica.lock().unwrap_or_else(PoisonError::into_inner);
         let entry = replica
             .entry(source.to_string())
@@ -218,6 +219,7 @@ impl ReplicaApplier {
         offset: u64,
         snapshot: &[u8],
     ) -> Result<usize, DurableError> {
+        let _cls = pager_core::lockcheck::acquire("replica");
         let mut replica = self.replica.lock().unwrap_or_else(PoisonError::into_inner);
         replica.insert(source.to_string(), None);
         let merged = self
@@ -266,6 +268,7 @@ impl ReplicaApplier {
         end: u64,
         frames: &[u8],
     ) -> Result<ApplyOutcome, DurableError> {
+        let _cls = pager_core::lockcheck::acquire("replica");
         let mut replica = self.replica.lock().unwrap_or_else(PoisonError::into_inner);
         let entry = replica
             .entry(source.to_string())

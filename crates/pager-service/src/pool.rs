@@ -186,6 +186,7 @@ impl Dispatcher {
     ) -> Result<bool, ServiceError> {
         let key = job.key.clone();
         let coalesced = {
+            let _cls = pager_core::lockcheck::acquire("inflight");
             let mut inflight = self
                 .inflight
                 .lock()
@@ -211,6 +212,7 @@ impl Dispatcher {
         // table again (lock order: queue before inflight, never
         // nested the other way).
         let outcome = {
+            let _cls = pager_core::lockcheck::acquire("queue");
             let queue = self
                 .queue
                 .lock()
@@ -265,6 +267,7 @@ impl Dispatcher {
     pub(crate) fn submit_maintenance(&self, work: Box<dyn FnOnce() + Send>) -> bool {
         Metrics::inc(&self.metrics.queue_depth);
         let accepted = {
+            let _cls = pager_core::lockcheck::acquire("queue");
             let queue = self
                 .queue
                 .lock()
@@ -287,6 +290,7 @@ impl Dispatcher {
     /// waiter too would deliver the answer twice (fatal for callback
     /// waiters, which write a response line each time they fire).
     fn fail_coalescers(&self, key: &PlanKey, error: &ServiceError) {
+        let _cls = pager_core::lockcheck::acquire("inflight");
         let waiters = self
             .inflight
             .lock()
@@ -300,10 +304,12 @@ impl Dispatcher {
 
     /// Stops accepting work and joins every worker.
     pub(crate) fn shutdown(&self) {
+        let _cls_queue = pager_core::lockcheck::acquire("queue");
         self.queue
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .take();
+        let _cls_workers = pager_core::lockcheck::acquire("workers");
         let handles: Vec<_> = self
             .workers
             .lock()
@@ -331,13 +337,16 @@ fn worker_loop(
 ) {
     loop {
         // Hold the receiver lock only for the dequeue itself.
-        let job = match rx
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .recv()
-        {
-            Ok(job) => job,
-            Err(_) => return, // queue closed: shut down
+        let job = {
+            let _cls = pager_core::lockcheck::acquire("worker_rx");
+            match rx
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .recv()
+            {
+                Ok(job) => job,
+                Err(_) => return, // queue closed: shut down
+            }
         };
         Metrics::dec(&metrics.queue_depth);
         let job = match job {
@@ -384,11 +393,14 @@ fn worker_loop(
                 }
             }
         };
-        let waiters = inflight
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .remove(&job.key)
-            .unwrap_or_default();
+        let waiters = {
+            let _cls = pager_core::lockcheck::acquire("inflight");
+            inflight
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .remove(&job.key)
+                .unwrap_or_default()
+        };
         for waiter in waiters {
             waiter.complete(result.clone());
         }

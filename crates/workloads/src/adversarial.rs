@@ -117,7 +117,7 @@ mod tests {
     #[test]
     fn section43_family_recovers_the_paper_instance() {
         let inst = section43_family(8);
-        let exact = pager_core::lower_bound_instance::instance_f64();
+        let exact = pager_core::lower_bound_instance::instance_f64().unwrap();
         for i in 0..2 {
             for j in 0..8 {
                 assert!(

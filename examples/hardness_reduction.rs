@@ -38,13 +38,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("== Section 4.3: the 320/317 lower-bound instance ==\n");
-    let exact = lower_bound_instance::instance_exact();
-    let heuristic = greedy_strategy_exact(&exact, Delay::new(2)?);
+    let exact = lower_bound_instance::instance_exact()?;
+    let heuristic = greedy_strategy_exact(&exact, Delay::new(2)?)?;
     println!(
         "heuristic strategy : {}   EP = {}",
         heuristic.strategy, heuristic.expected_paging
     );
-    let optimal = lower_bound_instance::optimal_strategy();
+    let optimal = lower_bound_instance::optimal_strategy()?;
     println!(
         "optimal strategy   : {}   EP = {}",
         optimal,

@@ -177,6 +177,7 @@ fn run(opts: &Options) -> Result<(), String> {
         if opts.exact {
             let exact_ep = instance
                 .to_exact()
+                .map_err(|e| e.to_string())?
                 .expected_paging(&strategy)
                 .map_err(|e| e.to_string())?;
             println!("exact expected paging    : {exact_ep}");
@@ -236,7 +237,7 @@ fn run(opts: &Options) -> Result<(), String> {
     }
 
     if opts.exact {
-        let exact = instance.to_exact();
+        let exact = instance.to_exact().map_err(|e| e.to_string())?;
         let ep = exact
             .expected_paging(&plan.strategy)
             .map_err(|e| e.to_string())?;

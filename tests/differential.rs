@@ -122,7 +122,7 @@ fn float_vs_exact_exhaustive() {
             })
             .collect();
         let exact = ExactInstance::from_rows(rows_exact).unwrap();
-        let float = exact.to_f64();
+        let float = exact.to_f64().unwrap();
         let d = rng.gen_range(2..=c.min(3));
         let delay = Delay::new(d).unwrap();
         let a = optimal::optimal_exhaustive_exact(&exact, delay)

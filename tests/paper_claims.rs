@@ -65,8 +65,9 @@ fn heuristic_within_proven_factor_everywhere() {
 /// arithmetic (heuristic 320/49, exhaustive optimum 317/49).
 #[test]
 fn lower_bound_instance_certified() {
-    let exact = lower_bound_instance::instance_exact();
-    let heur = conference_call::pager::greedy_strategy_exact(&exact, Delay::new(2).unwrap());
+    let exact = lower_bound_instance::instance_exact().unwrap();
+    let heur =
+        conference_call::pager::greedy_strategy_exact(&exact, Delay::new(2).unwrap()).unwrap();
     let opt = conference_call::pager::optimal::optimal_two_round_exact(&exact).unwrap();
     assert_eq!(heur.expected_paging, lower_bound_instance::heuristic_ep());
     assert_eq!(opt.expected_paging, lower_bound_instance::optimal_ep());
@@ -133,7 +134,7 @@ fn lemma_2_1_three_ways() {
         let strategy = Strategy::from_order_and_sizes(&cells, &sizes).unwrap();
         let closed = inst.expected_paging(&strategy).unwrap();
         let direct = inst.expected_paging_direct(&strategy).unwrap();
-        let exact = inst.to_exact().expected_paging(&strategy).unwrap();
+        let exact = inst.to_exact().unwrap().expected_paging(&strategy).unwrap();
         assert!((closed - direct).abs() < 1e-9);
         assert!((closed - exact.to_f64()).abs() < 1e-6);
     }

@@ -113,7 +113,7 @@ proptest! {
     /// The exact evaluation agrees with f64 to floating-point accuracy.
     #[test]
     fn exact_matches_float(inst in instance_strategy(1..3, 3..7)) {
-        let exact = inst.to_exact();
+        let exact = inst.to_exact().unwrap();
         let c = inst.num_cells();
         let strategy = Strategy::from_order_and_sizes(
             &(0..c).collect::<Vec<_>>(),
